@@ -1,0 +1,165 @@
+// A1 — ablations on design choices called out in DESIGN.md.
+//
+// (a) Multicast-group maintenance (§7.1): the multicast locator needs every
+//     hop to join/leave the thread's group.  This bench measures the
+//     migration (remote invocation) cost with maintenance on vs off — the
+//     price paid on EVERY hop to make locates O(1).
+//
+// (b) Handler execution contexts (§4.1): cost of one delivered event by
+//     handler kind — per-thread procedure (OWN_CONTEXT, a local call),
+//     object-entry handler in a local object, and buddy handler on a remote
+//     node (unscheduled invocation).  Expected shape: per-thread < local
+//     object entry < remote buddy, the gap being one RPC round trip.
+#include "bench_util.hpp"
+
+#include "events/event_system.hpp"
+
+namespace doct::bench {
+namespace {
+
+objects::Payload int_payload(std::int64_t v) {
+  Writer w;
+  w.put(v);
+  return std::move(w).take();
+}
+
+void run_migration_bench(benchmark::State& state, bool maintain_groups) {
+  runtime::ClusterConfig config;
+  config.node.kernel.maintain_multicast_groups = maintain_groups;
+  runtime::Cluster cluster(2, config);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto object = std::make_shared<objects::PassiveObject>("hop_target");
+  object->define_entry("noop", [](objects::CallCtx& ctx)
+                                   -> Result<objects::Payload> {
+    return int_payload(ctx.args.get<std::int64_t>());
+  });
+  const ObjectId oid = n1.objects.add_object(object);
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> completed{0};
+  std::atomic<long> requested{0};
+  std::atomic<bool> failed{false};
+  const ThreadId driver = n0.kernel.spawn([&] {
+    while (!stop.load()) {
+      if (requested.load() > completed.load()) {
+        if (!n0.objects.invoke(oid, "noop", int_payload(1)).is_ok()) {
+          failed = true;
+          return;
+        }
+        completed.fetch_add(1);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto _ : state) {
+    const long turn = requested.fetch_add(1) + 1;
+    while (completed.load() < turn && !failed.load()) std::this_thread::yield();
+    if (failed.load()) {
+      state.SkipWithError("invocation failed");
+      break;
+    }
+  }
+  stop = true;
+  n0.kernel.join_thread(driver, std::chrono::minutes(1));
+  state.counters["multicasts_maintained"] = maintain_groups ? 1 : 0;
+}
+
+void BM_Migration_WithGroupMaintenance(benchmark::State& state) {
+  run_migration_bench(state, true);
+}
+void BM_Migration_NoGroupMaintenance(benchmark::State& state) {
+  run_migration_bench(state, false);
+}
+BENCHMARK(BM_Migration_WithGroupMaintenance)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.3);
+BENCHMARK(BM_Migration_NoGroupMaintenance)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.3);
+
+// --- (b) handler contexts ------------------------------------------------------
+
+enum class HandlerPlacement { kPerThread, kLocalObject, kRemoteBuddy };
+
+void run_context_bench(benchmark::State& state, HandlerPlacement placement) {
+  runtime::Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto handled = std::make_shared<std::atomic<long>>(0);
+  cluster.procedures().register_procedure(
+      "a1_proc", [handled](events::PerThreadCallCtx&) {
+        handled->fetch_add(1);
+        return kernel::Verdict::kResume;
+      });
+  auto make_handler_object = [handled] {
+    auto object = std::make_shared<objects::PassiveObject>("a1_object");
+    object->define_entry(
+        "on_event",
+        [handled](objects::CallCtx&) -> Result<objects::Payload> {
+          handled->fetch_add(1);
+          return objects::Payload{
+              static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+        },
+        objects::Visibility::kPrivate);
+    return object;
+  };
+  const ObjectId local_obj = n0.objects.add_object(make_handler_object());
+  const ObjectId buddy_obj = n1.objects.add_object(make_handler_object());
+  const EventId event = cluster.registry().register_event("A1_EVENT");
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId target = n0.kernel.spawn([&] {
+    switch (placement) {
+      case HandlerPlacement::kPerThread:
+        n0.events.attach_handler(event, "a1_proc", events::OWN_CONTEXT);
+        break;
+      case HandlerPlacement::kLocalObject:
+        n0.events.attach_handler(event, local_obj, "on_event");
+        break;
+      case HandlerPlacement::kRemoteBuddy:
+        n0.events.attach_handler(event, buddy_obj, "on_event");
+        break;
+    }
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(std::chrono::microseconds(200)).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+
+  for (auto _ : state) {
+    const long start = handled->load();
+    if (!n0.events.raise(event, target).is_ok()) {
+      state.SkipWithError("raise failed");
+      break;
+    }
+    spin_until(*handled, start + 1);
+  }
+  release = true;
+  n0.kernel.join_thread(target, std::chrono::minutes(1));
+}
+
+void BM_HandlerContext_PerThread(benchmark::State& state) {
+  run_context_bench(state, HandlerPlacement::kPerThread);
+}
+void BM_HandlerContext_LocalObject(benchmark::State& state) {
+  run_context_bench(state, HandlerPlacement::kLocalObject);
+}
+void BM_HandlerContext_RemoteBuddy(benchmark::State& state) {
+  run_context_bench(state, HandlerPlacement::kRemoteBuddy);
+}
+BENCHMARK(BM_HandlerContext_PerThread)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.3);
+BENCHMARK(BM_HandlerContext_LocalObject)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.3);
+BENCHMARK(BM_HandlerContext_RemoteBuddy)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.3);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

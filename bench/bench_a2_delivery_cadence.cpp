@@ -1,0 +1,77 @@
+// A2 — delivery-point cadence vs synchronous-notification latency.
+//
+// The cost model of cooperative delivery (§3, and our DESIGN.md substitution
+// note): a thread is stopped "at the point of delivery", which in this
+// implementation means at its next delivery point.  This bench quantifies
+// exactly that coupling — raise_and_wait latency against targets that reach
+// delivery points every {0.2, 1, 5, 20} ms.
+//
+// Expected shape: sync latency ≈ poll interval / 2 + fixed handling cost.
+// This is the number an application designer needs when deciding how often
+// long-running entry points should poll_events().
+//
+// Note the contrast with BLOCKED targets: a thread sleeping in a kernel wait
+// is woken by the notice enqueue immediately (its context condition variable
+// fires), so only compute-bound stretches pay the cadence.  The target here
+// BUSY-COMPUTES between explicit poll_events() calls to isolate that cost.
+#include "bench_util.hpp"
+
+#include "events/event_system.hpp"
+
+namespace doct::bench {
+namespace {
+
+void BM_SyncLatency_VsCadence(benchmark::State& state) {
+  const auto poll_us = state.range(0);
+  runtime::Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+
+  cluster.procedures().register_procedure(
+      "a2_ack",
+      [](events::PerThreadCallCtx&) { return kernel::Verdict::kResume; });
+  const EventId event = cluster.registry().register_event("A2_EVENT");
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId target = n0.kernel.spawn([&] {
+    n0.events.attach_handler(event, "a2_ack", events::OWN_CONTEXT);
+    armed = true;
+    while (!release.load()) {
+      // Simulated computation: busy until the next delivery point.
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(poll_us);
+      while (std::chrono::steady_clock::now() < until) {
+        benchmark::DoNotOptimize(until);
+      }
+      if (!n0.kernel.poll_events().is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+
+  for (auto _ : state) {
+    // De-correlate from the target's windows: without this pause a hot
+    // raiser re-enqueues inside the target's still-draining poll_events loop
+    // and measures the parked-at-delivery-point fast path (~5 µs) instead of
+    // the cadence.  The pause is untimed.
+    state.PauseTiming();
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_us * 4 / 3));
+    state.ResumeTiming();
+    auto verdict = n0.events.raise_and_wait(event, target);
+    if (!verdict.is_ok()) {
+      state.SkipWithError("sync raise failed");
+      break;
+    }
+  }
+  state.counters["poll_us"] = static_cast<double>(poll_us);
+  release = true;
+  n0.kernel.join_thread(target, std::chrono::minutes(1));
+}
+
+BENCHMARK(BM_SyncLatency_VsCadence)
+    ->Arg(200)->Arg(1000)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

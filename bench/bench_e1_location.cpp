@@ -1,0 +1,144 @@
+// E1 — thread location cost: broadcast vs path-following vs multicast (§7.1).
+//
+// Two sweeps tease apart the two scaling dimensions:
+//
+//   * DeepTrail: the thread's trail crosses EVERY node (hops = n-1).  Shows
+//     path-following latency growing linearly with trail length, while the
+//     one-round-trip strategies stay flat.
+//   * FixedTrail: the trail is pinned at 3 hops while the CLUSTER grows.
+//     Shows broadcast fan-out ("communication intensive and wasteful")
+//     growing with n even though the thread is 3 hops away, while
+//     path-following and multicast costs are independent of cluster size.
+//
+// Counters: msgs/locate (point-to-point + fan-out), probes/locate.
+#include "bench_util.hpp"
+
+namespace doct::bench {
+namespace {
+
+struct ChainWorld {
+  // Chain over nodes 1..hops; the thread ends up at node index `hops`.
+  ChainWorld(int n, int hops) : cluster(static_cast<std::size_t>(n)) {
+    last_index = hops;
+    std::vector<ObjectId> ids(static_cast<std::size_t>(hops) + 1);
+    for (int i = hops; i >= 1; --i) {
+      auto& node = cluster.node(static_cast<std::size_t>(i));
+      auto object = std::make_shared<objects::PassiveObject>(
+          "chain_" + std::to_string(i));
+      const bool last = i == hops;
+      const ObjectId next =
+          last ? ObjectId{} : ids[static_cast<std::size_t>(i) + 1];
+      object->define_entry("hop", [this, last, next](objects::CallCtx& ctx)
+                                      -> Result<objects::Payload> {
+        if (last) {
+          arrived = true;
+          while (!release.load()) {
+            if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+          }
+          return objects::Payload{};
+        }
+        return ctx.manager.invoke(next, "hop", {});
+      });
+      ids[static_cast<std::size_t>(i)] = node.objects.add_object(object);
+    }
+    traveller = cluster.node(0).kernel.spawn([this, first = ids[1]] {
+      (void)cluster.node(0).objects.invoke(first, "hop", {});
+    });
+    while (!arrived.load()) std::this_thread::sleep_for(1ms);
+  }
+
+  ~ChainWorld() {
+    release = true;
+    cluster.node(0).kernel.join_thread(traveller, 60s);
+  }
+
+  runtime::Cluster cluster;
+  ThreadId traveller;
+  int last_index = 0;
+  std::atomic<bool> arrived{false};
+  std::atomic<bool> release{false};
+};
+
+void run_locate_bench(benchmark::State& state, kernel::LocatorKind kind,
+                      int hops) {
+  const int n = static_cast<int>(state.range(0));
+  ChainWorld world(n, hops);
+  auto& net = world.cluster.network();
+  auto& kernel0 = world.cluster.node(0).kernel;
+  const NodeId expect =
+      world.cluster.node(static_cast<std::size_t>(world.last_index)).id;
+
+  net.reset_stats();
+  kernel0.reset_stats();
+  long located = 0;
+  for (auto _ : state) {
+    auto result = kernel0.locate(world.traveller, kind);
+    if (!result.is_ok() || result.value() != expect) {
+      state.SkipWithError(
+          ("locate failed: " + result.status().to_string()).c_str());
+      break;
+    }
+    located++;
+  }
+  if (located > 0) {
+    const auto stats = net.stats();
+    state.counters["msgs/locate"] = benchmark::Counter(
+        static_cast<double>(stats.sent + stats.fanout_messages) /
+        static_cast<double>(located));
+    state.counters["probes/locate"] = benchmark::Counter(
+        static_cast<double>(kernel0.stats().locate_probes_sent) /
+        static_cast<double>(located));
+  }
+}
+
+// --- deep trail: hops = n-1 (path length scales with the sweep) ---------------
+
+void BM_Locate_Broadcast_DeepTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kBroadcast,
+                   static_cast<int>(state.range(0)) - 1);
+}
+void BM_Locate_PathFollow_DeepTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kPathFollow,
+                   static_cast<int>(state.range(0)) - 1);
+}
+void BM_Locate_Multicast_DeepTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kMulticast,
+                   static_cast<int>(state.range(0)) - 1);
+}
+
+BENCHMARK(BM_Locate_Broadcast_DeepTrail)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Locate_PathFollow_DeepTrail)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Locate_Multicast_DeepTrail)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+
+// --- fixed trail (3 hops): cluster size scales around a nearby thread ---------
+
+void BM_Locate_Broadcast_FixedTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kBroadcast, 3);
+}
+void BM_Locate_PathFollow_FixedTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kPathFollow, 3);
+}
+void BM_Locate_Multicast_FixedTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kMulticast, 3);
+}
+
+BENCHMARK(BM_Locate_Broadcast_FixedTrail)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Locate_PathFollow_FixedTrail)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Locate_Multicast_FixedTrail)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

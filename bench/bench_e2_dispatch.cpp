@@ -1,0 +1,57 @@
+// E2 — object-event dispatch: master handler thread vs thread-per-event
+// (§4.3, §7: "To reduce thread-creation costs, it is preferable to employ a
+// master handler thread on behalf of a passive object").
+//
+// Burst sizes {1, 8, 64, 512} of PING-class events are raised at a passive
+// object; the benchmark measures time until every event has been handled.
+// Expected shape: kMasterThread wins and the gap grows with burst size (one
+// OS thread creation per event vs zero).
+#include "bench_util.hpp"
+
+namespace doct::bench {
+namespace {
+
+void run_dispatch_bench(benchmark::State& state,
+                        events::ObjectDispatchMode mode) {
+  runtime::ClusterConfig config;
+  config.node.events.dispatch_mode = mode;
+  runtime::Cluster cluster(1, config);
+  auto& n0 = cluster.node(0);
+
+  auto counter = std::make_shared<std::atomic<long>>(0);
+  const ObjectId oid =
+      n0.objects.add_object(make_counting_object("E2_EVENT", counter));
+  const EventId event = cluster.registry().register_event("E2_EVENT");
+
+  const long burst = state.range(0);
+  for (auto _ : state) {
+    const long start = counter->load();
+    for (long i = 0; i < burst; ++i) {
+      if (!n0.events.raise(event, oid).is_ok()) {
+        state.SkipWithError("raise failed");
+        return;
+      }
+    }
+    spin_until(*counter, start + burst);
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+
+void BM_Dispatch_MasterThread(benchmark::State& state) {
+  run_dispatch_bench(state, events::ObjectDispatchMode::kMasterThread);
+}
+void BM_Dispatch_ThreadPerEvent(benchmark::State& state) {
+  run_dispatch_bench(state, events::ObjectDispatchMode::kThreadPerEvent);
+}
+
+BENCHMARK(BM_Dispatch_MasterThread)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Dispatch_ThreadPerEvent)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

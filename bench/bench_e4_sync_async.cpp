@@ -1,0 +1,86 @@
+// E4 — raiser-side cost of synchronous vs asynchronous raising (§3, §5.3).
+//
+// "If raising the event causes the signaling thread to block until it is
+//  explicitly resumed by a handler, it is termed a synchronous notification.
+//  If the thread raises the event but does not block, it is termed an
+//  asynchronous notification."
+//
+// raise() returns once the notice is accepted for delivery (the raiser does
+// not block on handling); raise_and_wait() blocks through delivery, handler
+// execution, and resume.  Swept over 1..16 concurrent raisers to show how
+// the sync round trip serializes against the target's delivery points.
+#include "bench_util.hpp"
+
+#include "events/event_system.hpp"
+
+namespace doct::bench {
+namespace {
+
+struct E4World {
+  E4World() : cluster(2) {
+    group = cluster.node(0).kernel.create_group();
+    cluster.procedures().register_procedure(
+        "e4", [this](events::PerThreadCallCtx&) {
+          handled.fetch_add(1);
+          return kernel::Verdict::kResume;
+        });
+    event = cluster.registry().register_event("E4_EVENT");
+    targets = std::make_unique<TargetGroup>(cluster.node(1), group, 8, [this] {
+      cluster.node(1).events.attach_handler(event, "e4", events::OWN_CONTEXT);
+    });
+  }
+  ~E4World() {
+    targets->join(cluster.node(1));
+  }
+
+  runtime::Cluster cluster;
+  GroupId group;
+  EventId event;
+  std::unique_ptr<TargetGroup> targets;
+  std::atomic<long> handled{0};
+};
+
+E4World& world() {
+  static E4World* w = new E4World();
+  return *w;
+}
+
+// Async: each benchmark thread raises at a distinct target.
+void BM_Raise_Async(benchmark::State& state) {
+  auto& w = world();
+  const auto target =
+      w.targets->tids[static_cast<std::size_t>(state.thread_index()) %
+                      w.targets->tids.size()];
+  for (auto _ : state) {
+    if (!w.cluster.node(0).events.raise(w.event, target).is_ok()) {
+      state.SkipWithError("raise failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_Raise_Async)
+    ->Threads(1)->Threads(4)->Threads(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+// Sync: full round trip through the target's delivery point.
+void BM_RaiseAndWait_Sync(benchmark::State& state) {
+  auto& w = world();
+  const auto target =
+      w.targets->tids[static_cast<std::size_t>(state.thread_index()) %
+                      w.targets->tids.size()];
+  for (auto _ : state) {
+    auto verdict = w.cluster.node(0).events.raise_and_wait(w.event, target);
+    if (!verdict.is_ok()) {
+      state.SkipWithError("sync raise failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_RaiseAndWait_Sync)
+    ->Threads(1)->Threads(4)->Threads(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

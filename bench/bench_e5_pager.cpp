@@ -1,0 +1,132 @@
+// E5 — external pager vs kernel default pager (§6.4).
+//
+// Three fault-service paths over {64, 256, 1024} pages:
+//   * kernel DSM pager: remote read faults served by the coherence protocol
+//     (requester -> home -> owner),
+//   * user-level pager, buddy-handler path: VM_FAULT suspends the thread,
+//     the pager server object supplies the page, the thread resumes — the
+//     paper's full §6.4 machinery,
+//   * user-level pager, direct-fetch path (no logical thread): lower bound
+//     for the user pager without the event-chain cost.
+//
+// Expected shape: the kernel pager is the cheapest (one RPC round trip); the
+// buddy-handler path pays the surrogate + unscheduled invocation + install
+// RPC on top — that premium is the price of user-level control the paper
+// argues is worth paying for flexibility.
+#include "bench_util.hpp"
+
+#include "services/pager/pager.hpp"
+
+namespace doct::bench {
+namespace {
+
+constexpr std::size_t kPageSize = 4096;
+
+void BM_KernelPager_RemoteFaults(benchmark::State& state) {
+  const auto pages = static_cast<std::size_t>(state.range(0));
+  runtime::Cluster cluster(2);
+  auto& home = cluster.node(0);
+  auto& requester = cluster.node(1);
+  const SegmentId seg{700};
+  if (!home.dsm.create_segment(seg, pages).is_ok() ||
+      !requester.dsm.attach_segment(seg, home.id, pages).is_ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < pages; ++p) {
+      auto data = requester.dsm.read(seg, p * kPageSize, 8);
+      if (!data.is_ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+      benchmark::DoNotOptimize(data);
+    }
+    state.PauseTiming();
+    for (std::size_t p = 0; p < pages; ++p) requester.dsm.evict_page(seg, p);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(pages));
+  state.counters["faults"] =
+      static_cast<double>(requester.dsm.stats().read_faults);
+}
+BENCHMARK(BM_KernelPager_RemoteFaults)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+void BM_UserPager_BuddyHandler(benchmark::State& state) {
+  const auto pages = static_cast<std::size_t>(state.range(0));
+  runtime::Cluster cluster(2);
+  auto& server_node = cluster.node(0);
+  auto& fault_node = cluster.node(1);
+  const ObjectId server = server_node.objects.add_object(
+      services::PagerServer::make(server_node.rpc));
+  services::PagerClient client(fault_node.events, fault_node.objects,
+                               fault_node.dsm, fault_node.rpc);
+  const SegmentId seg{701};
+  if (!client.create_paged_segment(seg, pages, server).is_ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+
+  for (auto _ : state) {
+    std::atomic<bool> ok{true};
+    const ThreadId tid = fault_node.kernel.spawn([&] {
+      client.arm_current_thread(server);
+      for (std::size_t p = 0; p < pages; ++p) {
+        if (!fault_node.dsm.read(seg, p * kPageSize, 8).is_ok()) {
+          ok = false;
+          return;
+        }
+      }
+    });
+    fault_node.kernel.join_thread(tid, std::chrono::minutes(2));
+    if (!ok.load()) {
+      state.SkipWithError("fault failed");
+      return;
+    }
+    state.PauseTiming();
+    for (std::size_t p = 0; p < pages; ++p) fault_node.dsm.evict_page(seg, p);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(pages));
+}
+BENCHMARK(BM_UserPager_BuddyHandler)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+void BM_UserPager_DirectFetch(benchmark::State& state) {
+  const auto pages = static_cast<std::size_t>(state.range(0));
+  runtime::Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server =
+      n0.objects.add_object(services::PagerServer::make(n0.rpc));
+  services::PagerClient client(n0.events, n0.objects, n0.dsm, n0.rpc);
+  const SegmentId seg{702};
+  if (!client.create_paged_segment(seg, pages, server).is_ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < pages; ++p) {
+      auto data = n0.dsm.read(seg, p * kPageSize, 8);
+      if (!data.is_ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+      benchmark::DoNotOptimize(data);
+    }
+    state.PauseTiming();
+    for (std::size_t p = 0; p < pages; ++p) n0.dsm.evict_page(seg, p);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(pages));
+}
+BENCHMARK(BM_UserPager_DirectFetch)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E6 — distributed ^C latency (§6.3): time from raising TERMINATE at the
+// root thread until every group member is dead and joined.
+//
+// Sweep: nodes {2, 4} x workers {2, 8, 32}.  Each worker sits inside a
+// remote object invocation (chain depth 1), so termination must traverse
+// root-handler -> group QUIT broadcast -> per-member delivery points ->
+// invocation unwind across nodes.
+//
+// Expected shape: termination time grows mildly with worker count (group
+// QUIT is a broadcast, members die in parallel) and is dominated by the
+// slowest member's delivery-point latency — not by total object count.
+#include "bench_util.hpp"
+
+#include "services/termination/termination.hpp"
+
+namespace doct::bench {
+namespace {
+
+void BM_DistributedCtrlC(benchmark::State& state) {
+  const int num_nodes = static_cast<int>(state.range(0));
+  const int num_workers = static_cast<int>(state.range(1));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::ClusterConfig config;
+    // Every worker parks inside a remote `spin` entry, occupying one RPC
+    // worker at the target node for its whole life — size the pools so all
+    // of them can be resident at once.
+    config.node.rpc.worker_threads =
+        static_cast<std::size_t>(num_workers) + 4;
+    runtime::Cluster cluster(static_cast<std::size_t>(num_nodes), config);
+    auto& n0 = cluster.node(0);
+    std::vector<std::unique_ptr<services::TerminationService>> services;
+    for (int i = 0; i < num_nodes; ++i) {
+      services.push_back(std::make_unique<services::TerminationService>(
+          cluster.node(static_cast<std::size_t>(i)).events));
+    }
+
+    // One spin object per non-root node.
+    std::atomic<int> busy{0};
+    std::vector<ObjectId> spin_objects;
+    for (int i = 1; i < num_nodes; ++i) {
+      auto& node = cluster.node(static_cast<std::size_t>(i));
+      auto object = std::make_shared<objects::PassiveObject>("spin");
+      object->define_entry("spin", [&busy, &node](objects::CallCtx&)
+                                       -> Result<objects::Payload> {
+        busy++;
+        while (true) {
+          if (!node.kernel.sleep_for(1ms).is_ok()) break;
+        }
+        return objects::Payload{};
+      });
+      services[static_cast<std::size_t>(i)]->arm_object(*object,
+                                                        [](ThreadId) {});
+      spin_objects.push_back(node.objects.add_object(object));
+    }
+
+    ThreadId root_tid;
+    std::atomic<bool> armed{false};
+    std::vector<ThreadId> workers;
+    std::mutex workers_mu;
+    const ThreadId root = n0.kernel.spawn([&] {
+      root_tid = kernel::Kernel::current()->tid();
+      services[0]->arm_current_thread();
+      for (int i = 0; i < num_workers; ++i) {
+        const ObjectId target =
+            spin_objects[static_cast<std::size_t>(i) % spin_objects.size()];
+        const ThreadId worker = n0.kernel.spawn(
+            [&n0, target] { (void)n0.objects.invoke(target, "spin", {}); });
+        std::lock_guard<std::mutex> lock(workers_mu);
+        workers.push_back(worker);
+      }
+      armed = true;
+      while (true) {
+        if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+      }
+    });
+    while (!armed.load() || busy.load() < num_workers) {
+      std::this_thread::sleep_for(1ms);
+    }
+    state.ResumeTiming();
+
+    // ^C and wait for full death.
+    services[0]->request_termination(root_tid);
+    n0.kernel.join_thread(root, std::chrono::minutes(1));
+    {
+      std::lock_guard<std::mutex> lock(workers_mu);
+      for (ThreadId worker : workers) {
+        n0.kernel.join_thread(worker, std::chrono::minutes(1));
+      }
+    }
+    state.PauseTiming();
+    // Cluster destruction outside the timed region.
+    services.clear();
+    state.ResumeTiming();
+  }
+  state.counters["workers"] = num_workers;
+  state.counters["nodes"] = num_nodes;
+}
+
+BENCHMARK(BM_DistributedCtrlC)
+    ->Args({2, 2})->Args({2, 8})->Args({2, 32})
+    ->Args({4, 2})->Args({4, 8})->Args({4, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E7 — monitoring overhead (§6.2): wall-time cost of a timer-sampled thread
+// vs an unmonitored one, across sampling periods.
+//
+// The worker performs a fixed unit of work (a sequence of interruptible
+// sleeps — i.e., delivery points, which is where sampling can preempt it).
+// Expected shape: overhead falls as the period grows; at 20ms it is noise,
+// at 2ms the handler + sample-post cost appears on every other delivery
+// point.
+#include "bench_util.hpp"
+
+#include "services/monitor/monitor.hpp"
+
+namespace doct::bench {
+namespace {
+
+constexpr int kWorkSteps = 50;
+
+void run_workload(runtime::Cluster& cluster, Duration period, bool monitored,
+                  benchmark::State& state) {
+  auto& n0 = cluster.node(0);
+  const ObjectId server =
+      n0.objects.add_object(services::MonitorServer::make());
+  for (auto _ : state) {
+    services::MonitorClient client(n0.events, n0.objects, server);
+    const ThreadId tid = n0.kernel.spawn([&] {
+      if (monitored) client.arm(period);
+      services::set_pc_marker("bench");
+      for (int i = 0; i < kWorkSteps; ++i) {
+        if (!n0.kernel.sleep_for(std::chrono::microseconds(500)).is_ok()) {
+          return;
+        }
+      }
+      if (monitored) client.disarm();
+    });
+    n0.kernel.join_thread(tid, std::chrono::minutes(1));
+  }
+}
+
+void BM_Unmonitored(benchmark::State& state) {
+  runtime::Cluster cluster(1);
+  run_workload(cluster, 1ms, false, state);
+}
+BENCHMARK(BM_Unmonitored)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+void BM_Monitored(benchmark::State& state) {
+  runtime::Cluster cluster(1);
+  run_workload(cluster, std::chrono::milliseconds(state.range(0)), true,
+               state);
+  state.counters["period_ms"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Monitored)
+    ->Arg(2)->Arg(5)->Arg(20)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

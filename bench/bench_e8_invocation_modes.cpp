@@ -1,0 +1,164 @@
+// E8 — invocation vehicles: design goal 2 of §2 says the event mechanism
+// "works identically regardless of whether the objects are invoked using RPC
+// or DSM".  This bench measures the cost of each vehicle so the semantic
+// equivalence (verified by tests) can be weighed against the performance
+// trade-off:
+//
+//   * local        — same-node procedure-call invocation (baseline),
+//   * forced RPC   — full travel machinery on one node (serialization +
+//                    adopt + delivery points, no real network distance),
+//   * remote RPC   — the thread travels to the object's node,
+//   * DSM mode     — the thread stays put; the object's state pages fault
+//                    over (first access) then hit locally (steady state).
+//
+// Sweep: nested invocation depth {1, 4}.
+#include "bench_util.hpp"
+
+namespace doct::bench {
+namespace {
+
+objects::Payload int_payload(std::int64_t v) {
+  Writer w;
+  w.put(v);
+  return std::move(w).take();
+}
+
+// Builds `depth` chained objects on `target`; entry "run" recurses through
+// the chain and returns a sum.
+ObjectId build_chain(runtime::NodeRuntime& target, int depth,
+                     objects::InvokeMode mode) {
+  ObjectId next;
+  for (int i = depth - 1; i >= 0; --i) {
+    auto object = std::make_shared<objects::PassiveObject>(
+        "e8_" + std::to_string(i));
+    const ObjectId next_copy = next;
+    object->define_entry("run", [next_copy, mode](objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+      const auto v = ctx.args.get<std::int64_t>();
+      if (!next_copy.valid()) return int_payload(v + 1);
+      auto nested = ctx.manager.invoke(next_copy, "run", int_payload(v + 1), mode);
+      return nested;
+    });
+    next = target.objects.add_object(object);
+  }
+  return next;
+}
+
+void run_invoke_bench(benchmark::State& state, bool remote,
+                      objects::InvokeMode mode) {
+  const int depth = static_cast<int>(state.range(0));
+  runtime::Cluster cluster(2);
+  auto& caller = cluster.node(0);
+  auto& target = remote ? cluster.node(1) : cluster.node(0);
+  const ObjectId head = build_chain(target, depth, mode);
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> stop{false};
+  std::atomic<long> completed{0};
+  // Drive invocations from a logical thread; the benchmark thread paces it.
+  std::atomic<long> requested{0};
+  const ThreadId driver = caller.kernel.spawn([&] {
+    while (!stop.load()) {
+      if (requested.load() > completed.load()) {
+        auto result = caller.objects.invoke(head, "run", int_payload(0), mode);
+        if (!result.is_ok()) {
+          failed = true;
+          stop = true;
+          return;
+        }
+        completed.fetch_add(1);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto _ : state) {
+    const long turn = requested.fetch_add(1) + 1;
+    while (completed.load() < turn && !failed.load()) std::this_thread::yield();
+    if (failed.load()) {
+      state.SkipWithError("invocation failed");
+      break;
+    }
+  }
+  stop = true;
+  caller.kernel.join_thread(driver, std::chrono::minutes(1));
+}
+
+void BM_Invoke_Local(benchmark::State& state) {
+  run_invoke_bench(state, false, objects::InvokeMode::kAuto);
+}
+void BM_Invoke_ForcedRpc_SameNode(benchmark::State& state) {
+  run_invoke_bench(state, false, objects::InvokeMode::kRpc);
+}
+void BM_Invoke_RemoteRpc(benchmark::State& state) {
+  run_invoke_bench(state, true, objects::InvokeMode::kRpc);
+}
+
+BENCHMARK(BM_Invoke_Local)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Invoke_ForcedRpc_SameNode)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Invoke_RemoteRpc)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+// DSM mode: counter object whose state lives in a DSM segment homed at node
+// 1; the caller on node 0 runs the entry locally and the state pages over.
+void BM_Invoke_DsmMode(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  runtime::Cluster cluster(2);
+  auto& caller = cluster.node(0);
+  auto& home = cluster.node(1);
+  const SegmentId seg{800};
+  if (!home.dsm.create_segment(seg, 4).is_ok() ||
+      !caller.dsm.attach_segment(seg, home.id, 4).is_ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+
+  // Chain of DSM-backed objects replicated on the caller.
+  ObjectId next;
+  for (int i = depth - 1; i >= 0; --i) {
+    auto object = std::make_shared<objects::PassiveObject>(
+        "e8dsm_" + std::to_string(i));
+    const ObjectId next_copy = next;
+    const auto offset = static_cast<std::size_t>(i) * 16;
+    object->define_entry("run", [next_copy, offset, &caller, seg](
+                                    objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+      auto current = caller.dsm.read(seg, offset, 8);
+      if (!current.is_ok()) return current.status();
+      Reader r(current.value());
+      const auto v = r.get<std::uint64_t>() + 1;
+      Writer w;
+      w.put(v);
+      const Status written = caller.dsm.write(seg, offset, std::move(w).take());
+      if (!written.is_ok()) return written;
+      if (!next_copy.valid()) return objects::Payload{};
+      return ctx.manager.invoke(next_copy, "run", {}, objects::InvokeMode::kDsm);
+    });
+    const ObjectId oid = home.objects.make_object_id();
+    // Register at the HOME (canonical) and replicate at the caller.
+    caller.objects.add_replica(oid, object);
+    next = oid;
+  }
+  const ObjectId head = next;
+
+  for (auto _ : state) {
+    auto result = caller.objects.invoke(head, "run", {},
+                                        objects::InvokeMode::kDsm);
+    if (!result.is_ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      break;
+    }
+  }
+  state.counters["dsm_faults"] = static_cast<double>(
+      caller.dsm.stats().read_faults + caller.dsm.stats().write_faults);
+}
+BENCHMARK(BM_Invoke_DsmMode)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// T1 — the paper's §5.3 addressing/blocking table.
+//
+// | raise(e,tid)           | thread tid                        |
+// | raise(e,gtid)          | threads in group gtid             |
+// | raise(e,oid)           | object oid                        |
+// | raise_and_wait(e,tid)  | thread tid, synchronously         |
+// | raise_and_wait(e,gtid) | group gtid, synchronously         |
+// | raise_and_wait(e,oid)  | object oid, synchronously         |
+//
+// Setup: 4-node cluster, a group of 8 target threads spread over nodes 1-2,
+// a passive object on node 3, raiser on node 0.  Each benchmark measures one
+// row.  Async rows measure time-to-accepted (delivery is asynchronous);
+// sync rows measure raise -> handler -> resume round trip.  Thread targets
+// poll every ~1ms, so sync rows include that cooperative-delivery wait —
+// that IS the cost model of delivery-point-based notification.
+#include "bench_util.hpp"
+
+#include "events/event_system.hpp"
+
+namespace doct::bench {
+namespace {
+
+struct T1World {
+  T1World() : cluster(4) {
+    auto& raiser_node = cluster.node(0);
+    group = raiser_node.kernel.create_group();
+    counter = std::make_shared<std::atomic<long>>(0);
+    object_id = cluster.node(3).objects.add_object(
+        make_counting_object("T1_EVENT", counter));
+    event = cluster.registry().register_event("T1_EVENT");
+    // Every target thread attaches a cheap per-thread handler at spawn so
+    // deliveries are actually handled and sync raises are resumed by the
+    // handler's completion.
+    cluster.procedures().register_procedure(
+        "t1_handler", [this](events::PerThreadCallCtx&) {
+          handled.fetch_add(1);
+          return kernel::Verdict::kResume;
+        });
+    const auto attach1 = [this] {
+      cluster.node(1).events.attach_handler(event, "t1_handler", events::OWN_CONTEXT);
+    };
+    const auto attach2 = [this] {
+      cluster.node(2).events.attach_handler(event, "t1_handler", events::OWN_CONTEXT);
+    };
+    targets1 = std::make_unique<TargetGroup>(cluster.node(1), group, 4, attach1);
+    targets2 = std::make_unique<TargetGroup>(cluster.node(2), group, 4, attach2);
+  }
+
+  ~T1World() {
+    targets1->join(cluster.node(1));
+    targets2->join(cluster.node(2));
+  }
+
+  runtime::Cluster cluster;
+  GroupId group;
+  std::unique_ptr<TargetGroup> targets1, targets2;
+  std::shared_ptr<std::atomic<long>> counter;
+  std::atomic<long> handled{0};
+  ObjectId object_id;
+  EventId event;
+};
+
+T1World& world() {
+  static T1World* w = new T1World();  // leaked deliberately: benchmark exit order
+  return *w;
+}
+
+void BM_Row1_Raise_Thread(benchmark::State& state) {
+  auto& w = world();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ThreadId target = w.targets1->tids[i++ % w.targets1->tids.size()];
+    benchmark::DoNotOptimize(w.cluster.node(0).events.raise(w.event, target));
+  }
+}
+BENCHMARK(BM_Row1_Raise_Thread)->Unit(benchmark::kMicrosecond);
+
+void BM_Row2_Raise_Group(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.cluster.node(0).events.raise(w.event, w.group));
+  }
+}
+BENCHMARK(BM_Row2_Raise_Group)->Unit(benchmark::kMicrosecond);
+
+void BM_Row3_Raise_Object(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.cluster.node(0).events.raise(w.event, w.object_id));
+  }
+  state.counters["handled"] = static_cast<double>(w.counter->load());
+}
+BENCHMARK(BM_Row3_Raise_Object)->Unit(benchmark::kMicrosecond);
+
+void BM_Row4_RaiseAndWait_Thread(benchmark::State& state) {
+  auto& w = world();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ThreadId target = w.targets2->tids[i++ % w.targets2->tids.size()];
+    auto verdict = w.cluster.node(0).events.raise_and_wait(w.event, target);
+    if (!verdict.is_ok()) state.SkipWithError("sync raise failed");
+  }
+}
+BENCHMARK(BM_Row4_RaiseAndWait_Thread)->Unit(benchmark::kMicrosecond);
+
+void BM_Row5_RaiseAndWait_Group(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    auto verdict = w.cluster.node(0).events.raise_and_wait(w.event, w.group);
+    if (!verdict.is_ok()) state.SkipWithError("sync group raise failed");
+  }
+}
+BENCHMARK(BM_Row5_RaiseAndWait_Group)->Unit(benchmark::kMicrosecond);
+
+void BM_Row6_RaiseAndWait_Object(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    auto verdict =
+        w.cluster.node(0).events.raise_and_wait(w.event, w.object_id);
+    if (!verdict.is_ok()) state.SkipWithError("sync object raise failed");
+  }
+}
+BENCHMARK(BM_Row6_RaiseAndWait_Object)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

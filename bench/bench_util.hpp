@@ -1,0 +1,72 @@
+// Shared helpers for the benchmark harness.  Each bench binary regenerates
+// one experiment from DESIGN.md §5 (the paper has no quantitative evaluation;
+// these benches cover the §5.3 table plus every qualitative performance claim
+// — see EXPERIMENTS.md for the measured results and expected shapes).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace doct::bench {
+
+using namespace std::chrono_literals;
+
+// Spawns `count` threads in one group that sleep-poll until released; they
+// are responsive event targets (delivery points every ~1ms).
+struct TargetGroup {
+  // `setup` (optional) runs inside each thread before it starts polling —
+  // use it to attach handlers.
+  TargetGroup(runtime::NodeRuntime& node, GroupId group, int count,
+              std::function<void()> setup = {}) {
+    for (int i = 0; i < count; ++i) {
+      kernel::SpawnOptions options;
+      options.group = group;
+      tids.push_back(node.kernel.spawn(
+          [this, &node, setup] {
+            if (setup) setup();
+            ready.fetch_add(1);
+            while (!release.load()) {
+              if (!node.kernel.sleep_for(1ms).is_ok()) return;
+            }
+          },
+          options));
+    }
+    while (ready.load() < count) std::this_thread::sleep_for(1ms);
+  }
+
+  void join(runtime::NodeRuntime& node) {
+    release = true;
+    for (ThreadId tid : tids) node.kernel.join_thread(tid, 30s);
+  }
+
+  std::vector<ThreadId> tids;
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+};
+
+// A passive object whose handler for `event_name` counts deliveries.
+inline std::shared_ptr<objects::PassiveObject> make_counting_object(
+    const std::string& event_name, std::shared_ptr<std::atomic<long>> counter) {
+  auto object = std::make_shared<objects::PassiveObject>("bench_object");
+  object->define_entry(
+      "on_event",
+      [counter](objects::CallCtx&) -> Result<objects::Payload> {
+        counter->fetch_add(1);
+        return objects::Payload{
+            static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+      },
+      objects::Visibility::kPrivate);
+  object->define_handler(event_name, "on_event");
+  return object;
+}
+
+inline void spin_until(const std::atomic<long>& counter, long target) {
+  while (counter.load() < target) std::this_thread::yield();
+}
+
+}  // namespace doct::bench

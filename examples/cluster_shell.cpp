@@ -1,0 +1,251 @@
+// cluster_shell — an interactive (or scripted) driver for a DO/CT cluster.
+//
+// Reads commands from stdin; useful for poking at the event facility by
+// hand and as a scriptable smoke test:
+//
+//   nodes                          list nodes
+//   spawn <node> [event...]        spawn a polling worker; it attaches a
+//                                  logging OWN_CONTEXT handler for each
+//                                  listed (registered) event
+//   threads <node>                 list threads present at a node
+//   object <node>                  create a counting object
+//   invoke <oid> <delta>           invoke counter.add through a fresh thread
+//   register <name>                register a user event
+//   raise <event> thread <tid>     raise at a thread
+//   raise <event> group <gid>      raise at a group
+//   raise <event> object <oid>     raise at an object
+//   locate <tid> [bcast|path|mcast]
+//   terminate <tid>
+//   stats <node>
+//   quit
+//
+// Example session:  printf 'spawn 1\nraise TERMINATE thread <tid>\nquit\n' |
+//                   ./build/examples/cluster_shell
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Shell {
+  explicit Shell(std::size_t nodes) : cluster(nodes) {
+    cluster.procedures().register_procedure(
+        "shell_log", [](events::PerThreadCallCtx& ctx) {
+          std::cout << "  [handler] " << ctx.block.event_name() << " at "
+                    << ctx.thread.tid().to_string() << " on "
+                    << ctx.thread.node().to_string() << "\n";
+          return kernel::Verdict::kResume;
+        });
+  }
+
+  runtime::NodeRuntime* node_by_number(std::uint64_t n) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (cluster.node(i).id.value() == n) return &cluster.node(i);
+    }
+    return nullptr;
+  }
+
+  runtime::NodeRuntime& any_node() { return cluster.node(0); }
+
+  EventId event_by_name(const std::string& name) {
+    auto found = cluster.registry().lookup(name);
+    return found.is_ok() ? found.value() : EventId{};
+  }
+
+  runtime::Cluster cluster;
+};
+
+void handle_command(Shell& shell, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return;
+
+  if (cmd == "nodes") {
+    for (NodeId id : shell.cluster.network().nodes()) {
+      std::cout << "  " << id.to_string() << "\n";
+    }
+  } else if (cmd == "spawn") {
+    std::uint64_t n = 1;
+    in >> n;
+    auto* node = shell.node_by_number(n);
+    if (node == nullptr) {
+      std::cout << "  no such node\n";
+      return;
+    }
+    std::vector<EventId> to_handle;
+    std::string event_name;
+    while (in >> event_name) {
+      const EventId event = shell.event_by_name(event_name);
+      if (event.valid()) {
+        to_handle.push_back(event);
+      } else {
+        std::cout << "  (skipping unknown event " << event_name << ")\n";
+      }
+    }
+    const ThreadId tid = node->kernel.spawn([node, to_handle] {
+      for (EventId event : to_handle) {
+        node->events.attach_handler(event, "shell_log", events::OWN_CONTEXT);
+      }
+      while (true) {
+        if (!node->kernel.sleep_for(1ms).is_ok()) return;
+      }
+    });
+    std::cout << "  spawned " << tid.to_string();
+    if (!to_handle.empty()) {
+      std::cout << " handling " << to_handle.size() << " event(s)";
+    }
+    std::cout << "\n";
+  } else if (cmd == "threads") {
+    std::uint64_t n = 1;
+    in >> n;
+    auto* node = shell.node_by_number(n);
+    if (node == nullptr) {
+      std::cout << "  no such node\n";
+      return;
+    }
+    for (ThreadId tid : node->kernel.local_threads()) {
+      std::cout << "  " << tid.to_string() << "\n";
+    }
+  } else if (cmd == "object") {
+    std::uint64_t n = 1;
+    in >> n;
+    auto* node = shell.node_by_number(n);
+    if (node == nullptr) {
+      std::cout << "  no such node\n";
+      return;
+    }
+    auto counter = std::make_shared<std::atomic<std::int64_t>>(0);
+    auto object = std::make_shared<objects::PassiveObject>("shell_counter");
+    object->define_entry("add", [counter](objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+      *counter += ctx.args.get<std::int64_t>();
+      Writer w;
+      w.put(counter->load());
+      return std::move(w).take();
+    });
+    object->define_entry(
+        "on_event",
+        [](objects::CallCtx& ctx) -> Result<objects::Payload> {
+          events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+          std::cout << "  [object handler] " << block.event_name() << "\n";
+          return objects::Payload{};
+        },
+        objects::Visibility::kPrivate);
+    object->define_handler("PING", "on_event");
+    std::cout << "  created " << node->objects.add_object(object).to_string()
+              << " (entries: add; handles PING)\n";
+  } else if (cmd == "invoke") {
+    std::uint64_t oid_raw = 0;
+    std::int64_t delta = 1;
+    in >> oid_raw >> delta;
+    auto& node = shell.any_node();
+    const ObjectId oid{oid_raw};
+    const ThreadId tid = node.kernel.spawn([&node, oid, delta] {
+      Writer w;
+      w.put(delta);
+      auto result = node.objects.invoke(oid, "add", std::move(w).take());
+      if (result.is_ok()) {
+        Reader r(result.value());
+        std::cout << "  counter = " << r.get<std::int64_t>() << "\n";
+      } else {
+        std::cout << "  invoke failed: " << result.status().to_string() << "\n";
+      }
+    });
+    node.kernel.join_thread(tid, 30s);
+  } else if (cmd == "register") {
+    std::string name;
+    in >> name;
+    std::cout << "  "
+              << shell.cluster.registry().register_event(name).to_string()
+              << " = " << name << "\n";
+  } else if (cmd == "raise") {
+    std::string event_name, kind;
+    std::uint64_t target = 0;
+    in >> event_name >> kind >> target;
+    const EventId event = shell.event_by_name(event_name);
+    if (!event.valid()) {
+      std::cout << "  unknown event " << event_name << "\n";
+      return;
+    }
+    auto& node = shell.any_node();
+    Status status;
+    if (kind == "thread") {
+      status = node.events.raise(event, ThreadId{target});
+    } else if (kind == "group") {
+      status = node.events.raise(event, GroupId{target});
+    } else if (kind == "object") {
+      status = node.events.raise(event, ObjectId{target});
+    } else {
+      std::cout << "  raise <event> thread|group|object <id>\n";
+      return;
+    }
+    std::cout << "  " << status.to_string() << "\n";
+  } else if (cmd == "locate") {
+    std::uint64_t tid_raw = 0;
+    std::string strategy = "path";
+    in >> tid_raw >> strategy;
+    kernel::LocatorKind kind = kernel::LocatorKind::kPathFollow;
+    if (strategy == "bcast") kind = kernel::LocatorKind::kBroadcast;
+    if (strategy == "mcast") kind = kernel::LocatorKind::kMulticast;
+    auto located = shell.any_node().kernel.locate(ThreadId{tid_raw}, kind);
+    std::cout << "  "
+              << (located.is_ok() ? located.value().to_string()
+                                  : located.status().to_string())
+              << "\n";
+  } else if (cmd == "terminate") {
+    std::uint64_t tid_raw = 0;
+    in >> tid_raw;
+    std::cout << "  "
+              << shell.any_node()
+                     .events.raise(events::sys::kTerminate, ThreadId{tid_raw})
+                     .to_string()
+              << "\n";
+  } else if (cmd == "stats") {
+    std::uint64_t n = 1;
+    in >> n;
+    auto* node = shell.node_by_number(n);
+    if (node == nullptr) {
+      std::cout << "  no such node\n";
+      return;
+    }
+    const auto k = node->kernel.stats();
+    const auto e = node->events.stats();
+    std::cout << "  threads: spawned=" << k.threads_spawned
+              << " terminated=" << k.threads_terminated
+              << " migrations in/out=" << k.migrations_in << "/"
+              << k.migrations_out << "\n";
+    std::cout << "  events: async=" << e.raises_async
+              << " sync=" << e.raises_sync
+              << " thread_handlers=" << e.thread_handlers_run
+              << " object_handlers=" << e.object_handlers_run
+              << " defaults=" << e.defaults_applied << "\n";
+  } else if (cmd == "help") {
+    std::cout << "  commands: nodes spawn threads object invoke register"
+                 " raise locate terminate stats quit\n";
+  } else {
+    std::cout << "  unknown command '" << cmd << "' (try help)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 3;
+  Shell shell(nodes);
+  std::cout << "doct cluster shell — " << nodes
+            << " nodes up; type 'help' for commands\n";
+  std::string line;
+  while (std::cout << "> " && std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    handle_command(shell, line);
+  }
+  std::cout << "shutting down\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// The "distributed ^C problem" (§6.3), end to end.
+//
+// A distributed application: a root thread on node 1 spawns three workers;
+// each worker invokes a service object on another node and computes there.
+// The objects are shared — an unrelated application's thread also works
+// inside one of them.  A simulated ^C raises TERMINATE at the root thread:
+//
+//   * the root's TERMINATE handler aborts the top-level invocation chain
+//     (ABORT events reach every object on it, which run cleanup) and raises
+//     QUIT at the thread group,
+//   * every group member aborts its own chain and terminates,
+//   * the unrelated application is untouched.
+//
+// Build & run:  ./build/examples/distributed_ctrl_c
+#include <atomic>
+#include <iostream>
+
+#include "runtime/runtime.hpp"
+#include "services/termination/termination.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+int main() {
+  runtime::Cluster cluster(3);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  auto& n2 = cluster.node(2);
+
+  services::TerminationService term0(n0.events);
+  services::TerminationService term1(n1.events);
+  services::TerminationService term2(n2.events);
+
+  // Service objects on nodes 2 and 3, armed for ABORT cleanup.
+  std::atomic<int> cleanups{0};
+  std::atomic<int> busy{0};
+  auto make_service = [&](services::TerminationService& term,
+                          const std::string& label) {
+    auto object = std::make_shared<objects::PassiveObject>(label);
+    object->define_entry("compute", [&, label](objects::CallCtx& ctx)
+                                        -> Result<objects::Payload> {
+      busy++;
+      std::cout << "  [" << label << "] thread "
+                << ctx.thread->tid().to_string() << " computing...\n";
+      while (true) {
+        if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+      }
+      std::cout << "  [" << label << "] invocation unwound\n";
+      return objects::Payload{};
+    });
+    term.arm_object(*object, [&, label](ThreadId tid) {
+      cleanups++;
+      std::cout << "  [" << label << "] ABORT cleanup for "
+                << tid.to_string() << " (closing channels, freeing locks)\n";
+    });
+    return object;
+  };
+  const ObjectId svc_a = n1.objects.add_object(make_service(term1, "service_a@node2"));
+  const ObjectId svc_b = n2.objects.add_object(make_service(term2, "service_b@node3"));
+
+  // The application: root + 3 workers spread over both services.
+  ThreadId root_tid;
+  std::atomic<bool> armed{false};
+  std::vector<ThreadId> workers;
+  std::mutex workers_mu;
+  const ThreadId root = n0.kernel.spawn([&] {
+    root_tid = kernel::Kernel::current()->tid();
+    term0.arm_current_thread();  // TERMINATE + QUIT handlers, inherited below
+    for (int i = 0; i < 3; ++i) {
+      const ObjectId target = i % 2 == 0 ? svc_a : svc_b;
+      const ThreadId worker = n0.kernel.spawn(
+          [&, target] { (void)n0.objects.invoke(target, "compute", {}); });
+      std::lock_guard<std::mutex> lock(workers_mu);
+      workers.push_back(worker);
+    }
+    armed = true;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+
+  // The unrelated application sharing service_a's node.
+  std::atomic<bool> unrelated_done{false};
+  std::atomic<bool> unrelated_survived{false};
+  const ThreadId unrelated = n1.kernel.spawn([&] {
+    while (!unrelated_done.load()) {
+      if (!n1.kernel.sleep_for(1ms).is_ok()) return;
+    }
+    unrelated_survived = true;
+  });
+
+  while (!armed.load() || busy.load() < 3) std::this_thread::sleep_for(1ms);
+  std::cout << "application running: root + 3 workers across 3 nodes\n";
+  std::cout << "\n^C  — raising TERMINATE at the root thread "
+            << root_tid.to_string() << "\n\n";
+  term0.request_termination(root_tid);
+
+  n0.kernel.join_thread(root, 15s);
+  {
+    std::lock_guard<std::mutex> lock(workers_mu);
+    for (ThreadId worker : workers) n0.kernel.join_thread(worker, 15s);
+  }
+  for (int i = 0; i < 500 && cleanups.load() < 3; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  unrelated_done = true;
+  n1.kernel.join_thread(unrelated, 10s);
+
+  std::cout << "\nall application threads terminated; " << cleanups.load()
+            << " object cleanups ran; unrelated thread survived: "
+            << (unrelated_survived.load() ? "yes" : "NO (bug!)") << "\n";
+  return unrelated_survived.load() && cleanups.load() >= 3 ? 0 : 1;
+}

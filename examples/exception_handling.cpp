@@ -1,0 +1,89 @@
+// Two-level exception handling (§6.1).
+//
+// A worker invokes a parser object on another node.  The parser hits a
+// DIVIDE_BY_ZERO-style fault twice:
+//
+//   1. the first fault is repaired by the OBJECT's own handler (generic
+//      corrective action inside the object, §6.1 first chance);
+//   2. the object declines the second fault (kPropagate), so it escalates to
+//      the THREAD's handler — attached by the invoker at the point of
+//      invocation with caller-restricted scope (§5.2) — which terminates the
+//      computation cleanly.
+//
+// Build & run:  ./build/examples/exception_handling
+#include <atomic>
+#include <iostream>
+
+#include "runtime/runtime.hpp"
+#include "services/exceptions/exceptions.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+int main() {
+  runtime::Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  services::ExceptionFacility facility0(n0.events);
+  services::ExceptionFacility facility1(n1.events);
+
+  std::atomic<int> object_repairs{0};
+  auto parser = std::make_shared<objects::PassiveObject>("parser");
+  parser->define_entry(
+      "fix",
+      [&](objects::CallCtx&) -> Result<objects::Payload> {
+        if (object_repairs.fetch_add(1) == 0) {
+          std::cout << "  [parser] object handler repaired the fault\n";
+          return objects::Payload{
+              static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+        }
+        std::cout << "  [parser] object handler declines; propagating to the"
+                     " thread's chain\n";
+        return objects::Payload{
+            static_cast<std::uint8_t>(kernel::Verdict::kPropagate)};
+      },
+      objects::Visibility::kPrivate);
+  parser->define_handler("DIVIDE_BY_ZERO", "fix");
+
+  parser->define_entry("parse", [&](objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+    for (int record = 1; record <= 2; ++record) {
+      std::cout << "  [parser] record " << record << ": fault!\n";
+      auto verdict = facility1.raise(events::sys::kDivideByZero, ctx.self,
+                                     "pc=0xbeef record=" + std::to_string(record));
+      if (!verdict.is_ok()) return verdict.status();
+      if (verdict.value() == kernel::Verdict::kTerminate) {
+        return Status{StatusCode::kTerminated, "computation aborted"};
+      }
+    }
+    return objects::Payload{};
+  });
+  const ObjectId parser_id = n1.objects.add_object(parser);
+
+  cluster.procedures().register_procedure(
+      "invoker_handler", [](events::PerThreadCallCtx& ctx) {
+        std::cout << "  [invoker handler] second fault reached the thread "
+                  << ctx.thread.tid().to_string()
+                  << "; terminating the computation\n";
+        return kernel::Verdict::kTerminate;
+      });
+
+  std::atomic<bool> saw_terminate{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    // §5.2 pattern: the calling thread attaches the handler at the point of
+    // invocation; the RAII guard restricts its scope to this call.
+    services::ScopedHandler guard(n0.events, events::sys::kDivideByZero,
+                                  "invoker_handler", events::OWN_CONTEXT);
+    std::cout << "invoking parser with exception handler attached...\n";
+    auto result = n0.objects.invoke(parser_id, "parse", {});
+    saw_terminate = !result.is_ok() &&
+                    (result.status().code() == StatusCode::kTerminated);
+    std::cout << "invocation returned: " << result.status().to_string() << "\n";
+  });
+  n0.kernel.join_thread(tid, 30s);
+
+  std::cout << "\nobject repaired " << object_repairs.load() - 1
+            << " fault(s); escalation terminated the thread: "
+            << (saw_terminate.load() ? "yes" : "no") << "\n";
+  return object_repairs.load() == 2 && saw_terminate.load() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// User-level virtual memory manager (§6.4).
+//
+// Node 1 hosts a pager server object.  Node 2 tags a segment as user-paged
+// and designates the server as the VM_FAULT buddy handler.  A worker thread
+// touches unmapped pages: each first touch suspends the thread with a
+// synchronous VM_FAULT, the server supplies the page over the network, and
+// the thread resumes — the application has bypassed the kernel's strict DSM
+// coherence entirely.  Dirty pages are written back to the server's backing
+// store, where a third node later picks them up.
+//
+// Build & run:  ./build/examples/external_pager
+#include <iostream>
+
+#include "runtime/runtime.hpp"
+#include "services/pager/pager.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+int main() {
+  runtime::Cluster cluster(3);
+  auto& pager_node = cluster.node(0);
+  auto& worker_node = cluster.node(1);
+  auto& reader_node = cluster.node(2);
+
+  const ObjectId server =
+      pager_node.objects.add_object(services::PagerServer::make(pager_node.rpc));
+  services::PagerClient worker_pager(worker_node.events, worker_node.objects,
+                                     worker_node.dsm, worker_node.rpc);
+  services::PagerClient reader_pager(reader_node.events, reader_node.objects,
+                                     reader_node.dsm, reader_node.rpc);
+
+  const SegmentId seg{900};
+  constexpr std::size_t kPages = 8;
+  worker_pager.create_paged_segment(seg, kPages, server);
+  reader_pager.create_paged_segment(seg, kPages, server);
+  const std::size_t page_size = worker_node.dsm.page_size();
+
+  std::cout << "worker on node 2 filling " << kPages
+            << " user-paged pages (pager server on node 1)...\n";
+  const ThreadId worker = worker_node.kernel.spawn([&] {
+    worker_pager.arm_current_thread(server);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      std::vector<std::uint8_t> line(32, static_cast<std::uint8_t>('A' + p));
+      // First touch of each page raises VM_FAULT -> buddy handler -> page
+      // arrives from the server, then the write proceeds.
+      if (!worker_node.dsm.write(seg, p * page_size, line).is_ok()) return;
+      worker_pager.writeback(seg, p, server);
+    }
+  });
+  worker_node.kernel.join_thread(worker, 30s);
+
+  const auto wstats = worker_pager.stats();
+  std::cout << "worker done: " << wstats.faults_served << " faults, "
+            << wstats.pages_installed << " pages installed, "
+            << wstats.writebacks << " writebacks\n";
+
+  std::cout << "reader on node 3 faulting the same pages back in...\n";
+  int correct = 0;
+  const ThreadId reader = reader_node.kernel.spawn([&] {
+    reader_pager.arm_current_thread(server);
+    for (std::size_t p = 0; p < kPages; ++p) {
+      auto line = reader_node.dsm.read(seg, p * page_size, 32);
+      if (line.is_ok() &&
+          line.value() ==
+              std::vector<std::uint8_t>(32, static_cast<std::uint8_t>('A' + p))) {
+        correct++;
+      }
+    }
+  });
+  reader_node.kernel.join_thread(reader, 30s);
+
+  std::cout << "reader verified " << correct << "/" << kPages
+            << " pages via its own user-level pager\n";
+  return correct == static_cast<int>(kPages) ? 0 : 1;
+}

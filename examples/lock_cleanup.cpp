@@ -1,0 +1,68 @@
+// Distributed lock cleanup via handler chaining (§4.2).
+//
+// "Consider the problem of unlocking shared data items in the case of the
+//  abnormal termination of a distributed computation.  Often, it is not even
+//  possible to know of all the locks the computation has acquired..."
+//
+// A worker acquires three named locks on a lock server living on another
+// node; each acquisition chains an unlock handler onto the thread's
+// TERMINATE chain.  The worker is then killed mid-computation — and every
+// lock is released by the chained handlers, unblocking a second worker.
+//
+// Build & run:  ./build/examples/lock_cleanup
+#include <atomic>
+#include <iostream>
+
+#include "runtime/runtime.hpp"
+#include "services/locks/lock_manager.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+int main() {
+  runtime::Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  const ObjectId server = n1.objects.add_object(services::LockServer::make());
+  services::LockClient locks(n0.events, n0.objects, server);
+
+  std::atomic<bool> holding{false};
+  const ThreadId victim = n0.kernel.spawn([&] {
+    locks.acquire("customers.db");
+    locks.acquire("orders.db");
+    locks.acquire("audit.log");
+    std::cout << "  [victim] holding 3 locks; TERMINATE chain depth = "
+              << kernel::Kernel::current()->with_attributes(
+                     [](kernel::ThreadAttributes& a) {
+                       return a.handler_chain.size();
+                     })
+              << "\n";
+    holding = true;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;  // until terminated
+    }
+  });
+  while (!holding.load()) std::this_thread::sleep_for(1ms);
+
+  std::atomic<bool> contender_got_all{false};
+  const ThreadId contender = n0.kernel.spawn([&] {
+    services::LockClient my_locks(n0.events, n0.objects, server);
+    std::cout << "  [contender] waiting for the same locks...\n";
+    const bool a = my_locks.acquire("customers.db", 10s).is_ok();
+    const bool b = my_locks.acquire("orders.db", 10s).is_ok();
+    const bool c = my_locks.acquire("audit.log", 10s).is_ok();
+    contender_got_all = a && b && c;
+  });
+
+  std::this_thread::sleep_for(20ms);
+  std::cout << "killing the victim (abnormal termination)...\n";
+  n0.events.raise(events::sys::kTerminate, victim);
+
+  n0.kernel.join_thread(victim, 15s);
+  n0.kernel.join_thread(contender, 15s);
+
+  std::cout << "contender acquired all 3 locks after victim death: "
+            << (contender_got_all.load() ? "yes" : "NO (bug!)") << "\n";
+  return contender_got_all.load() ? 0 : 1;
+}

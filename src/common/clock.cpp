@@ -1,0 +1,12 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace doct {
+
+void SteadyClock::sleep_until(Duration deadline) {
+  const auto target = TimePoint{} + deadline;
+  std::this_thread::sleep_until(target);
+}
+
+}  // namespace doct

@@ -1,0 +1,71 @@
+// Clock abstraction: benches use the real steady clock; tests that exercise
+// timer events (§6.2 monitoring) use a manually advanced simulated clock so
+// timer delivery is deterministic.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace doct {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Duration now() const = 0;
+  // Blocks until the clock reaches `deadline` (real clock: sleeps; simulated
+  // clock: waits for advance()).  Returns immediately if already past.
+  virtual void sleep_until(Duration deadline) = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Duration now() const override {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+  void sleep_until(Duration deadline) override;
+};
+
+// Deterministic clock: time only moves when a test calls advance().
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] Duration now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void sleep_until(Duration deadline) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return now_ >= deadline || stopped_; });
+  }
+
+  void advance(Duration delta) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      now_ += delta;
+    }
+    cv_.notify_all();
+  }
+
+  // Releases all sleepers (used at test teardown so no thread blocks forever).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Duration now_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace doct

@@ -1,0 +1,46 @@
+// Global id allocation.  Ids are unique across the whole simulated system —
+// the paper assumes "given the unique name of a thread, it is possible to
+// find the root node" (§7.1); we encode the root node in the high bits of a
+// ThreadId so the path-following locator can recover it without a lookup.
+#pragma once
+
+#include <atomic>
+
+#include "common/ids.hpp"
+
+namespace doct {
+
+class IdGenerator {
+ public:
+  template <typename Tag>
+  [[nodiscard]] TypedId<Tag> next() {
+    return TypedId<Tag>{counter_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+  // ThreadIds carry their root node in the top 16 bits (§7.1: root node is
+  // derivable from the unique thread name).
+  [[nodiscard]] ThreadId next_thread_id(NodeId root) {
+    const auto seq = counter_.fetch_add(1, std::memory_order_relaxed);
+    return ThreadId{(root.value() << 48) | (seq & 0xFFFFFFFFFFFFULL)};
+  }
+
+  [[nodiscard]] static NodeId thread_root_node(ThreadId tid) {
+    return NodeId{tid.value() >> 48};
+  }
+
+  // ObjectIds carry their creating node the same way; objects do not migrate,
+  // so the creating node is also the hosting node.
+  [[nodiscard]] ObjectId next_object_id(NodeId creator) {
+    const auto seq = counter_.fetch_add(1, std::memory_order_relaxed);
+    return ObjectId{(creator.value() << 48) | (seq & 0xFFFFFFFFFFFFULL)};
+  }
+
+  [[nodiscard]] static NodeId object_home_node(ObjectId oid) {
+    return NodeId{oid.value() >> 48};
+  }
+
+ private:
+  std::atomic<std::uint64_t> counter_{1};  // 0 is the invalid id
+};
+
+}  // namespace doct

@@ -1,0 +1,90 @@
+// Strongly typed identifiers for the DO/CT environment.
+//
+// The paper's model names four kinds of addressable entities: nodes, logical
+// threads (which span nodes), thread groups, and passive objects.  Events are
+// also named entities (EventId).  Using distinct wrapper types prevents the
+// classic bug of passing a thread id where an object id is expected — the
+// raise() table in §5.3 dispatches on the *static* type of the destination.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace doct {
+
+// CRTP-free tagged id: each Tag instantiates an unrelated type.
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(TypedId, TypedId) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(Tag::prefix) + ":" + std::to_string(value_);
+  }
+
+  static constexpr underlying_type kInvalid = 0;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TypedId<Tag> id) {
+  return os << id.to_string();
+}
+
+struct NodeTag {
+  static constexpr const char* prefix = "node";
+};
+struct ThreadTag {
+  static constexpr const char* prefix = "thr";
+};
+struct GroupTag {
+  static constexpr const char* prefix = "grp";
+};
+struct ObjectTag {
+  static constexpr const char* prefix = "obj";
+};
+struct EventTag {
+  static constexpr const char* prefix = "evt";
+};
+struct SegmentTag {
+  static constexpr const char* prefix = "seg";
+};
+struct HandlerTag {
+  static constexpr const char* prefix = "hdl";
+};
+struct CallTag {
+  static constexpr const char* prefix = "call";
+};
+
+using NodeId = TypedId<NodeTag>;
+using ThreadId = TypedId<ThreadTag>;
+using GroupId = TypedId<GroupTag>;
+using ObjectId = TypedId<ObjectTag>;
+using EventId = TypedId<EventTag>;
+using SegmentId = TypedId<SegmentTag>;   // DSM segment
+using HandlerId = TypedId<HandlerTag>;   // a single attached handler
+using CallId = TypedId<CallTag>;         // RPC correlation id
+
+}  // namespace doct
+
+namespace std {
+template <typename Tag>
+struct hash<doct::TypedId<Tag>> {
+  size_t operator()(doct::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace doct::log_internal {
+
+std::atomic<int>& global_level() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kOff)};
+  return level;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace doct::log_internal

@@ -1,0 +1,52 @@
+// Tiny leveled logger.  Off by default (benches must not pay for logging);
+// tests and examples turn it on per-severity.  Thread-safe: one global sink
+// behind a mutex, messages are formatted before the lock is taken.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace doct {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_internal {
+std::atomic<int>& global_level();
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_internal
+
+inline void set_log_level(LogLevel level) {
+  log_internal::global_level().store(static_cast<int>(level),
+                                     std::memory_order_relaxed);
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_internal::global_level().load(std::memory_order_relaxed);
+}
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_internal::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace doct
+
+#define DOCT_LOG(level)                         \
+  if (!::doct::log_enabled(::doct::LogLevel::level)) { \
+  } else                                        \
+    ::doct::LogLine(::doct::LogLevel::level)

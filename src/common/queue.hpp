@@ -1,0 +1,86 @@
+// Closable blocking MPMC queue.  The workhorse of the simulated kernel: node
+// mailboxes, master-handler work queues and carrier-thread run queues are all
+// instances.  close() wakes all waiters so shutdown never hangs (CP.42: wait
+// only with a condition; CP.26: threads are always joined after their queue
+// closes).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace doct {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // Returns false if the queue is closed (item is dropped).
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Push to the front — used for high-priority control events (TERMINATE
+  // should overtake queued user events).
+  bool push_front(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_front(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed *and drained*.
+  // nullopt means closed-and-empty: the consumer should exit.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace doct

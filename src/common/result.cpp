@@ -1,0 +1,45 @@
+#include "common/result.hpp"
+
+namespace doct {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kUnknownEvent:
+      return "UNKNOWN_EVENT";
+    case StatusCode::kDeadTarget:
+      return "DEAD_TARGET";
+    case StatusCode::kNoSuchThread:
+      return "NO_SUCH_THREAD";
+    case StatusCode::kNoSuchObject:
+      return "NO_SUCH_OBJECT";
+    case StatusCode::kNoSuchNode:
+      return "NO_SUCH_NODE";
+    case StatusCode::kNoSuchGroup:
+      return "NO_SUCH_GROUP";
+    case StatusCode::kNoHandler:
+      return "NO_HANDLER";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kPartitioned:
+      return "PARTITIONED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kTerminated:
+      return "TERMINATED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace doct

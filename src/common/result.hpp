@@ -1,0 +1,108 @@
+// Status / Result error-handling vocabulary used across every layer.
+//
+// The kernel boundary of a 1993 OS reported errors as codes; we keep that
+// flavour (callers of raise()/locate()/invoke() want to branch on *why* a
+// request failed — dead target, unknown event, partitioned node) while giving
+// it a modern value-semantics shape.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace doct {
+
+enum class StatusCode {
+  kOk = 0,
+  kUnknownEvent,      // event name never registered (§3: naming)
+  kDeadTarget,        // thread destroyed before delivery (§7, fault-tolerance)
+  kNoSuchThread,      // locator could not find the thread
+  kNoSuchObject,
+  kNoSuchNode,
+  kNoSuchGroup,
+  kNoHandler,         // no handler attached and no default action
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,  // e.g. invoking a private handler entry point (§5.1)
+  kTimeout,
+  kPartitioned,       // destination unreachable in the simulated network
+  kAborted,           // invocation aborted by ABORT event (§6.3)
+  kTerminated,        // thread terminated by handler verdict
+  kResourceExhausted,
+  kInternal,
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(storage_).is_ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const {
+    return std::holds_alternative<T>(storage_);
+  }
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(storage_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace doct

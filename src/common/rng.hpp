@@ -1,0 +1,34 @@
+// SplitMix64: small, fast, seedable RNG for deterministic workload generation
+// in tests and benches.  Not for cryptography.
+#pragma once
+
+#include <cstdint>
+
+namespace doct {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double probability) { return uniform() < probability; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace doct

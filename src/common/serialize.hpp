@@ -1,0 +1,134 @@
+// Minimal byte-buffer serialization used by the net/rpc layers and by the
+// persistent object store.
+//
+// Messages in the simulated network are real byte vectors — thread attributes,
+// event blocks and invocation arguments are marshalled and unmarshalled at
+// node boundaries exactly as they would be on the wire, so "the state of the
+// client is visible to the server" property (§3.1 Thread Contexts) is
+// exercised through genuine serialization rather than shared pointers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace doct {
+
+class Writer {
+ public:
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  void put(T value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  template <typename Tag>
+  void put(TypedId<Tag> id) {
+    put(id.value());
+  }
+
+  void put(const std::string& s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void put(const std::vector<std::uint8_t>& v) {
+    put(static_cast<std::uint32_t>(v.size()));
+    buffer_.insert(buffer_.end(), v.begin(), v.end());
+  }
+
+  void put(bool b) { put(static_cast<std::uint8_t>(b ? 1 : 0)); }
+
+  template <typename K, typename V>
+  void put(const std::map<K, V>& m) {
+    put(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      put(k);
+      put(v);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buffer_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class DeserializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  template <typename T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  [[nodiscard]] T get() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename Tag>
+  [[nodiscard]] TypedId<Tag> get_id() {
+    return TypedId<Tag>{get<typename TypedId<Tag>::underlying_type>()};
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const auto size = get<std::uint32_t>();
+    require(size);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
+    const auto size = get<std::uint32_t>();
+    require(size);
+    std::vector<std::uint8_t> v(bytes_.begin() + static_cast<long>(pos_),
+                                bytes_.begin() + static_cast<long>(pos_ + size));
+    pos_ += size;
+    return v;
+  }
+
+  [[nodiscard]] bool get_bool() { return get<std::uint8_t>() != 0; }
+
+  [[nodiscard]] std::map<std::string, std::string> get_string_map() {
+    const auto size = get<std::uint32_t>();
+    std::map<std::string, std::string> m;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      auto k = get_string();
+      m.emplace(std::move(k), get_string());
+    }
+    return m;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw DeserializeError("buffer underrun: need " + std::to_string(n) +
+                             " bytes, have " + std::to_string(bytes_.size() - pos_));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace doct

@@ -1,0 +1,51 @@
+// Fixed-size worker pool.  RPC servers and master handler threads execute
+// work here so a node's network delivery thread is never blocked by nested
+// invocations (the classic deadlock of running long work on the "interrupt"
+// path).  Threads are joined in the destructor (CP.25/CP.26: no detach).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace doct {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads) {
+    threads_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] {
+        while (auto task = tasks_.pop()) (*task)();
+      });
+    }
+  }
+
+  ~ThreadPool() { shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task) {
+    return tasks_.push(std::move(task));
+  }
+
+  // Drains outstanding tasks, then joins all workers.  Idempotent.
+  void shutdown() {
+    tasks_.close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+ private:
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace doct

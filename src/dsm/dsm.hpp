@@ -1,0 +1,165 @@
+// Page-based distributed shared memory.
+//
+// The DO/CT environment (§2) runs object invocations over DSM or RPC; this
+// module is the DSM substrate.  It implements a directory-based
+// single-writer / multiple-reader invalidation protocol with sequential
+// consistency:
+//
+//   * every segment has a HOME node holding the per-page directory
+//     (current owner + copyset),
+//   * a read miss fetches a shared copy via the home (requester → home →
+//     owner → data), adding the requester to the copyset,
+//   * a write miss transfers ownership and invalidates every copy before the
+//     write proceeds.
+//
+// Since a user-space simulation cannot take real MMU faults, access is via
+// explicit read()/write() calls that check page presence — a miss *is* the
+// page fault, and is reported to an optional FaultHook before the default
+// protocol (or instead of it, for user-level-pager segments).  This is the
+// attachment point for §6.4's external pagers: the events layer raises a
+// VM_FAULT system event from the hook, a buddy handler supplies the page via
+// install_page(), and the faulting thread resumes — "bypassing the strict
+// consistency imposed by the underlying sequentially consistent DSM".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::dsm {
+
+enum class Access : std::uint8_t { kRead = 0, kWrite = 1 };
+
+enum class PageState : std::uint8_t {
+  kInvalid = 0,  // no local copy
+  kShared,       // read-only copy; owner may be elsewhere
+  kOwned,        // exclusive, writable
+};
+
+struct FaultInfo {
+  SegmentId segment;
+  std::size_t page = 0;
+  Access access = Access::kRead;
+  NodeId node;  // node where the fault occurred
+};
+
+// Returns the page contents to install, or an error to fail the access.
+// For kDefault segments the hook is observational (may return nullopt to let
+// the coherence protocol proceed); for kUserPaged segments the hook IS the
+// pager and must produce the page.
+using FaultHook =
+    std::function<Result<std::optional<std::vector<std::uint8_t>>>(const FaultInfo&)>;
+
+enum class SegmentMode : std::uint8_t {
+  kDefault = 0,  // kernel pager: directory coherence protocol
+  kUserPaged,    // user-level pager: faults handled by the FaultHook (§6.4)
+};
+
+struct DsmConfig {
+  std::size_t page_size = 4096;
+};
+
+struct DsmStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t pages_fetched = 0;       // pages received from remote owners
+  std::uint64_t invalidations_sent = 0;  // invalidation fan-out (as home)
+  std::uint64_t invalidations_received = 0;
+  std::uint64_t ownership_transfers = 0;  // granted while home
+  std::uint64_t user_pager_fills = 0;     // pages supplied by install_page
+};
+
+class DsmEngine {
+ public:
+  DsmEngine(rpc::RpcEndpoint& rpc, NodeId self, DsmConfig config = {});
+  ~DsmEngine();
+
+  DsmEngine(const DsmEngine&) = delete;
+  DsmEngine& operator=(const DsmEngine&) = delete;
+
+  // Creates a segment homed (and initially fully owned) at this node.
+  Status create_segment(SegmentId segment, std::size_t num_pages,
+                        SegmentMode mode = SegmentMode::kDefault);
+  // Declares a remote segment so this node can fault pages in from `home`.
+  Status attach_segment(SegmentId segment, NodeId home, std::size_t num_pages,
+                        SegmentMode mode = SegmentMode::kDefault);
+
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read(SegmentId segment,
+                                                       std::size_t offset,
+                                                       std::size_t length);
+  Status write(SegmentId segment, std::size_t offset,
+               std::span<const std::uint8_t> data);
+
+  // User-level pager API (§6.4).
+  Status set_fault_hook(SegmentId segment, FaultHook hook);
+  Status clear_fault_hook(SegmentId segment);
+  // Supplies a page (used by pagers; also usable by tests to pre-populate).
+  Status install_page(SegmentId segment, std::size_t page,
+                      std::vector<std::uint8_t> data, PageState state);
+  // Drops a local copy (pager-directed eviction).
+  Status evict_page(SegmentId segment, std::size_t page);
+
+  [[nodiscard]] PageState page_state(SegmentId segment, std::size_t page) const;
+  [[nodiscard]] DsmStats stats() const;
+  [[nodiscard]] std::size_t page_size() const { return config_.page_size; }
+
+ private:
+  struct PageFrame {
+    PageState state = PageState::kInvalid;
+    std::vector<std::uint8_t> data;
+    // Bumped on every invalidation/eviction; lets a faulting thread detect an
+    // invalidate that slipped in between the home's grant and the local
+    // install, and retry (sequential-consistency safeguard).
+    std::uint64_t version = 0;
+  };
+
+  struct DirectoryEntry {  // kept by the home node, one per page
+    NodeId owner;
+    std::set<NodeId> copyset;
+  };
+
+  struct Segment {
+    NodeId home;
+    std::size_t num_pages = 0;
+    SegmentMode mode = SegmentMode::kDefault;
+    std::vector<PageFrame> frames;
+    std::vector<DirectoryEntry> directory;  // non-empty only at the home
+    FaultHook hook;
+    // Serializes home-side protocol operations (held across the remote
+    // fetch/invalidate legs, during which mu_ is released).  unique_ptr so
+    // Segment stays movable.
+    std::unique_ptr<std::mutex> home_mu = std::make_unique<std::mutex>();
+  };
+
+  // RPC method implementations (registered as dsm.*).
+  Result<rpc::Payload> rpc_get_page(NodeId caller, Reader& args);
+  Result<rpc::Payload> rpc_fetch(NodeId caller, Reader& args);
+  Result<rpc::Payload> rpc_invalidate(NodeId caller, Reader& args);
+
+  // Ensures the page is locally present with at least `access` rights.
+  Status fault_in(Segment& segment, SegmentId id, std::size_t page,
+                  Access access, std::unique_lock<std::mutex>& lock);
+
+  Segment* find_segment(SegmentId id);
+  const Segment* find_segment(SegmentId id) const;
+
+  rpc::RpcEndpoint& rpc_;
+  NodeId self_;
+  DsmConfig config_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<SegmentId, Segment> segments_;
+  DsmStats stats_;
+};
+
+}  // namespace doct::dsm

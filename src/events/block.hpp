@@ -1,0 +1,67 @@
+// EventBlock (§4.1): "Information necessary to handle the event is
+// encapsulated in a structure called an event block and is passed to the
+// handler.  The event block contains generic system information such as
+// state of the registers, etc., for exception handling and space for user
+// defined data structures for user events."
+//
+// The block is a typed view over the EventNotice that reached the handler,
+// plus helpers for unpacking the user-defined structure.
+#pragma once
+
+#include "common/serialize.hpp"
+#include "kernel/event_notice.hpp"
+
+namespace doct::events {
+
+class EventBlock {
+ public:
+  explicit EventBlock(kernel::EventNotice notice)
+      : notice_(std::move(notice)) {}
+
+  [[nodiscard]] EventId event() const { return notice_.event; }
+  [[nodiscard]] const std::string& event_name() const {
+    return notice_.event_name;
+  }
+  [[nodiscard]] ThreadId raiser() const { return notice_.raiser; }
+  [[nodiscard]] NodeId raiser_node() const { return notice_.raiser_node; }
+  [[nodiscard]] ThreadId target_thread() const {
+    return notice_.target_thread;
+  }
+  [[nodiscard]] GroupId target_group() const { return notice_.target_group; }
+  [[nodiscard]] ObjectId target_object() const {
+    return notice_.target_object;
+  }
+  [[nodiscard]] bool synchronous() const { return notice_.synchronous; }
+  [[nodiscard]] ObjectId raised_in() const { return notice_.raised_in; }
+
+  // Kernel-defined system information (simulated register/fault state).
+  [[nodiscard]] const std::string& system_info() const {
+    return notice_.system_info;
+  }
+
+  // User-defined structure appended to the block (§5.1).
+  [[nodiscard]] const std::vector<std::uint8_t>& user_data() const {
+    return notice_.user_data;
+  }
+  [[nodiscard]] Reader user_reader() const {
+    return Reader{notice_.user_data};
+  }
+
+  [[nodiscard]] const kernel::EventNotice& notice() const { return notice_; }
+
+  // Wire helpers: object-entry handlers receive the block as their argument
+  // payload.
+  [[nodiscard]] std::vector<std::uint8_t> to_payload() const {
+    Writer w;
+    notice_.serialize(w);
+    return std::move(w).take();
+  }
+  static EventBlock from_payload(Reader& r) {
+    return EventBlock{kernel::EventNotice::deserialize(r)};
+  }
+
+ private:
+  kernel::EventNotice notice_;
+};
+
+}  // namespace doct::events

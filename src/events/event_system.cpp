@@ -1,0 +1,558 @@
+#include "events/event_system.hpp"
+
+#include "common/log.hpp"
+
+namespace doct::events {
+
+namespace {
+
+constexpr const char* kObjectNotifyMethod = "events.object_notify";
+constexpr const char* kRunHandlerMethod = "events.run_handler";
+constexpr const char* kKernelResumeMethod = "kernel.resume";
+
+[[maybe_unused]] rpc::Payload verdict_payload(kernel::Verdict verdict) {
+  return rpc::Payload{static_cast<std::uint8_t>(verdict)};
+}
+
+kernel::Verdict parse_verdict(const rpc::Payload& payload) {
+  if (payload.empty()) return kernel::Verdict::kResume;
+  switch (payload.front()) {
+    case static_cast<std::uint8_t>(kernel::Verdict::kTerminate):
+      return kernel::Verdict::kTerminate;
+    case static_cast<std::uint8_t>(kernel::Verdict::kPropagate):
+      return kernel::Verdict::kPropagate;
+    default:
+      return kernel::Verdict::kResume;
+  }
+}
+
+}  // namespace
+
+EventSystem::EventSystem(kernel::Kernel& kernel,
+                         objects::ObjectManager& manager,
+                         rpc::RpcEndpoint& rpc, EventRegistry& registry,
+                         ProcedureRegistry& procedures, EventConfig config)
+    : kernel_(kernel),
+      manager_(manager),
+      rpc_(rpc),
+      registry_(registry),
+      procedures_(procedures),
+      config_(config),
+      trace_(config.trace_capacity) {
+  kernel_.set_delivery_callback(
+      [this](kernel::ThreadContext& ctx, const kernel::EventNotice& notice) {
+        return on_deliver(ctx, notice);
+      });
+  // object_notify only enqueues work; run_handler executes a handler entry
+  // and may block, so it uses the worker pool.
+  rpc_.register_method(
+      kObjectNotifyMethod,
+      [this](NodeId caller, Reader& args) {
+        return rpc_object_notify(caller, args);
+      },
+      rpc::MethodClass::kFast);
+  rpc_.register_method(kRunHandlerMethod, [this](NodeId caller, Reader& args) {
+    return rpc_run_handler(caller, args);
+  });
+}
+
+EventSystem::~EventSystem() {
+  rpc_.unregister_method(kObjectNotifyMethod);
+  rpc_.unregister_method(kRunHandlerMethod);
+  kernel_.set_delivery_callback(nullptr);
+  master_.shutdown();
+  surrogates_.shutdown();
+  std::lock_guard<std::mutex> lock(per_event_mu_);
+  for (auto& t : per_event_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EventSystem::bump(std::uint64_t EventStats::* counter) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*counter += 1;
+}
+
+EventStats EventSystem::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void EventSystem::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = EventStats{};
+}
+
+void EventSystem::set_activation_hook(std::function<Status(ObjectId)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  activation_hook_ = std::move(hook);
+}
+
+// --- attachment (§5.2) ---------------------------------------------------------
+
+Result<HandlerId> EventSystem::attach_handler(EventId event, ObjectId object,
+                                              const std::string& entry) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "attach_handler requires a logical thread"};
+  }
+  if (!registry_.info(event).is_ok()) {
+    return Status{StatusCode::kUnknownEvent, event.to_string()};
+  }
+  kernel::HandlerRecord record;
+  record.id = kernel_.ids().next<HandlerTag>();
+  record.event = event;
+  record.object = object;
+  record.entry = entry;
+  record.attached_in = ctx->current_object();
+  record.kind = object == ctx->current_object()
+                    ? kernel::HandlerKind::kObjectEntry
+                    : kernel::HandlerKind::kBuddy;
+  ctx->with_attributes([&](kernel::ThreadAttributes& a) {
+    a.handler_chain.push_back(record);
+  });
+  return record.id;
+}
+
+Result<HandlerId> EventSystem::attach_handler(EventId event,
+                                              const std::string& procedure,
+                                              OwnContextTag) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "attach_handler requires a logical thread"};
+  }
+  if (!registry_.info(event).is_ok()) {
+    return Status{StatusCode::kUnknownEvent, event.to_string()};
+  }
+  if (!procedures_.lookup(procedure).is_ok()) {
+    return Status{StatusCode::kNoHandler,
+                  "procedure not registered: " + procedure};
+  }
+  kernel::HandlerRecord record;
+  record.id = kernel_.ids().next<HandlerTag>();
+  record.event = event;
+  record.kind = kernel::HandlerKind::kPerThread;
+  record.entry = procedure;
+  record.attached_in = ctx->current_object();
+  ctx->with_attributes([&](kernel::ThreadAttributes& a) {
+    a.handler_chain.push_back(record);
+  });
+  return record.id;
+}
+
+Status EventSystem::detach_handler(HandlerId id) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return {StatusCode::kInvalidArgument,
+            "detach_handler requires a logical thread"};
+  }
+  const bool removed = ctx->with_attributes([&](kernel::ThreadAttributes& a) {
+    const auto before = a.handler_chain.size();
+    std::erase_if(a.handler_chain, [&](const kernel::HandlerRecord& r) {
+      return r.id == id;
+    });
+    return a.handler_chain.size() != before;
+  });
+  return removed ? Status::ok()
+                 : Status{StatusCode::kNoHandler, id.to_string()};
+}
+
+// --- raising (§5.3) -------------------------------------------------------------
+
+kernel::EventNotice EventSystem::make_notice(EventId event,
+                                             rpc::Payload user_data,
+                                             bool synchronous) {
+  kernel::EventNotice notice;
+  notice.event = event;
+  notice.event_name = registry_.name_of(event);
+  notice.synchronous = synchronous;
+  notice.raiser_node = kernel_.self();
+  notice.user_data = std::move(user_data);
+  if (kernel::ThreadContext* ctx = kernel::Kernel::current()) {
+    notice.raiser = ctx->tid();
+    notice.raised_in = ctx->current_object();
+  }
+  return notice;
+}
+
+Status EventSystem::raise(EventId event, ThreadId target,
+                          rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return {StatusCode::kUnknownEvent, event.to_string()};
+  }
+  bump(&EventStats::raises_async);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
+  notice.target_thread = target;
+  trace_.record(TraceStage::kRaised, event, notice.event_name, target,
+                ObjectId{});
+  const Status delivered =
+      kernel_.deliver_remote(notice, registry_.is_control(event));
+  if (delivered.code() == StatusCode::kDeadTarget) {
+    trace_.record(TraceStage::kDeadTarget, event, notice.event_name, target,
+                  ObjectId{});
+    bump(&EventStats::dead_target_raises);
+    // §7: "When a notification is posted to a thread and the thread has been
+    // destroyed, the sender of the event (if it is an asynchronous event)
+    // needs to be notified."  Beyond the status we return, a logical-thread
+    // raiser gets a TARGET_DEAD event naming the dead thread.
+    if (kernel::ThreadContext* raiser = kernel::Kernel::current()) {
+      kernel::EventNotice obituary;
+      obituary.event = sys::kTargetDead;
+      obituary.event_name = registry_.name_of(sys::kTargetDead);
+      obituary.target_thread = raiser->tid();
+      obituary.raiser_node = kernel_.self();
+      obituary.system_info = "dead target: " + target.to_string();
+      Writer w;
+      w.put(target);
+      w.put(event);
+      obituary.user_data = std::move(w).take();
+      raiser->enqueue(obituary, /*urgent=*/false);
+    }
+  }
+  return delivered;
+}
+
+Status EventSystem::raise(EventId event, GroupId target,
+                          rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return {StatusCode::kUnknownEvent, event.to_string()};
+  }
+  bump(&EventStats::raises_async);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
+  notice.target_group = target;
+  trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
+                ObjectId{}, "group " + target.to_string());
+  return kernel_.deliver_group(notice, registry_.is_control(event));
+}
+
+Status EventSystem::raise(EventId event, ObjectId target,
+                          rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return {StatusCode::kUnknownEvent, event.to_string()};
+  }
+  bump(&EventStats::raises_async);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
+  notice.target_object = target;
+  trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
+                target);
+  return dispatch_to_object(notice);
+}
+
+Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
+                                                    ThreadId target,
+                                                    rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return Status{StatusCode::kUnknownEvent, event.to_string()};
+  }
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx != nullptr && ctx->tid() == target) {
+    // Synchronous raise at oneself: the exception-handling shape (§6.1).
+    return raise_exception(event, "raise_and_wait(self)",
+                           std::move(user_data));
+  }
+  bump(&EventStats::raises_sync);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
+  notice.target_thread = target;
+  notice.wait_token = kernel_.new_wait_token();
+  kernel_.prepare_wait(notice.wait_token);
+  const Status delivered =
+      kernel_.deliver_remote(notice, registry_.is_control(event));
+  if (!delivered.is_ok()) {
+    if (delivered.code() == StatusCode::kDeadTarget) {
+      bump(&EventStats::dead_target_raises);
+    }
+    return delivered;
+  }
+  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+}
+
+Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
+                                                    GroupId target,
+                                                    rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return Status{StatusCode::kUnknownEvent, event.to_string()};
+  }
+  bump(&EventStats::raises_sync);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
+  notice.target_group = target;
+  notice.wait_token = kernel_.new_wait_token();
+  kernel_.prepare_wait(notice.wait_token);
+  const Status delivered =
+      kernel_.deliver_group(notice, registry_.is_control(event));
+  if (!delivered.is_ok()) return delivered;
+  // The raiser is resumed by the FIRST member that completes handling;
+  // later resumes for the same token are dropped.
+  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+}
+
+Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
+                                                    ObjectId target,
+                                                    rpc::Payload user_data) {
+  if (!registry_.info(event).is_ok()) {
+    return Status{StatusCode::kUnknownEvent, event.to_string()};
+  }
+  bump(&EventStats::raises_sync);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
+  notice.target_object = target;
+  notice.wait_token = kernel_.new_wait_token();
+  kernel_.prepare_wait(notice.wait_token);
+  const Status delivered = dispatch_to_object(notice);
+  if (!delivered.is_ok()) return delivered;
+  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+}
+
+Result<kernel::Verdict> EventSystem::raise_exception(
+    EventId event, const std::string& system_info, rpc::Payload user_data) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "raise_exception requires a logical thread"};
+  }
+  bump(&EventStats::raises_sync);
+  bump(&EventStats::surrogate_runs);
+  kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
+  notice.target_thread = ctx->tid();
+  notice.system_info = system_info;
+  notice.wait_token = kernel_.new_wait_token();
+  kernel_.prepare_wait(notice.wait_token);
+
+  // Run the chain on a surrogate thread that adopts the suspended thread's
+  // context (§6.1) while the raiser blocks below.
+  const bool submitted = surrogates_.submit([this, ctx, notice] {
+    const kernel::Verdict verdict = execute_chain(*ctx, notice);
+    kernel_.resume_waiter(notice.wait_token, verdict);
+  });
+  if (!submitted) {
+    return Status{StatusCode::kAborted, "event system shutting down"};
+  }
+  auto verdict = kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  if (verdict.is_ok() && verdict.value() == kernel::Verdict::kTerminate) {
+    ctx->mark_terminated();  // the raiser IS the target here
+  }
+  return verdict;
+}
+
+// --- thread-based delivery ------------------------------------------------------
+
+kernel::Verdict EventSystem::on_deliver(kernel::ThreadContext& ctx,
+                                        const kernel::EventNotice& notice) {
+  trace_.record(TraceStage::kDelivered, notice.event, notice.event_name,
+                ctx.tid(), ObjectId{});
+  const kernel::Verdict verdict = execute_chain(ctx, notice);
+  if (notice.synchronous) send_resume(notice, verdict);
+  return verdict;
+}
+
+kernel::Verdict EventSystem::execute_chain(kernel::ThreadContext& ctx,
+                                           const kernel::EventNotice& notice) {
+  if (ctx.handler_depth() > config_.max_handler_depth) {
+    DOCT_LOG(kError) << "handler recursion limit hit for "
+                     << notice.event_name << " at " << ctx.tid().to_string();
+    return kernel::Verdict::kResume;
+  }
+  // Snapshot the chain; handlers may attach/detach while running.
+  const auto chain = ctx.with_attributes(
+      [](kernel::ThreadAttributes& a) { return a.handler_chain; });
+
+  // LIFO (§4.2): most recently attached handler first; kPropagate walks
+  // outward toward earlier attachments.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->event != notice.event) continue;
+    auto [ran, verdict] = run_handler(ctx, *it, notice);
+    if (!ran) continue;
+    if (verdict == kernel::Verdict::kPropagate) {
+      bump(&EventStats::propagations);
+      continue;
+    }
+    return verdict;
+  }
+  return apply_default(notice);
+}
+
+std::pair<bool, kernel::Verdict> EventSystem::run_handler(
+    kernel::ThreadContext& ctx, const kernel::HandlerRecord& record,
+    const kernel::EventNotice& notice) {
+  switch (record.kind) {
+    case kernel::HandlerKind::kPerThread: {
+      auto proc = procedures_.lookup(record.entry);
+      if (!proc.is_ok()) {
+        DOCT_LOG(kWarn) << "per-thread procedure missing: " << record.entry;
+        return {false, kernel::Verdict::kResume};
+      }
+      bump(&EventStats::per_thread_procs_run);
+      trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
+                    ctx.tid(), ObjectId{}, record.entry);
+      const EventBlock block{notice};
+      PerThreadCallCtx pctx{ctx, block, manager_, ctx.current_object()};
+      return {true, proc.value()(pctx)};
+    }
+    case kernel::HandlerKind::kObjectEntry:
+    case kernel::HandlerKind::kBuddy: {
+      bump(&EventStats::thread_handlers_run);
+      trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
+                    ctx.tid(), record.object, record.entry);
+      const EventBlock block{notice};
+      const NodeId home = objects::ObjectManager::object_node(record.object);
+      Result<rpc::Payload> result{rpc::Payload{}};
+      if (home == kernel_.self()) {
+        result = manager_.invoke_handler_entry(record.object, record.entry,
+                                               block.to_payload(), &ctx);
+      } else {
+        // The "unscheduled invocation" (§7.2) to wherever the handler lives.
+        Writer w;
+        w.put(record.object);
+        w.put(record.entry);
+        w.put(block.to_payload());
+        result = rpc_.call(home, kRunHandlerMethod, std::move(w).take());
+      }
+      if (!result.is_ok()) {
+        DOCT_LOG(kWarn) << "handler " << record.entry << " on "
+                        << record.object.to_string()
+                        << " failed: " << result.status().to_string();
+        return {false, kernel::Verdict::kResume};
+      }
+      return {true, parse_verdict(result.value())};
+    }
+  }
+  return {false, kernel::Verdict::kResume};
+}
+
+kernel::Verdict EventSystem::apply_default(const kernel::EventNotice& notice) {
+  bump(&EventStats::defaults_applied);
+  trace_.record(TraceStage::kDefaultApplied, notice.event, notice.event_name,
+                notice.target_thread, notice.target_object);
+  return registry_.default_action(notice.event) == DefaultAction::kTerminate
+             ? kernel::Verdict::kTerminate
+             : kernel::Verdict::kResume;
+}
+
+void EventSystem::send_resume(const kernel::EventNotice& notice,
+                              kernel::Verdict verdict) {
+  if (notice.wait_token == 0) return;
+  trace_.record(TraceStage::kResumeSent, notice.event, notice.event_name,
+                notice.raiser, ObjectId{},
+                verdict == kernel::Verdict::kTerminate ? "terminate"
+                                                       : "resume");
+  if (notice.raiser_node == kernel_.self()) {
+    kernel_.resume_waiter(notice.wait_token, verdict);
+    return;
+  }
+  Writer w;
+  w.put(notice.wait_token);
+  w.put(verdict);
+  const auto sent = rpc_.call(notice.raiser_node, kKernelResumeMethod,
+                              std::move(w).take());
+  if (!sent.is_ok() &&
+      sent.status().code() != StatusCode::kAlreadyExists) {
+    DOCT_LOG(kWarn) << "resume of raiser at "
+                    << notice.raiser_node.to_string()
+                    << " failed: " << sent.status().to_string();
+  }
+}
+
+// --- object-based delivery (§4.3) ------------------------------------------------
+
+Status EventSystem::dispatch_to_object(const kernel::EventNotice& notice) {
+  const NodeId home = objects::ObjectManager::object_node(notice.target_object);
+  if (home == kernel_.self()) {
+    run_object_handler(notice);
+    return Status::ok();
+  }
+  Writer w;
+  notice.serialize(w);
+  auto reply = rpc_.call(home, kObjectNotifyMethod, std::move(w).take());
+  return reply.status();
+}
+
+Result<rpc::Payload> EventSystem::rpc_object_notify(NodeId, Reader& args) {
+  kernel::EventNotice notice = kernel::EventNotice::deserialize(args);
+  run_object_handler(notice);
+  return rpc::Payload{};
+}
+
+Result<rpc::Payload> EventSystem::rpc_run_handler(NodeId, Reader& args) {
+  const auto object = args.get_id<ObjectTag>();
+  const auto entry = args.get_string();
+  auto payload = args.get_bytes();
+  return manager_.invoke_handler_entry(object, entry, std::move(payload),
+                                       nullptr);
+}
+
+void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
+  trace_.record(TraceStage::kObjectDispatched, notice.event, notice.event_name,
+                ThreadId{}, notice.target_object);
+  if (config_.dispatch_mode == ObjectDispatchMode::kMasterThread) {
+    // §7: a master handler thread serves all events on behalf of passive
+    // objects, eliminating per-event thread creation.
+    if (!master_.submit([this, notice] {
+          const kernel::Verdict verdict = run_object_handler_now(notice);
+          if (notice.synchronous) send_resume(notice, verdict);
+        })) {
+      DOCT_LOG(kWarn) << "object event dropped during shutdown";
+    }
+    return;
+  }
+  // kThreadPerEvent: the costly alternative, kept for the E2 ablation.
+  std::lock_guard<std::mutex> lock(per_event_mu_);
+  if (per_event_threads_.size() > 512) {
+    for (auto& t : per_event_threads_) {
+      if (t.joinable()) t.join();
+    }
+    per_event_threads_.clear();
+  }
+  per_event_threads_.emplace_back([this, notice] {
+    const kernel::Verdict verdict = run_object_handler_now(notice);
+    if (notice.synchronous) send_resume(notice, verdict);
+  });
+}
+
+kernel::Verdict EventSystem::run_object_handler_now(
+    const kernel::EventNotice& notice) {
+  auto object = manager_.find(notice.target_object);
+  if (object == nullptr) {
+    // Passive (deactivated) object: bring it back first (§3.1 Persistence).
+    std::function<Status(ObjectId)> hook;
+    {
+      std::lock_guard<std::mutex> lock(hook_mu_);
+      hook = activation_hook_;
+    }
+    if (hook) {
+      const Status activated = hook(notice.target_object);
+      if (activated.is_ok()) object = manager_.find(notice.target_object);
+    }
+  }
+  if (object == nullptr) {
+    DOCT_LOG(kWarn) << "event " << notice.event_name
+                    << " for unknown object "
+                    << notice.target_object.to_string();
+    return kernel::Verdict::kResume;
+  }
+
+  const std::string entry = object->handler_for(notice.event_name);
+  if (entry.empty()) {
+    // Predefined default handlers available in ALL objects (§4.3).
+    if (notice.event == sys::kDelete) {
+      manager_.remove_object(notice.target_object);
+      return kernel::Verdict::kResume;
+    }
+    if (notice.event == sys::kPing) return kernel::Verdict::kResume;
+    // No handler and no default: report "unhandled" so synchronous raisers
+    // (e.g. the exception facility's first-chance pass) can escalate.
+    return kernel::Verdict::kPropagate;
+  }
+
+  bump(&EventStats::object_handlers_run);
+  const EventBlock block{notice};
+  auto result = manager_.invoke_handler_entry(notice.target_object, entry,
+                                              block.to_payload(), nullptr);
+  if (!result.is_ok()) {
+    DOCT_LOG(kWarn) << "object handler " << entry << " failed: "
+                    << result.status().to_string();
+    return kernel::Verdict::kResume;
+  }
+  return parse_verdict(result.value());
+}
+
+}  // namespace doct::events

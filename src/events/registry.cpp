@@ -1,0 +1,81 @@
+#include "events/registry.hpp"
+
+namespace doct::events {
+
+EventRegistry::EventRegistry() {
+  add({sys::kTerminate, "TERMINATE", true, true, DefaultAction::kTerminate});
+  add({sys::kQuit, "QUIT", true, true, DefaultAction::kTerminate});
+  add({sys::kAbort, "ABORT", true, true, DefaultAction::kIgnore});
+  add({sys::kInterrupt, "INTERRUPT", true, true, DefaultAction::kIgnore});
+  add({sys::kTimer, "TIMER", true, false, DefaultAction::kIgnore});
+  add({sys::kVmFault, "VM_FAULT", true, false, DefaultAction::kIgnore});
+  add({sys::kDivideByZero, "DIVIDE_BY_ZERO", true, true,
+       DefaultAction::kTerminate});
+  add({sys::kAlarm, "ALARM", true, false, DefaultAction::kIgnore});
+  add({sys::kDelete, "DELETE", true, false, DefaultAction::kIgnore});
+  add({sys::kPing, "PING", true, false, DefaultAction::kIgnore});
+  add({sys::kTargetDead, "TARGET_DEAD", true, false, DefaultAction::kIgnore});
+}
+
+void EventRegistry::add(EventInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_name_[info.name] = info.id;
+  by_id_[info.id] = std::move(info);
+}
+
+EventId EventRegistry::register_event(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const EventId id{next_user_id_++};
+  by_name_[name] = id;
+  by_id_[id] = EventInfo{id, name, false, false, DefaultAction::kIgnore};
+  return id;
+}
+
+Result<EventId> EventRegistry::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status{StatusCode::kUnknownEvent, name};
+  }
+  return it->second;
+}
+
+Result<EventInfo> EventRegistry::info(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status{StatusCode::kUnknownEvent, id.to_string()};
+  }
+  return it->second;
+}
+
+std::string EventRegistry::name_of(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? std::string{} : it->second.name;
+}
+
+bool EventRegistry::is_control(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it != by_id_.end() && it->second.control;
+}
+
+DefaultAction EventRegistry::default_action(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? DefaultAction::kIgnore
+                            : it->second.default_action;
+}
+
+std::vector<EventInfo> EventRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventInfo> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, info] : by_id_) out.push_back(info);
+  return out;
+}
+
+}  // namespace doct::events

@@ -1,0 +1,130 @@
+// Event naming (§3): "Naming an event involves registering the name with the
+// operating system."
+//
+// Predefined system events get fixed ids and defined default actions; user
+// events (COMMIT, SYNCHRONIZE, ...) are registered at run time.  The registry
+// is a system-wide service shared by every node (in Clouds this is kernel
+// state agreed across the cluster; a single shared instance models that
+// agreement — ids must mean the same thing on every node).
+//
+// ProcedureRegistry models §7.2's per-thread handler code: "The handler code
+// has to be position independent.  The operating system must support the
+// mapping of the handler code into a well known address in the per-thread
+// area."  Registering the compiled procedure under a name on every node IS
+// the well-known address: any node can map name -> code when the thread
+// carrying a kPerThread HandlerRecord arrives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace doct::kernel {
+class ThreadContext;
+enum class Verdict : std::uint8_t;
+}  // namespace doct::kernel
+
+namespace doct::objects {
+class ObjectManager;
+}
+
+namespace doct::events {
+
+// Default action taken when an event reaches a thread with no handler for it.
+enum class DefaultAction : std::uint8_t {
+  kIgnore = 0,     // drop the notice
+  kTerminate = 1,  // terminate the target thread
+};
+
+// Predefined system events (fixed ids so every node agrees without traffic).
+namespace sys {
+inline constexpr EventId kTerminate{1};     // §6.3 (^C)
+inline constexpr EventId kQuit{2};          // §6.3 (group kill)
+inline constexpr EventId kAbort{3};         // §6.3 (invocation abort)
+inline constexpr EventId kInterrupt{4};     // §5.2 example
+inline constexpr EventId kTimer{5};         // §6.2 monitoring
+inline constexpr EventId kVmFault{6};       // §6.4 external pagers
+inline constexpr EventId kDivideByZero{7};  // §3 hardware exception example
+inline constexpr EventId kAlarm{8};
+inline constexpr EventId kDelete{9};        // §5.1 object template example
+inline constexpr EventId kPing{10};         // liveness probe for objects
+inline constexpr EventId kTargetDead{11};   // §7: dead-target notification
+inline constexpr std::uint64_t kFirstUserEvent = 100;
+}  // namespace sys
+
+struct EventInfo {
+  EventId id;
+  std::string name;
+  bool system = false;
+  bool control = false;  // delivered ahead of queued ordinary notices
+  DefaultAction default_action = DefaultAction::kIgnore;
+};
+
+class EventRegistry {
+ public:
+  EventRegistry();  // pre-populates the system events
+
+  // Registers a user event name; idempotent (returns the existing id).
+  EventId register_event(const std::string& name);
+
+  [[nodiscard]] Result<EventId> lookup(const std::string& name) const;
+  [[nodiscard]] Result<EventInfo> info(EventId id) const;
+  [[nodiscard]] std::string name_of(EventId id) const;  // "" if unknown
+  [[nodiscard]] bool is_control(EventId id) const;
+  [[nodiscard]] DefaultAction default_action(EventId id) const;
+
+  [[nodiscard]] std::vector<EventInfo> all() const;
+
+ private:
+  void add(EventInfo info);
+
+  mutable std::mutex mu_;
+  std::map<EventId, EventInfo> by_id_;
+  std::map<std::string, EventId> by_name_;
+  std::uint64_t next_user_id_ = sys::kFirstUserEvent;
+};
+
+// --- per-thread handler procedures (§7.2) -----------------------------------
+
+class EventBlock;
+
+// Everything a per-thread (OWN_CONTEXT) handler can see: the suspended
+// thread's context — "the handler simply gets the suspended thread's state"
+// (§6.2) — the event block, and the object the thread currently occupies.
+struct PerThreadCallCtx {
+  kernel::ThreadContext& thread;
+  const EventBlock& block;
+  objects::ObjectManager& manager;
+  ObjectId current_object;
+};
+
+using PerThreadProc = std::function<kernel::Verdict(PerThreadCallCtx&)>;
+
+class ProcedureRegistry {
+ public:
+  void register_procedure(std::string name, PerThreadProc proc) {
+    std::lock_guard<std::mutex> lock(mu_);
+    procedures_[std::move(name)] = std::move(proc);
+  }
+
+  [[nodiscard]] Result<PerThreadProc> lookup(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = procedures_.find(name);
+    if (it == procedures_.end()) {
+      return Status{StatusCode::kNoHandler, "no procedure " + name};
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PerThreadProc> procedures_;
+};
+
+}  // namespace doct::events

@@ -1,0 +1,34 @@
+#include "events/trace.hpp"
+
+namespace doct::events {
+
+const char* trace_stage_name(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kRaised:
+      return "RAISED";
+    case TraceStage::kDelivered:
+      return "DELIVERED";
+    case TraceStage::kHandlerRun:
+      return "HANDLER_RUN";
+    case TraceStage::kDefaultApplied:
+      return "DEFAULT_APPLIED";
+    case TraceStage::kObjectDispatched:
+      return "OBJECT_DISPATCHED";
+    case TraceStage::kResumeSent:
+      return "RESUME_SENT";
+    case TraceStage::kDeadTarget:
+      return "DEAD_TARGET";
+  }
+  return "?";
+}
+
+std::string TraceRecord::to_string() const {
+  std::string out = "#" + std::to_string(sequence) + " " +
+                    trace_stage_name(stage) + " " + event_name;
+  if (thread.valid()) out += " " + thread.to_string();
+  if (object.valid()) out += " " + object.to_string();
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+}  // namespace doct::events

@@ -1,0 +1,99 @@
+// EventTrace — per-node ring buffer recording the lifecycle of every notice
+// the event system touches.
+//
+// The paper's monitoring/debugging applications (§6.2, §4.1) presuppose that
+// the system can tell an observer what happened to an event: when it was
+// raised, where it was routed, which handler ran, what verdict came back.
+// This is that facility.  Tracing is off by default (benches must not pay
+// for it); enable by setting EventConfig::trace_capacity > 0.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace doct::events {
+
+enum class TraceStage : std::uint8_t {
+  kRaised = 0,        // raise()/raise_and_wait() accepted the notice
+  kDelivered,         // a thread delivery point picked the notice up
+  kHandlerRun,        // one handler executed (detail = entry/procedure)
+  kDefaultApplied,    // no handler matched; registry default action used
+  kObjectDispatched,  // object event queued to the dispatcher
+  kResumeSent,        // synchronous raiser resumed (detail = verdict)
+  kDeadTarget,        // delivery failed: target destroyed
+};
+
+[[nodiscard]] const char* trace_stage_name(TraceStage stage);
+
+struct TraceRecord {
+  std::uint64_t sequence = 0;
+  std::int64_t at_us = 0;  // steady-clock microseconds
+  TraceStage stage = TraceStage::kRaised;
+  EventId event;
+  std::string event_name;
+  ThreadId thread;   // target thread if any
+  ObjectId object;   // target/handler object if any
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  void record(TraceStage stage, EventId event, const std::string& event_name,
+              ThreadId thread, ObjectId object, std::string detail = {}) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceRecord entry;
+    entry.sequence = ++sequence_;
+    entry.at_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    entry.stage = stage;
+    entry.event = event;
+    entry.event_name = event_name;
+    entry.thread = thread;
+    entry.object = object;
+    entry.detail = std::move(detail);
+    records_.push_back(std::move(entry));
+    while (records_.size() > capacity_) records_.pop_front();
+  }
+
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {records_.begin(), records_.end()};
+  }
+
+  // Records for one event id, in sequence order (the common query).
+  [[nodiscard]] std::vector<TraceRecord> for_event(EventId event) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceRecord> out;
+    for (const auto& record : records_) {
+      if (record.event == event) out.push_back(record);
+    }
+    return out;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t sequence_ = 0;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace doct::events

@@ -1,0 +1,90 @@
+#include "kernel/attributes.hpp"
+
+namespace doct::kernel {
+
+void HandlerRecord::serialize(Writer& w) const {
+  w.put(id);
+  w.put(event);
+  w.put(kind);
+  w.put(object);
+  w.put(entry);
+  w.put(attached_in);
+}
+
+HandlerRecord HandlerRecord::deserialize(Reader& r) {
+  HandlerRecord record;
+  record.id = r.get_id<HandlerTag>();
+  record.event = r.get_id<EventTag>();
+  record.kind = r.get<HandlerKind>();
+  record.object = r.get_id<ObjectTag>();
+  record.entry = r.get_string();
+  record.attached_in = r.get_id<ObjectTag>();
+  return record;
+}
+
+void TimerRecord::serialize(Writer& w) const {
+  w.put(event);
+  w.put(period_us);
+  w.put(one_shot);
+}
+
+TimerRecord TimerRecord::deserialize(Reader& r) {
+  TimerRecord record;
+  record.event = r.get_id<EventTag>();
+  record.period_us = r.get<std::uint64_t>();
+  record.one_shot = r.get_bool();
+  return record;
+}
+
+void InvocationFrame::serialize(Writer& w) const {
+  w.put(object);
+  w.put(node);
+}
+
+InvocationFrame InvocationFrame::deserialize(Reader& r) {
+  InvocationFrame frame;
+  frame.object = r.get_id<ObjectTag>();
+  frame.node = r.get_id<NodeTag>();
+  return frame;
+}
+
+void ThreadAttributes::serialize(Writer& w) const {
+  w.put(creator);
+  w.put(group);
+  w.put(io_channel);
+  w.put(consistency_label);
+  w.put(user);
+  w.put(static_cast<std::uint32_t>(handler_chain.size()));
+  for (const auto& record : handler_chain) record.serialize(w);
+  w.put(static_cast<std::uint32_t>(timers.size()));
+  for (const auto& record : timers) record.serialize(w);
+  w.put(static_cast<std::uint32_t>(call_chain.size()));
+  for (const auto& frame : call_chain) frame.serialize(w);
+}
+
+ThreadAttributes ThreadAttributes::deserialize(Reader& r) {
+  ThreadAttributes attrs;
+  attrs.creator = r.get_id<ThreadTag>();
+  attrs.group = r.get_id<GroupTag>();
+  attrs.io_channel = r.get_string();
+  attrs.consistency_label = r.get_string();
+  attrs.user = r.get_string_map();
+  const auto num_handlers = r.get<std::uint32_t>();
+  attrs.handler_chain.reserve(num_handlers);
+  for (std::uint32_t i = 0; i < num_handlers; ++i) {
+    attrs.handler_chain.push_back(HandlerRecord::deserialize(r));
+  }
+  const auto num_timers = r.get<std::uint32_t>();
+  attrs.timers.reserve(num_timers);
+  for (std::uint32_t i = 0; i < num_timers; ++i) {
+    attrs.timers.push_back(TimerRecord::deserialize(r));
+  }
+  const auto num_frames = r.get<std::uint32_t>();
+  attrs.call_chain.reserve(num_frames);
+  for (std::uint32_t i = 0; i < num_frames; ++i) {
+    attrs.call_chain.push_back(InvocationFrame::deserialize(r));
+  }
+  return attrs;
+}
+
+}  // namespace doct::kernel

@@ -1,0 +1,95 @@
+// Thread attributes — the heart of the DO/CT thread model (§3.1).
+//
+// A logical thread carries an attribute record across every object and node
+// it visits: its creator, its thread group, its I/O channel binding, a
+// consistency label [Chen 89], arbitrary user attributes, the LIFO chain of
+// attached event handlers (§4.2) and its timer registrations (§6.2).  The
+// record is serialized into every cross-node invocation and shipped back
+// (possibly modified — an invoked object may attach handlers that must stay
+// attached for the thread's lifetime) when the invocation returns.
+//
+// Handler code cannot cross the wire; records reference it symbolically:
+//   * kObjectEntry — a (private) entry point of the object in which the
+//     handler was attached; executed there via an unscheduled invocation.
+//   * kBuddy — an entry point of a designated other object, e.g. a central
+//     monitor/debugger/pager server ("buddy handlers", [Ousterhout 81]).
+//   * kPerThread — a procedure in the thread's per-thread memory, executed in
+//     the context of whatever object the thread currently occupies
+//     (OWN_CONTEXT).  §7.2 requires per-thread handler code to be position
+//     independent and mapped at a well-known address on every node; we model
+//     that with a system-wide ProcedureRegistry keyed by procedure name (the
+//     name IS the well-known address; every node "maps" the same code).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace doct::kernel {
+
+enum class HandlerKind : std::uint8_t {
+  kObjectEntry = 0,  // run in the object where the handler was attached
+  kBuddy = 1,        // run in a designated other object
+  kPerThread = 2,    // run in the current object's context (OWN_CONTEXT)
+};
+
+struct HandlerRecord {
+  HandlerId id;
+  EventId event;
+  HandlerKind kind = HandlerKind::kObjectEntry;
+  ObjectId object;        // kObjectEntry: attaching object; kBuddy: the buddy
+  std::string entry;      // entry-point name or per-thread procedure name
+  ObjectId attached_in;   // object the thread occupied at attach time
+
+  void serialize(Writer& w) const;
+  static HandlerRecord deserialize(Reader& r);
+  [[nodiscard]] bool operator==(const HandlerRecord&) const = default;
+};
+
+struct TimerRecord {
+  EventId event;
+  std::uint64_t period_us = 0;  // periodic; one-shot if one_shot is set
+  bool one_shot = false;
+
+  void serialize(Writer& w) const;
+  static TimerRecord deserialize(Reader& r);
+  [[nodiscard]] bool operator==(const TimerRecord&) const = default;
+};
+
+// One frame of the thread's dynamic invocation chain.  §6.3 needs "all
+// objects that lie in the path between the root object and the objects where
+// the threads are currently active" — the chain travels with the thread so a
+// TERMINATE handler can notify every object on it.
+struct InvocationFrame {
+  ObjectId object;
+  NodeId node;
+
+  void serialize(Writer& w) const;
+  static InvocationFrame deserialize(Reader& r);
+  [[nodiscard]] bool operator==(const InvocationFrame&) const = default;
+};
+
+struct ThreadAttributes {
+  ThreadId creator;
+  GroupId group;
+  std::string io_channel;         // §3.1: e.g. the controlling terminal
+  std::string consistency_label;  // [Chen 89]
+  std::map<std::string, std::string> user;
+
+  // LIFO handler chain (§4.2): back() is the most recently attached and the
+  // first eligible handler for its event.
+  std::vector<HandlerRecord> handler_chain;
+  std::vector<TimerRecord> timers;
+  // Dynamic invocation chain, root object first.
+  std::vector<InvocationFrame> call_chain;
+
+  void serialize(Writer& w) const;
+  static ThreadAttributes deserialize(Reader& r);
+  [[nodiscard]] bool operator==(const ThreadAttributes&) const = default;
+};
+
+}  // namespace doct::kernel

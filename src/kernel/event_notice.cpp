@@ -1,0 +1,37 @@
+#include "kernel/event_notice.hpp"
+
+namespace doct::kernel {
+
+void EventNotice::serialize(Writer& w) const {
+  w.put(event);
+  w.put(event_name);
+  w.put(target_thread);
+  w.put(target_group);
+  w.put(target_object);
+  w.put(raiser);
+  w.put(raiser_node);
+  w.put(synchronous);
+  w.put(wait_token);
+  w.put(raised_in);
+  w.put(system_info);
+  w.put(user_data);
+}
+
+EventNotice EventNotice::deserialize(Reader& r) {
+  EventNotice notice;
+  notice.event = r.get_id<EventTag>();
+  notice.event_name = r.get_string();
+  notice.target_thread = r.get_id<ThreadTag>();
+  notice.target_group = r.get_id<GroupTag>();
+  notice.target_object = r.get_id<ObjectTag>();
+  notice.raiser = r.get_id<ThreadTag>();
+  notice.raiser_node = r.get_id<NodeTag>();
+  notice.synchronous = r.get_bool();
+  notice.wait_token = r.get<std::uint64_t>();
+  notice.raised_in = r.get_id<ObjectTag>();
+  notice.system_info = r.get_string();
+  notice.user_data = r.get_bytes();
+  return notice;
+}
+
+}  // namespace doct::kernel

@@ -1,0 +1,47 @@
+// EventNotice — the unit that travels when an event is raised (§3).
+//
+// "Raising an event results in a notice being sent to a set of interested
+// recipients."  The notice carries the event identity, the addressing used
+// (exactly one of thread / group / object is valid, mirroring the §5.3
+// table), raiser identity for synchronous resume, and the event block's data:
+// kernel-defined system information plus an optional user-defined structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace doct::kernel {
+
+struct EventNotice {
+  EventId event;
+  std::string event_name;  // registered name, e.g. "TERMINATE" (§3: naming)
+
+  // Destination: exactly one valid id (raise(e,tid) / raise(e,gtid) /
+  // raise(e,oid)).
+  ThreadId target_thread;
+  GroupId target_group;
+  ObjectId target_object;
+
+  // Raiser identity.  For raise_and_wait the raiser blocks until a handler
+  // resumes it; wait_token correlates the resume message.
+  ThreadId raiser;
+  NodeId raiser_node;
+  bool synchronous = false;
+  std::uint64_t wait_token = 0;
+
+  // Event block contents (§4.1): "generic system information such as state
+  // of the registers ... and space for user defined data structures".
+  ObjectId raised_in;        // object context at the raise point
+  std::string system_info;   // simulated machine state (pc, fault address...)
+  std::vector<std::uint8_t> user_data;
+
+  void serialize(Writer& w) const;
+  static EventNotice deserialize(Reader& r);
+  [[nodiscard]] bool operator==(const EventNotice&) const = default;
+};
+
+}  // namespace doct::kernel

@@ -1,0 +1,47 @@
+// Per-node message demultiplexer.  A node registers exactly one handler with
+// the Network; that handler is a Demux which routes by message kind to the
+// subsystem that owns the kind (rpc, dsm, locators, events).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "net/message.hpp"
+
+namespace doct::net {
+
+class Demux {
+ public:
+  void route(std::uint16_t kind, MessageHandler handler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_[kind] = std::move(handler);
+  }
+
+  void operator()(const Message& message) const {
+    MessageHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = handlers_.find(message.kind);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      handler(message);  // invoked unlocked (CP.22)
+    } else {
+      DOCT_LOG(kWarn) << "no route for message kind 0x" << std::hex
+                      << message.kind << " at " << message.to.to_string();
+    }
+  }
+
+  // Adapter for Network::register_node.
+  [[nodiscard]] MessageHandler as_handler() const {
+    return [this](const Message& m) { (*this)(m); };
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint16_t, MessageHandler> handlers_;
+};
+
+}  // namespace doct::net

@@ -1,0 +1,56 @@
+// Wire messages for the simulated inter-node network.
+//
+// The net layer does not interpret payloads; `kind` namespaces are assigned
+// by the layers above (rpc, dsm, kernel/locators, events).  Payloads are real
+// byte vectors produced by common/serialize.hpp, so everything that crosses a
+// node boundary is genuinely marshalled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace doct::net {
+
+// Message-kind ranges, one block per subsystem (documented here so a reader
+// of a packet trace can attribute traffic; enforced only by convention).
+enum MessageKind : std::uint16_t {
+  // rpc: 0x0100
+  kRpcRequest = 0x0100,
+  kRpcResponse = 0x0101,
+  kRpcCancel = 0x0102,
+  // kernel / thread management: 0x0200
+  kLocateProbe = 0x0200,
+  kLocateReply = 0x0201,
+  kLocateBroadcast = 0x0202,
+  kLocateMulticast = 0x0203,
+  kThreadMigrate = 0x0210,
+  kThreadReturn = 0x0211,
+  kGroupUpdate = 0x0220,
+  kGroupCensus = 0x0221,
+  kGroupCensusReply = 0x0222,
+  // events: 0x0300
+  kEventNotify = 0x0300,
+  kEventAck = 0x0301,
+  kEventDeadTarget = 0x0302,
+  // dsm: 0x0400
+  kDsmPageRequest = 0x0400,
+  kDsmPageReply = 0x0401,
+  kDsmInvalidate = 0x0402,
+  kDsmInvalidateAck = 0x0403,
+  kDsmOwnershipTransfer = 0x0404,
+};
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::uint16_t kind = 0;
+  CallId call;  // correlation id; invalid for one-way messages
+  std::vector<std::uint8_t> payload;
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+}  // namespace doct::net

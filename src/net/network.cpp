@@ -1,0 +1,293 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace doct::net {
+
+namespace {
+std::pair<NodeId, NodeId> normalize(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+Network::Network(NetworkConfig config)
+    : config_(config), rng_(config.seed) {
+  wire_thread_ = std::thread([this] { wire_loop(); });
+}
+
+Network::~Network() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  wire_cv_.notify_all();
+  wire_thread_.join();
+
+  // Close every mailbox, then join every delivery thread.
+  std::vector<std::unique_ptr<NodeState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, state] : nodes_) states.push_back(std::move(state));
+    nodes_.clear();
+  }
+  for (auto& state : states) {
+    state->mailbox.close();
+    if (state->delivery_thread.joinable()) state->delivery_thread.join();
+  }
+}
+
+Status Network::register_node(NodeId node, MessageHandler handler) {
+  if (!node.valid() || !handler) {
+    return {StatusCode::kInvalidArgument, "node id and handler required"};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.contains(node)) {
+    return {StatusCode::kAlreadyExists, node.to_string()};
+  }
+  auto state = std::make_unique<NodeState>();
+  state->handler = std::move(handler);
+  NodeState* raw = state.get();
+  state->delivery_thread = std::thread([this, raw] { delivery_loop(*raw); });
+  nodes_.emplace(node, std::move(state));
+  return Status::ok();
+}
+
+Status Network::unregister_node(NodeId node) {
+  std::unique_ptr<NodeState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(node);
+    if (it == nodes_.end()) return {StatusCode::kNoSuchNode, node.to_string()};
+    state = std::move(it->second);
+    nodes_.erase(it);
+  }
+  state->mailbox.close();
+  if (state->delivery_thread.joinable()) state->delivery_thread.join();
+  // Drain anything left in the mailbox: those messages were in flight and are
+  // now lost; release their quiesce tokens.
+  while (state->mailbox.try_pop()) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  quiesce_cv_.notify_all();
+  return Status::ok();
+}
+
+Duration Network::latency_for(const Message& message) const {
+  return config_.base_latency +
+         config_.per_byte_latency * static_cast<long>(message.payload.size());
+}
+
+void Network::enqueue_wire(Message message) {
+  // Caller holds mu_.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  wire_.push(WireItem{clock_.now() + latency_for(message), wire_sequence_++,
+                      std::move(message)});
+  wire_cv_.notify_one();
+}
+
+Status Network::send(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.sent++;
+    stats_.bytes += message.payload.size();
+  }
+  if (!nodes_.contains(message.to)) {
+    return {StatusCode::kNoSuchNode, message.to.to_string()};
+  }
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped++;
+    return Status::ok();  // datagram semantics: loss is silent
+  }
+  enqueue_wire(std::move(message));
+  return Status::ok();
+}
+
+Status Network::broadcast(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.broadcast_sends++;
+  }
+  for (const auto& [id, state] : nodes_) {
+    if (id == message.from) continue;
+    Message copy = message;
+    copy.to = id;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.fanout_messages++;
+      stats_.bytes += copy.payload.size();
+    }
+    enqueue_wire(std::move(copy));
+  }
+  return Status::ok();
+}
+
+Status Network::create_multicast_group(GroupId group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = multicast_groups_.try_emplace(group);
+  (void)it;
+  if (!inserted) return {StatusCode::kAlreadyExists, group.to_string()};
+  return Status::ok();
+}
+
+Status Network::join(GroupId group, NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = multicast_groups_.find(group);
+  if (it == multicast_groups_.end()) {
+    return {StatusCode::kNoSuchGroup, group.to_string()};
+  }
+  it->second.insert(node);
+  return Status::ok();
+}
+
+Status Network::leave(GroupId group, NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = multicast_groups_.find(group);
+  if (it == multicast_groups_.end()) {
+    return {StatusCode::kNoSuchGroup, group.to_string()};
+  }
+  it->second.erase(node);
+  return Status::ok();
+}
+
+Status Network::multicast(GroupId group, Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = multicast_groups_.find(group);
+  if (it == multicast_groups_.end()) {
+    return {StatusCode::kNoSuchGroup, group.to_string()};
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.multicast_sends++;
+  }
+  for (NodeId member : it->second) {
+    if (member == message.from) continue;
+    if (!nodes_.contains(member)) continue;
+    Message copy = message;
+    copy.to = member;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.fanout_messages++;
+      stats_.bytes += copy.payload.size();
+    }
+    enqueue_wire(std::move(copy));
+  }
+  return Status::ok();
+}
+
+void Network::partition(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(normalize(a, b));
+}
+
+void Network::heal(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(normalize(a, b));
+}
+
+void Network::isolate(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, state] : nodes_) {
+    if (id != node) partitions_.insert(normalize(node, id));
+  }
+}
+
+void Network::reconnect(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(partitions_, [node](const auto& pair) {
+    return pair.first == node || pair.second == node;
+  });
+}
+
+bool Network::pair_partitioned_locked(NodeId a, NodeId b) const {
+  return partitions_.contains(normalize(a, b));
+}
+
+NetworkStats Network::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Network::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = NetworkStats{};
+}
+
+std::vector<NodeId> Network::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, state] : nodes_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::quiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Network::wire_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (shutting_down_) {
+      // Drop everything still on the wire and release quiesce tokens.
+      while (!wire_.empty()) {
+        wire_.pop();
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      quiesce_cv_.notify_all();
+      return;
+    }
+    if (wire_.empty()) {
+      wire_cv_.wait(lock, [&] { return !wire_.empty() || shutting_down_; });
+      continue;
+    }
+    const Duration now = clock_.now();
+    if (wire_.top().deliver_at > now) {
+      const auto deadline = TimePoint{} + wire_.top().deliver_at;
+      wire_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    Message message = std::move(const_cast<WireItem&>(wire_.top()).message);
+    wire_.pop();
+
+    const bool cut = pair_partitioned_locked(message.from, message.to);
+    auto it = nodes_.find(message.to);
+    if (cut || it == nodes_.end()) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        stats_.dropped++;
+      }
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      quiesce_cv_.notify_all();
+      continue;
+    }
+    // Mailbox push is cheap; keeping mu_ held here keeps the node-exists
+    // check and the push atomic with respect to unregister_node.
+    if (!it->second->mailbox.push(std::move(message))) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      quiesce_cv_.notify_all();
+    }
+  }
+}
+
+void Network::delivery_loop(NodeState& state) {
+  while (auto message = state.mailbox.pop()) {
+    state.handler(*message);  // runs unlocked (CP.22)
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.delivered++;
+    }
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    quiesce_cv_.notify_all();
+  }
+}
+
+}  // namespace doct::net

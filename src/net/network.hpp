@@ -1,0 +1,146 @@
+// In-process simulated multi-node network.
+//
+// Topology is a full mesh.  Each registered node gets an inbound FIFO mailbox
+// drained by its own delivery thread, so message handling is concurrent and
+// asynchronous exactly as on a real cluster.  A central "wire" thread applies
+// configurable per-message latency and loss, and honours partitions.
+//
+// Supports the three primitives §7.1 of the paper needs from the transport:
+// point-to-point send, broadcast (the "simple solution" locator), and
+// multicast groups (the "sophisticated thread-management" locator).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/queue.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace doct::net {
+
+struct NetworkConfig {
+  Duration base_latency{0};        // one-way latency applied to every message
+  Duration per_byte_latency{0};    // additional latency per payload byte
+  double drop_probability = 0.0;   // applied to point-to-point sends only
+  std::uint64_t seed = 0x5EED;
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;          // point-to-point sends attempted
+  std::uint64_t delivered = 0;     // messages handed to a node handler
+  std::uint64_t dropped = 0;       // lost to injected loss or partitions
+  std::uint64_t broadcast_sends = 0;   // broadcast() calls
+  std::uint64_t multicast_sends = 0;   // multicast() calls
+  std::uint64_t bytes = 0;         // payload bytes sent
+  // Total per-destination fan-out of broadcasts/multicasts (each counts as a
+  // wire message for the location-cost benches).
+  std::uint64_t fanout_messages = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a node and its message handler.  The handler runs on the
+  // node's dedicated delivery thread; it must not block indefinitely on
+  // another node's handler completing (deadlock is the caller's bug, as on a
+  // real kernel's interrupt path) — long work should be queued to node-local
+  // worker threads.
+  Status register_node(NodeId node, MessageHandler handler);
+  Status unregister_node(NodeId node);
+
+  // Point-to-point.  Ok means "accepted for transmission" — delivery is
+  // asynchronous and may still be dropped (datagram semantics).
+  Status send(Message message);
+
+  // Delivers to every registered node except the sender.
+  Status broadcast(Message message);
+
+  // Multicast groups.
+  Status create_multicast_group(GroupId group);
+  Status join(GroupId group, NodeId node);
+  Status leave(GroupId group, NodeId node);
+  Status multicast(GroupId group, Message message);
+
+  // Fault injection: a partitioned pair silently drops traffic both ways.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void isolate(NodeId node);    // partition `node` from everyone
+  void reconnect(NodeId node);  // heal all partitions involving `node`
+
+  [[nodiscard]] NetworkStats stats() const;
+  void reset_stats();
+
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  // Blocks until every queued message (wire + mailboxes) has been delivered
+  // and handled.  Tests use this instead of sleeps.
+  void quiesce();
+
+ private:
+  struct NodeState {
+    MessageHandler handler;
+    BlockingQueue<Message> mailbox;
+    std::thread delivery_thread;
+  };
+
+  struct WireItem {
+    Duration deliver_at;
+    std::uint64_t sequence;  // FIFO tie-break for equal deliver_at
+    Message message;
+    bool operator>(const WireItem& other) const {
+      if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
+      return sequence > other.sequence;
+    }
+  };
+
+  void wire_loop();
+  void delivery_loop(NodeState& state);
+  void enqueue_wire(Message message);
+  [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
+  [[nodiscard]] Duration latency_for(const Message& message) const;
+
+  NetworkConfig config_;
+  SteadyClock clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wire_cv_;
+  std::priority_queue<WireItem, std::vector<WireItem>, std::greater<>> wire_;
+  std::uint64_t wire_sequence_ = 0;
+  std::unordered_map<NodeId, std::unique_ptr<NodeState>> nodes_;
+  std::map<GroupId, std::set<NodeId>> multicast_groups_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  SplitMix64 rng_;
+  bool shutting_down_ = false;
+
+  // In-flight accounting for quiesce(): incremented when a message enters the
+  // wire, decremented after the destination handler returns.
+  std::atomic<std::int64_t> in_flight_{0};
+  std::condition_variable quiesce_cv_;
+  mutable std::mutex quiesce_mu_;
+
+  mutable std::mutex stats_mu_;
+  NetworkStats stats_;
+
+  std::thread wire_thread_;
+};
+
+}  // namespace doct::net

@@ -1,0 +1,461 @@
+#include "objects/manager.hpp"
+
+#include "common/log.hpp"
+
+namespace doct::objects {
+
+namespace {
+
+constexpr const char* kInvokeMethod = "object.invoke";
+constexpr const char* kSpawnInvokeMethod = "object.spawn_invoke";
+constexpr const char* kInvokeCompleteMethod = "object.invoke_complete";
+
+// Application-level result carried inside a successful RPC reply so that the
+// updated thread-context core is returned even when the entry failed.
+Payload encode_entry_result(const Result<Payload>& result) {
+  Writer w;
+  w.put(result.status().code());
+  w.put(result.status().message());
+  w.put(result.is_ok() ? result.value() : Payload{});
+  return std::move(w).take();
+}
+
+Result<Payload> decode_entry_result(Reader& r) {
+  const auto code = r.get<StatusCode>();
+  auto message = r.get_string();
+  auto value = r.get_bytes();
+  if (code != StatusCode::kOk) return Status{code, std::move(message)};
+  return value;
+}
+
+}  // namespace
+
+Result<Payload> PendingInvocation::claim(Duration timeout) {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->cv.wait_for(lock, timeout,
+                           [&] { return state_->result.has_value(); })) {
+    return Status{StatusCode::kTimeout, "async invocation claim timed out"};
+  }
+  return *state_->result;
+}
+
+bool PendingInvocation::ready() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result.has_value();
+}
+
+ObjectManager::ObjectManager(kernel::Kernel& kernel, rpc::RpcEndpoint& rpc)
+    : kernel_(kernel), rpc_(rpc) {
+  rpc_.register_method(kInvokeMethod, [this](NodeId caller, Reader& args) {
+    return rpc_invoke(caller, args);
+  });
+  // spawn_invoke only creates a thread and returns; it must stay responsive
+  // even when all workers are busy executing invocations.
+  rpc_.register_method(
+      kSpawnInvokeMethod,
+      [this](NodeId caller, Reader& args) {
+        return rpc_spawn_invoke(caller, args);
+      },
+      rpc::MethodClass::kFast);
+  rpc_.register_method(
+      kInvokeCompleteMethod,
+      [this](NodeId caller, Reader& args) {
+        return rpc_invoke_complete(caller, args);
+      },
+      rpc::MethodClass::kFast);
+}
+
+ObjectManager::~ObjectManager() {
+  rpc_.unregister_method(kInvokeMethod);
+  rpc_.unregister_method(kSpawnInvokeMethod);
+  rpc_.unregister_method(kInvokeCompleteMethod);
+  // Fail outstanding async claims.
+  std::unordered_map<std::uint64_t, PendingEntry> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [token, entry] : pending) {
+    {
+      std::lock_guard<std::mutex> lock(entry.state->mu);
+      if (!entry.state->result.has_value()) {
+        entry.state->result = Status{StatusCode::kAborted, "manager shut down"};
+      }
+    }
+    entry.state->cv.notify_all();
+  }
+}
+
+NodeId ObjectManager::object_node(ObjectId id) {
+  return IdGenerator::object_home_node(id);
+}
+
+ObjectId ObjectManager::make_object_id() {
+  return kernel_.ids().next_object_id(kernel_.self());
+}
+
+ObjectId ObjectManager::add_object(std::shared_ptr<PassiveObject> object) {
+  const ObjectId id = make_object_id();
+  object->set_id(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.emplace(id, std::move(object));
+  return id;
+}
+
+Status ObjectManager::add_replica(ObjectId id,
+                                  std::shared_ptr<PassiveObject> object) {
+  if (!id.valid()) return {StatusCode::kInvalidArgument, "invalid object id"};
+  object->set_id(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = objects_.emplace(id, std::move(object));
+  (void)it;
+  if (!inserted) return {StatusCode::kAlreadyExists, id.to_string()};
+  return Status::ok();
+}
+
+Status ObjectManager::remove_object(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.erase(id) > 0
+             ? Status::ok()
+             : Status{StatusCode::kNoSuchObject, id.to_string()};
+}
+
+std::shared_ptr<PassiveObject> ObjectManager::find(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second;
+}
+
+// --- local execution ----------------------------------------------------------
+
+Result<Payload> ObjectManager::run_local(ObjectId object,
+                                         const std::string& entry,
+                                         Payload args,
+                                         bool enforce_visibility) {
+  auto obj = find(object);
+  if (obj == nullptr) {
+    return Status{StatusCode::kNoSuchObject, object.to_string()};
+  }
+  auto fn = obj->lookup(entry, enforce_visibility);
+  if (!fn.is_ok()) return fn.status();
+
+  kernel::ThreadContext* thread = kernel::Kernel::current();
+  ObjectId previous;
+  if (thread != nullptr) {
+    previous = thread->current_object();
+    thread->set_current_object(object);
+    thread->with_attributes([&](kernel::ThreadAttributes& a) {
+      a.call_chain.push_back(kernel::InvocationFrame{object, kernel_.self()});
+    });
+    // Invocation entry is a delivery point.
+    const Status polled = kernel_.poll_events();
+    if (!polled.is_ok()) {
+      thread->with_attributes(
+          [&](kernel::ThreadAttributes& a) { a.call_chain.pop_back(); });
+      thread->set_current_object(previous);
+      return polled;
+    }
+  }
+
+  Reader reader(std::move(args));
+  CallCtx ctx{*this, thread, object, reader};
+  Result<Payload> result = [&]() -> Result<Payload> {
+    try {
+      return fn.value()(ctx);
+    } catch (const std::exception& e) {
+      return Status{StatusCode::kInternal,
+                    std::string("entry threw: ") + e.what()};
+    }
+  }();
+
+  if (thread != nullptr) {
+    thread->with_attributes([&](kernel::ThreadAttributes& a) {
+      if (!a.call_chain.empty()) a.call_chain.pop_back();
+    });
+    thread->set_current_object(previous);
+    // Invocation exit is a delivery point.
+    const Status polled = kernel_.poll_events();
+    if (!polled.is_ok() && result.is_ok()) return polled;
+  }
+  return result;
+}
+
+Result<Payload> ObjectManager::invoke_handler_entry(
+    ObjectId object, const std::string& entry, Payload args,
+    kernel::ThreadContext*) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.handler_invocations++;
+  }
+  return run_local(object, entry, std::move(args),
+                   /*enforce_visibility=*/false);
+}
+
+// --- synchronous invocation -----------------------------------------------------
+
+Result<Payload> ObjectManager::invoke(ObjectId object, const std::string& entry,
+                                      Payload args, InvokeMode mode) {
+  const NodeId home = object_node(object);
+  if (!home.valid()) {
+    return Status{StatusCode::kNoSuchObject, object.to_string()};
+  }
+
+  if (mode == InvokeMode::kDsm) {
+    // DSM mode: data comes to the computation; the thread stays here.  The
+    // object must have a local replica whose state is DSM-backed.
+    if (find(object) == nullptr) {
+      return Status{StatusCode::kNoSuchObject,
+                    "no local replica for DSM-mode invocation of " +
+                        object.to_string()};
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.invocations_dsm++;
+    }
+    return run_local(object, entry, std::move(args),
+                     /*enforce_visibility=*/true);
+  }
+
+  if (home == kernel_.self() && mode != InvokeMode::kRpc) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.invocations_local++;
+    }
+    return run_local(object, entry, std::move(args),
+                     /*enforce_visibility=*/true);
+  }
+
+  // Remote (or forced-RPC) invocation: the logical thread travels.
+  kernel::ThreadContext* thread = kernel::Kernel::current();
+  if (thread == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "remote invocation requires a logical thread"};
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.invocations_remote++;
+  }
+  auto travel_result = kernel_.travel(
+      home, [&](const rpc::Payload& core) -> Result<rpc::Payload> {
+        Writer w;
+        w.put(core);
+        w.put(object);
+        w.put(entry);
+        w.put(args);
+        return rpc_.call(home, kInvokeMethod, std::move(w).take());
+      });
+  if (!travel_result.is_ok()) return travel_result.status();
+  Reader r(std::move(travel_result).value());
+  return decode_entry_result(r);
+}
+
+Result<rpc::Payload> ObjectManager::rpc_invoke(NodeId, Reader& args) {
+  auto core = args.get_bytes();
+  const auto object = args.get_id<ObjectTag>();
+  const auto entry = args.get_string();
+  auto entry_args = args.get_bytes();
+
+  Result<Payload> entry_result{Payload{}};
+  auto adopt_result = kernel_.adopt_and_run(
+      core, [&](kernel::ThreadContext&) -> Status {
+        entry_result = run_local(object, entry, std::move(entry_args),
+                                 /*enforce_visibility=*/true);
+        // Entry-level failures travel inside the composite reply, not as RPC
+        // failures (the updated context core must still reach the caller).
+        return Status::ok();
+      });
+  if (!adopt_result.is_ok()) return adopt_result.status();
+
+  // Reply layout expected by Kernel::travel: [len-prefixed core][raw result].
+  Writer out;
+  out.put(adopt_result.value());
+  Payload composed = std::move(out).take();
+  const Payload encoded = encode_entry_result(entry_result);
+  composed.insert(composed.end(), encoded.begin(), encoded.end());
+  return composed;
+}
+
+// --- asynchronous invocations -----------------------------------------------------
+
+Result<PendingInvocation> ObjectManager::invoke_async(ObjectId object,
+                                                      const std::string& entry,
+                                                      Payload args) {
+  kernel::ThreadContext* thread = kernel::Kernel::current();
+  const NodeId home = object_node(object);
+
+  // Child tid rooted HERE: the trail starts at this node.
+  const ThreadId child = kernel_.ids().next_thread_id(kernel_.self());
+
+  // The system keeps track of claimable async invocations: leave a stub TCB
+  // entry pointing at the object's node so path-following works (§7.1).
+  auto stub = std::make_shared<kernel::ThreadContext>(child, kernel_.self());
+  if (thread != nullptr) {
+    stub->attributes() = thread->with_attributes(
+        [](kernel::ThreadAttributes& a) { return a; });
+    stub->attributes().creator = thread->tid();
+  }
+  kernel::ThreadAttributes child_attrs = stub->attributes();
+  if (home != kernel_.self()) {
+    stub->depart(home);
+    kernel_.adopt_stub(stub);
+  }
+
+  PendingInvocation pending;
+  const std::uint64_t token = kernel_.new_wait_token();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(token, PendingEntry{pending.state_, child});
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.async_spawns++;
+  }
+
+  Writer w;
+  w.put(child);
+  Writer attr_writer;
+  child_attrs.serialize(attr_writer);
+  w.put(std::move(attr_writer).take());
+  w.put(object);
+  w.put(entry);
+  w.put(args);
+  w.put(true);  // claimable
+  w.put(token);
+  w.put(kernel_.self());
+
+  if (home == kernel_.self()) {
+    Reader r(std::move(w).take());
+    auto spawned = rpc_spawn_invoke(kernel_.self(), r);
+    if (!spawned.is_ok()) {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(token);
+      return spawned.status();
+    }
+  } else {
+    auto reply = rpc_.call(home, kSpawnInvokeMethod, std::move(w).take());
+    if (!reply.is_ok()) {
+      kernel_.drop_stub(child, /*tombstone=*/false);
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(token);
+      return reply.status();
+    }
+  }
+  return pending;
+}
+
+Status ObjectManager::invoke_oneway(ObjectId object, const std::string& entry,
+                                    Payload args) {
+  kernel::ThreadContext* thread = kernel::Kernel::current();
+  const NodeId home = object_node(object);
+  const ThreadId child = kernel_.ids().next_thread_id(kernel_.self());
+
+  kernel::ThreadAttributes child_attrs;
+  if (thread != nullptr) {
+    child_attrs = thread->with_attributes(
+        [](kernel::ThreadAttributes& a) { return a; });
+    child_attrs.creator = thread->tid();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.oneway_spawns++;
+  }
+
+  Writer w;
+  w.put(child);
+  Writer attr_writer;
+  child_attrs.serialize(attr_writer);
+  w.put(std::move(attr_writer).take());
+  w.put(object);
+  w.put(entry);
+  w.put(args);
+  w.put(false);  // non-claimable: no trail, no completion
+  w.put(std::uint64_t{0});
+  w.put(kernel_.self());
+
+  if (home == kernel_.self()) {
+    Reader r(std::move(w).take());
+    auto spawned = rpc_spawn_invoke(kernel_.self(), r);
+    return spawned.status();
+  }
+  return rpc_.call_oneway(home, kSpawnInvokeMethod, std::move(w).take());
+}
+
+Result<rpc::Payload> ObjectManager::rpc_spawn_invoke(NodeId, Reader& args) {
+  const auto child = args.get_id<ThreadTag>();
+  auto attr_bytes = args.get_bytes();
+  const auto object = args.get_id<ObjectTag>();
+  const auto entry = args.get_string();
+  auto entry_args = args.get_bytes();
+  const bool claimable = args.get_bool();
+  const auto token = args.get<std::uint64_t>();
+  const auto caller_node = args.get_id<NodeTag>();
+
+  Reader attr_reader(std::move(attr_bytes));
+  kernel::ThreadAttributes attrs =
+      kernel::ThreadAttributes::deserialize(attr_reader);
+
+  kernel::SpawnOptions options;
+  options.explicit_tid = child;
+  options.attributes = std::move(attrs);
+
+  kernel_.spawn(
+      [this, object, entry, entry_args = std::move(entry_args), claimable,
+       token, caller_node]() mutable {
+        auto result = run_local(object, entry, std::move(entry_args),
+                                /*enforce_visibility=*/true);
+        if (!claimable) return;
+        Writer w;
+        w.put(token);
+        w.put(encode_entry_result(result));
+        if (caller_node == kernel_.self()) {
+          Reader r(std::move(w).take());
+          rpc_invoke_complete(kernel_.self(), r);
+        } else {
+          rpc_.call_oneway(caller_node, kInvokeCompleteMethod,
+                           std::move(w).take());
+        }
+      },
+      options);
+  return rpc::Payload{};
+}
+
+Result<rpc::Payload> ObjectManager::rpc_invoke_complete(NodeId, Reader& args) {
+  const auto token = args.get<std::uint64_t>();
+  auto encoded = args.get_bytes();
+
+  std::shared_ptr<PendingInvocation::State> state;
+  ThreadId child;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+      return Status{StatusCode::kNoSuchThread, "unknown completion token"};
+    }
+    state = it->second.state;
+    child = it->second.child;
+    pending_.erase(it);
+  }
+  // Retire the child's trail stub; the tombstone lets later raises report
+  // DEAD_TARGET from the root node.
+  kernel_.drop_stub(child, /*tombstone=*/true);
+  Reader r(std::move(encoded));
+  auto result = decode_entry_result(r);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+  }
+  state->cv.notify_all();
+  return rpc::Payload{};
+}
+
+ObjectManagerStats ObjectManager::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ObjectManager::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = ObjectManagerStats{};
+}
+
+}  // namespace doct::objects

@@ -1,0 +1,156 @@
+// ObjectManager — per-node object registry and the invocation machinery.
+//
+// Invocation in the DO/CT model (§2): "The calling thread invokes the desired
+// entry point in the called object.  Invocations are similar to procedure
+// calls, except that they cross object boundaries.  In the passive-object
+// paradigm, when an object invokes another, the same logical thread is used
+// to execute the code in the called object."
+//
+// Three invocation shapes:
+//   invoke()        — synchronous; the logical thread travels to the object's
+//                     node (kernel::travel/adopt), executes, returns.  Thread
+//                     attributes (handler chain!) flow there and back.
+//   invoke_async()  — claimable asynchronous invocation: a CHILD logical
+//                     thread runs the entry at the object's node.  The system
+//                     keeps track: the child's tid is rooted at the caller's
+//                     node and a stub TCB entry is left there, so the
+//                     path-following locator can find it.  claim() fetches
+//                     the result.
+//   invoke_oneway() — NON-CLAIMABLE asynchronous invocation: same child
+//                     spawn, but no trail and no result path.  §7.1: the
+//                     path-following locator cannot find such threads (the
+//                     broadcast and multicast locators still can).
+//
+// Object placement: an object lives at the node that created it (encoded in
+// its ObjectId); objects do not migrate.  In DSM mode (§2's second vehicle)
+// the thread does NOT travel: the entry runs at the caller's node and the
+// object's state pages fault over to it through the DSM engine — data moves
+// to computation.  Event semantics are identical in both modes (design goal
+// 2), which tests/bench E8 verify.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/id_gen.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "kernel/kernel.hpp"
+#include "objects/object.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::objects {
+
+enum class InvokeMode : std::uint8_t {
+  kAuto = 0,  // local call if the object is here, RPC travel otherwise
+  kRpc = 1,   // force the travel path even for local objects
+  kDsm = 2,   // run locally against DSM-backed state (object must be
+              // replicated on this node)
+};
+
+struct ObjectManagerStats {
+  std::uint64_t invocations_local = 0;
+  std::uint64_t invocations_remote = 0;   // travel-based
+  std::uint64_t invocations_dsm = 0;
+  std::uint64_t async_spawns = 0;
+  std::uint64_t oneway_spawns = 0;
+  std::uint64_t handler_invocations = 0;  // event-delivery entry executions
+};
+
+// Ticket for a claimable asynchronous invocation.
+class PendingInvocation {
+ public:
+  [[nodiscard]] Result<Payload> claim(Duration timeout);
+  [[nodiscard]] bool ready() const;
+
+ private:
+  friend class ObjectManager;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<Payload>> result;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+class ObjectManager {
+ public:
+  ObjectManager(kernel::Kernel& kernel, rpc::RpcEndpoint& rpc);
+  ~ObjectManager();
+
+  ObjectManager(const ObjectManager&) = delete;
+  ObjectManager& operator=(const ObjectManager&) = delete;
+
+  [[nodiscard]] kernel::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] NodeId self() const { return kernel_.self(); }
+
+  // Registers a new object at this node; assigns and returns its id.
+  ObjectId add_object(std::shared_ptr<PassiveObject> object);
+
+  // Registers a replica of an object created elsewhere (DSM mode: every node
+  // that wants local DSM-mode invocation activates a replica bound to the
+  // same DSM segment).
+  Status add_replica(ObjectId id, std::shared_ptr<PassiveObject> object);
+
+  Status remove_object(ObjectId id);
+  [[nodiscard]] std::shared_ptr<PassiveObject> find(ObjectId id) const;
+
+  // Node where the object lives (derived from the id).
+  [[nodiscard]] static NodeId object_node(ObjectId id);
+  // Mints object ids for a node (used by add_object).
+  [[nodiscard]] ObjectId make_object_id();
+
+  // --- invocation ---------------------------------------------------------
+
+  [[nodiscard]] Result<Payload> invoke(ObjectId object,
+                                       const std::string& entry, Payload args,
+                                       InvokeMode mode = InvokeMode::kAuto);
+
+  [[nodiscard]] Result<PendingInvocation> invoke_async(ObjectId object,
+                                                       const std::string& entry,
+                                                       Payload args);
+
+  Status invoke_oneway(ObjectId object, const std::string& entry,
+                       Payload args);
+
+  // Event-delivery path: runs a (possibly private) entry of a LOCAL object on
+  // the calling OS thread.  `thread` may be null (master handler thread).
+  [[nodiscard]] Result<Payload> invoke_handler_entry(
+      ObjectId object, const std::string& entry, Payload args,
+      kernel::ThreadContext* thread);
+
+  [[nodiscard]] ObjectManagerStats stats() const;
+  void reset_stats();
+
+ private:
+  // RPC methods.
+  Result<rpc::Payload> rpc_invoke(NodeId caller, Reader& args);
+  Result<rpc::Payload> rpc_spawn_invoke(NodeId caller, Reader& args);
+  Result<rpc::Payload> rpc_invoke_complete(NodeId caller, Reader& args);
+
+  // Runs entry on the current OS thread against a local object, maintaining
+  // current_object and the call chain, with delivery points at entry/exit.
+  Result<Payload> run_local(ObjectId object, const std::string& entry,
+                            Payload args, bool enforce_visibility);
+
+  kernel::Kernel& kernel_;
+  rpc::RpcEndpoint& rpc_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, std::shared_ptr<PassiveObject>> objects_;
+
+  struct PendingEntry {
+    std::shared_ptr<PendingInvocation::State> state;
+    ThreadId child;
+  };
+  mutable std::mutex pending_mu_;
+  std::unordered_map<std::uint64_t, PendingEntry> pending_;
+
+  mutable std::mutex stats_mu_;
+  ObjectManagerStats stats_;
+};
+
+}  // namespace doct::objects

@@ -1,0 +1,195 @@
+// Passive, persistent objects (§2, §3.1).
+//
+// An object is a named bundle of entry points and state.  It has no threads
+// of its own: threads enter it by invocation (possibly crossing nodes) and
+// leave on return.  It persists whether or not any thread is active inside
+// it, and it can field events while fully passive (object-based handlers,
+// §4.3).
+//
+// Mirroring the paper's interface template (§5.1):
+//
+//   class my_object {
+//     handler void my_delete_handler(event_block&) on { DELETE };  (private)
+//    public:
+//     entry void init();
+//     entry void work(int id);
+//   };
+//
+// maps to:
+//
+//   auto obj = std::make_shared<PassiveObject>("my_object");
+//   obj->define_entry("init", ..., Visibility::kPublic);
+//   obj->define_entry("work", ..., Visibility::kPublic);
+//   obj->define_entry("my_delete_handler", ..., Visibility::kPrivate);
+//   obj->define_handler("DELETE", "my_delete_handler");
+//
+// Private entries cannot be invoked directly (kPermissionDenied); only the
+// event-delivery machinery may call them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+
+namespace doct::kernel {
+class ThreadContext;
+}
+
+namespace doct::objects {
+
+class ObjectManager;
+using Payload = std::vector<std::uint8_t>;
+
+enum class Visibility : std::uint8_t { kPublic = 0, kPrivate = 1 };
+
+// Context handed to every entry point while it executes.
+struct CallCtx {
+  ObjectManager& manager;
+  kernel::ThreadContext* thread = nullptr;  // null for master-handler calls
+  ObjectId self;
+  Reader& args;
+};
+
+using EntryFn = std::function<Result<Payload>(CallCtx&)>;
+
+class PassiveObject {
+ public:
+  explicit PassiveObject(std::string type_name)
+      : type_name_(std::move(type_name)) {}
+  virtual ~PassiveObject() = default;
+
+  PassiveObject(const PassiveObject&) = delete;
+  PassiveObject& operator=(const PassiveObject&) = delete;
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+  [[nodiscard]] const std::string& type_name() const { return type_name_; }
+
+  void define_entry(std::string name, EntryFn fn,
+                    Visibility visibility = Visibility::kPublic) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[std::move(name)] = Entry{std::move(fn), visibility};
+  }
+
+  // §5.1: 'handler void my_delete_handler(event_block&) on { DELETE }' —
+  // declares that the (private) entry handles the named event when it is
+  // posted to this object.
+  void define_handler(std::string event_name, std::string entry_name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_[std::move(event_name)] = std::move(entry_name);
+  }
+
+  [[nodiscard]] bool has_entry(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.contains(name);
+  }
+
+  // Returns the handler entry name for an event, empty if none registered.
+  [[nodiscard]] std::string handler_for(const std::string& event_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(event_name);
+    return it == handlers_.end() ? std::string{} : it->second;
+  }
+
+  [[nodiscard]] std::vector<std::string> handled_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(handlers_.size());
+    for (const auto& [event, entry] : handlers_) out.push_back(event);
+    return out;
+  }
+
+  // §5.2: "Entry point signatures in the object interface specify
+  // exceptional events raised by the entry points."  Callers consult
+  // raised_by() to know which handlers to attach at the point of invocation.
+  void declare_raises(const std::string& entry_name, std::string event_name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    raises_[entry_name].push_back(std::move(event_name));
+  }
+
+  [[nodiscard]] std::vector<std::string> raised_by(
+      const std::string& entry_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = raises_.find(entry_name);
+    return it == raises_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  // Persistence hooks (§3.1 "Persistence"): the object store serializes an
+  // object's state on deactivation and restores it on activation.
+  virtual void save_state(Writer&) const {}
+  virtual void load_state(Reader&) {}
+
+ protected:
+  friend class ObjectManager;
+
+  struct Entry {
+    EntryFn fn;
+    Visibility visibility = Visibility::kPublic;
+  };
+
+  void set_id(ObjectId id) { id_ = id; }
+
+  // Looks up an entry; enforce_visibility rejects private entries (the
+  // event-delivery machinery passes false).
+  [[nodiscard]] Result<EntryFn> lookup(const std::string& name,
+                                       bool enforce_visibility) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status{StatusCode::kInvalidArgument,
+                    type_name_ + " has no entry " + name};
+    }
+    if (enforce_visibility && it->second.visibility == Visibility::kPrivate) {
+      return Status{StatusCode::kPermissionDenied,
+                    name + " is a private entry of " + type_name_};
+    }
+    return it->second.fn;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const std::string type_name_;
+  ObjectId id_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string> handlers_;  // event name -> entry name
+  std::map<std::string, std::vector<std::string>> raises_;  // entry -> events
+};
+
+// Factory registry used by the persistent store to re-activate objects by
+// type name.
+class ObjectFactory {
+ public:
+  using Factory = std::function<std::shared_ptr<PassiveObject>()>;
+
+  void register_type(std::string type_name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    factories_[std::move(type_name)] = std::move(factory);
+  }
+
+  [[nodiscard]] Result<std::shared_ptr<PassiveObject>> make(
+      const std::string& type_name) const {
+    Factory factory;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = factories_.find(type_name);
+      if (it == factories_.end()) {
+        return Status{StatusCode::kInvalidArgument,
+                      "no factory for type " + type_name};
+      }
+      factory = it->second;
+    }
+    return factory();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace doct::objects

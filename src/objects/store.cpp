@@ -1,0 +1,158 @@
+#include "objects/store.hpp"
+
+#include <fstream>
+
+namespace doct::objects {
+
+// --- MemoryBackend -----------------------------------------------------------
+
+Status MemoryBackend::put(ObjectId id, const std::string& type_name,
+                          const std::vector<std::uint8_t>& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[id] = {type_name, state};
+  return Status::ok();
+}
+
+Result<std::pair<std::string, std::vector<std::uint8_t>>> MemoryBackend::get(
+    ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(id);
+  if (it == data_.end()) {
+    return Status{StatusCode::kNoSuchObject, id.to_string()};
+  }
+  return it->second;
+}
+
+Status MemoryBackend::erase(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.erase(id) > 0 ? Status::ok()
+                             : Status{StatusCode::kNoSuchObject, id.to_string()};
+}
+
+std::vector<ObjectId> MemoryBackend::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> out;
+  out.reserve(data_.size());
+  for (const auto& [id, entry] : data_) out.push_back(id);
+  return out;
+}
+
+// --- FileBackend -------------------------------------------------------------
+
+FileBackend::FileBackend(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path FileBackend::path_for(ObjectId id) const {
+  return directory_ / (std::to_string(id.value()) + ".obj");
+}
+
+Status FileBackend::put(ObjectId id, const std::string& type_name,
+                        const std::vector<std::uint8_t>& state) {
+  Writer w;
+  w.put(type_name);
+  w.put(state);
+  const auto bytes = std::move(w).take();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_for(id), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return {StatusCode::kInternal, "cannot open " + path_for(id).string()};
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good() ? Status::ok()
+                    : Status{StatusCode::kInternal, "short write"};
+}
+
+Result<std::pair<std::string, std::vector<std::uint8_t>>> FileBackend::get(
+    ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ifstream in(path_for(id), std::ios::binary);
+  if (!in) return Status{StatusCode::kNoSuchObject, id.to_string()};
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    Reader r(std::move(bytes));
+    auto type_name = r.get_string();
+    auto state = r.get_bytes();
+    return std::pair{std::move(type_name), std::move(state)};
+  } catch (const DeserializeError& e) {
+    return Status{StatusCode::kInternal,
+                  std::string("corrupt object file: ") + e.what()};
+  }
+}
+
+Status FileBackend::erase(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  return std::filesystem::remove(path_for(id), ec)
+             ? Status::ok()
+             : Status{StatusCode::kNoSuchObject, id.to_string()};
+}
+
+std::vector<ObjectId> FileBackend::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".obj") {
+      out.push_back(ObjectId{std::stoull(entry.path().stem().string())});
+    }
+  }
+  return out;
+}
+
+// --- ObjectStore -------------------------------------------------------------
+
+ObjectStore::ObjectStore(ObjectManager& manager, ObjectFactory& factory,
+                         std::unique_ptr<StoreBackend> backend)
+    : manager_(manager), factory_(factory), backend_(std::move(backend)) {}
+
+Status ObjectStore::deactivate(ObjectId id) {
+  auto object = manager_.find(id);
+  if (object == nullptr) {
+    return {StatusCode::kNoSuchObject, id.to_string()};
+  }
+  Writer w;
+  object->save_state(w);
+  const Status stored = backend_->put(id, object->type_name(),
+                                      std::move(w).take());
+  if (!stored.is_ok()) return stored;
+  return manager_.remove_object(id);
+}
+
+Status ObjectStore::activate(ObjectId id) {
+  if (manager_.find(id) != nullptr) {
+    return {StatusCode::kAlreadyExists, id.to_string() + " already active"};
+  }
+  auto stored = backend_->get(id);
+  if (!stored.is_ok()) return stored.status();
+  auto made = factory_.make(stored.value().first);
+  if (!made.is_ok()) return made.status();
+  auto object = std::move(made).value();
+  try {
+    Reader r(stored.value().second);
+    object->load_state(r);
+  } catch (const DeserializeError& e) {
+    return {StatusCode::kInternal,
+            std::string("corrupt persisted state: ") + e.what()};
+  }
+  return manager_.add_replica(id, std::move(object));
+}
+
+bool ObjectStore::is_passive(ObjectId id) const {
+  if (manager_.find(id) != nullptr) return false;
+  auto entries = backend_->list();
+  return std::find(entries.begin(), entries.end(), id) != entries.end();
+}
+
+Status ObjectStore::drop(ObjectId id) { return backend_->erase(id); }
+
+std::vector<ObjectId> ObjectStore::passive_objects() const {
+  return backend_->list();
+}
+
+}  // namespace doct::objects

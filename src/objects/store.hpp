@@ -1,0 +1,98 @@
+// ObjectStore — persistence for passive objects (§3.1 "Persistence: objects
+// in our model are persistent by nature and may exist passively").
+//
+// An object can be *deactivated*: its state is serialized to a backing store
+// and the in-memory instance dropped.  A later *activate* reconstructs the
+// instance through the ObjectFactory and restores its state.  Event delivery
+// to a passive (deactivated) object activates it first — the paper's
+// requirement that objects "handle events posted to them, even if there is
+// no thread active inside them" extends all the way to objects that are not
+// even in memory.
+//
+// Two backends: in-memory (tests, benches) and file-backed (real persistence
+// across process restarts).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+#include "objects/manager.hpp"
+#include "objects/object.hpp"
+
+namespace doct::objects {
+
+// Backend interface: stores (type_name, state bytes) per object id.
+class StoreBackend {
+ public:
+  virtual ~StoreBackend() = default;
+  virtual Status put(ObjectId id, const std::string& type_name,
+                     const std::vector<std::uint8_t>& state) = 0;
+  virtual Result<std::pair<std::string, std::vector<std::uint8_t>>> get(
+      ObjectId id) = 0;
+  virtual Status erase(ObjectId id) = 0;
+  [[nodiscard]] virtual std::vector<ObjectId> list() const = 0;
+};
+
+class MemoryBackend final : public StoreBackend {
+ public:
+  Status put(ObjectId id, const std::string& type_name,
+             const std::vector<std::uint8_t>& state) override;
+  Result<std::pair<std::string, std::vector<std::uint8_t>>> get(
+      ObjectId id) override;
+  Status erase(ObjectId id) override;
+  [[nodiscard]] std::vector<ObjectId> list() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ObjectId, std::pair<std::string, std::vector<std::uint8_t>>> data_;
+};
+
+class FileBackend final : public StoreBackend {
+ public:
+  explicit FileBackend(std::filesystem::path directory);
+
+  Status put(ObjectId id, const std::string& type_name,
+             const std::vector<std::uint8_t>& state) override;
+  Result<std::pair<std::string, std::vector<std::uint8_t>>> get(
+      ObjectId id) override;
+  Status erase(ObjectId id) override;
+  [[nodiscard]] std::vector<ObjectId> list() const override;
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(ObjectId id) const;
+  std::filesystem::path directory_;
+  mutable std::mutex mu_;
+};
+
+class ObjectStore {
+ public:
+  ObjectStore(ObjectManager& manager, ObjectFactory& factory,
+              std::unique_ptr<StoreBackend> backend);
+
+  // Serializes the object's state to the backend and removes the in-memory
+  // instance from the manager.  The object id remains valid.
+  Status deactivate(ObjectId id);
+
+  // Reconstructs a deactivated object (type factory + load_state) and
+  // re-registers it with the manager as a replica under its original id.
+  Status activate(ObjectId id);
+
+  [[nodiscard]] bool is_passive(ObjectId id) const;
+  Status drop(ObjectId id);  // permanently delete a deactivated object
+
+  [[nodiscard]] std::vector<ObjectId> passive_objects() const;
+
+ private:
+  ObjectManager& manager_;
+  ObjectFactory& factory_;
+  std::unique_ptr<StoreBackend> backend_;
+};
+
+}  // namespace doct::objects

@@ -1,0 +1,248 @@
+#include "rpc/rpc.hpp"
+
+#include "common/log.hpp"
+
+namespace doct::rpc {
+
+namespace {
+
+// Wire format of a request payload: method name, args bytes, oneway flag.
+Payload encode_request(const std::string& method, const Payload& args,
+                       bool oneway) {
+  Writer w;
+  w.put(method);
+  w.put(args);
+  w.put(oneway);
+  return std::move(w).take();
+}
+
+// Wire format of a response payload: status code, status message, result.
+Payload encode_response(StatusCode code, const std::string& message,
+                        const Payload& result) {
+  Writer w;
+  w.put(code);
+  w.put(message);
+  w.put(result);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Result<Payload> PendingCall::claim(Duration timeout) {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (!state_->cv.wait_for(lock, timeout,
+                           [&] { return state_->result.has_value(); })) {
+    return Status{StatusCode::kTimeout, "rpc claim timed out"};
+  }
+  return *state_->result;
+}
+
+bool PendingCall::ready() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result.has_value();
+}
+
+RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
+                         IdGenerator& ids, RpcConfig config)
+    : network_(network),
+      self_(self),
+      ids_(ids),
+      config_(config),
+      workers_(config.worker_threads) {
+  demux.route(net::kRpcRequest,
+              [this](const net::Message& m) { on_request(m); });
+  demux.route(net::kRpcResponse,
+              [this](const net::Message& m) { on_response(m); });
+}
+
+void RpcEndpoint::drain_workers() { workers_.shutdown(); }
+
+RpcEndpoint::~RpcEndpoint() {
+  workers_.shutdown();
+  // Fail any still-pending calls so blocked callers wake up.
+  std::unordered_map<CallId, std::shared_ptr<PendingCall::State>> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [id, state] : pending) {
+    fulfill(*state, Status{StatusCode::kAborted, "endpoint shut down"});
+  }
+}
+
+void RpcEndpoint::register_method(std::string name, Method method,
+                                  MethodClass method_class) {
+  std::lock_guard<std::mutex> lock(methods_mu_);
+  methods_[std::move(name)] = RegisteredMethod{std::move(method), method_class};
+}
+
+void RpcEndpoint::unregister_method(const std::string& name) {
+  std::lock_guard<std::mutex> lock(methods_mu_);
+  methods_.erase(name);
+}
+
+void RpcEndpoint::fulfill(PendingCall::State& state, Result<Payload> result) {
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.result.has_value()) return;  // first writer wins
+    state.result = std::move(result);
+  }
+  state.cv.notify_all();
+}
+
+CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
+                                 Payload args,
+                                 std::shared_ptr<PendingCall::State> state) {
+  const CallId call = ids_.next<CallTag>();
+  const bool oneway = (state == nullptr);
+  if (state) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(call, std::move(state));
+  }
+  const Status sent = network_.send(net::Message{
+      .from = self_,
+      .to = target,
+      .kind = net::kRpcRequest,
+      .call = call,
+      .payload = encode_request(method, args, oneway),
+  });
+  if (!sent.is_ok()) {
+    // Transport rejected the send outright (unknown node): fail fast rather
+    // than waiting for a timeout.
+    std::shared_ptr<PendingCall::State> failed;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(call);
+      if (it != pending_.end()) {
+        failed = it->second;
+        pending_.erase(it);
+      }
+    }
+    if (failed) fulfill(*failed, sent);
+  }
+  return call;
+}
+
+Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
+                                  Payload args) {
+  return call(target, method, std::move(args), config_.default_timeout);
+}
+
+Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
+                                  Payload args, Duration timeout) {
+  PendingCall pending;
+  const CallId id = send_request(target, method, std::move(args), pending.state_);
+  auto result = pending.claim(timeout);
+  if (!result.is_ok() && result.status().code() == StatusCode::kTimeout) {
+    // Forget the correlation entry; a late response is dropped harmlessly.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(id);
+  }
+  return result;
+}
+
+PendingCall RpcEndpoint::call_async(NodeId target, const std::string& method,
+                                    Payload args) {
+  PendingCall pending;
+  send_request(target, method, std::move(args), pending.state_);
+  return pending;
+}
+
+Status RpcEndpoint::call_oneway(NodeId target, const std::string& method,
+                                Payload args) {
+  send_request(target, method, std::move(args), nullptr);
+  return Status::ok();
+}
+
+void RpcEndpoint::on_request(const net::Message& message) {
+  // Runs on the network delivery thread.  kFast methods execute inline here
+  // (they are required not to block); kBlocking methods go to the pool.
+  MethodClass method_class = MethodClass::kBlocking;
+  try {
+    Reader peek(message.payload);
+    const std::string method_name = peek.get_string();
+    std::lock_guard<std::mutex> lock(methods_mu_);
+    auto it = methods_.find(method_name);
+    if (it != methods_.end()) method_class = it->second.method_class;
+  } catch (const DeserializeError&) {
+    // execute_request reports the malformed payload.
+  }
+
+  if (method_class == MethodClass::kFast) {
+    execute_request(message);
+    return;
+  }
+  const bool accepted =
+      workers_.submit([this, message] { execute_request(message); });
+  if (!accepted) {
+    DOCT_LOG(kWarn) << "rpc request dropped during shutdown";
+  }
+}
+
+void RpcEndpoint::execute_request(const net::Message& message) {
+  Reader r(message.payload);
+  std::string method_name;
+  Payload args;
+  bool oneway = false;
+  try {
+    method_name = r.get_string();
+    args = r.get_bytes();
+    oneway = r.get_bool();
+  } catch (const DeserializeError& e) {
+    DOCT_LOG(kError) << "malformed rpc request: " << e.what();
+    return;
+  }
+
+  Method method;
+  {
+    std::lock_guard<std::mutex> lock(methods_mu_);
+    auto it = methods_.find(method_name);
+    if (it != methods_.end()) method = it->second.method;
+  }
+
+  Result<Payload> result =
+      method ? [&]() -> Result<Payload> {
+        Reader args_reader(std::move(args));
+        return method(message.from, args_reader);
+      }()
+             : Result<Payload>(Status{StatusCode::kInvalidArgument,
+                                      "no such method: " + method_name});
+  if (oneway) return;
+
+  const Status& status = result.status();
+  network_.send(net::Message{
+      .from = self_,
+      .to = message.from,
+      .kind = net::kRpcResponse,
+      .call = message.call,
+      .payload = encode_response(status.code(), status.message(),
+                                 result.is_ok() ? result.value() : Payload{}),
+  });
+}
+
+void RpcEndpoint::on_response(const net::Message& message) {
+  std::shared_ptr<PendingCall::State> state;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(message.call);
+    if (it == pending_.end()) return;  // late response after timeout: drop
+    state = it->second;
+    pending_.erase(it);
+  }
+  try {
+    Reader r(message.payload);
+    const auto code = r.get<StatusCode>();
+    auto status_message = r.get_string();
+    auto result = r.get_bytes();
+    if (code == StatusCode::kOk) {
+      fulfill(*state, std::move(result));
+    } else {
+      fulfill(*state, Status{code, std::move(status_message)});
+    }
+  } catch (const DeserializeError& e) {
+    fulfill(*state, Status{StatusCode::kInternal,
+                           std::string("malformed rpc response: ") + e.what()});
+  }
+}
+
+}  // namespace doct::rpc

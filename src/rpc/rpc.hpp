@@ -1,0 +1,135 @@
+// RPC layer over the simulated network.
+//
+// Object invocation in the DO/CT model (§2) can ride either RPC or DSM; this
+// is the RPC vehicle.  Three call shapes:
+//
+//   call()          — synchronous: caller blocks for the result (or timeout).
+//   call_async()    — claimable asynchronous invocation: returns a ticket the
+//                     caller may later claim() for the result.
+//   call_oneway()   — NON-CLAIMABLE asynchronous invocation: fire-and-forget.
+//                     §7.1 calls these out explicitly: the system "may not
+//                     keep track" of them, which is why the path-following
+//                     thread locator can miss threads they spawn.  We
+//                     reproduce that behaviour faithfully in kernel/locators.
+//
+// Server methods run on a worker pool, never on the network delivery thread,
+// so nested and re-entrant calls (A→B→A) cannot deadlock the transport.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/id_gen.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+
+namespace doct::rpc {
+
+using Payload = std::vector<std::uint8_t>;
+
+// A server-side method: receives the caller's node and the marshalled
+// arguments, returns marshalled results or an error status.
+using Method = std::function<Result<Payload>(NodeId caller, Reader& args)>;
+
+// kBlocking methods may issue nested RPCs or wait on conditions; they run on
+// the endpoint's worker pool.  kFast methods must not block; they run inline
+// on the network delivery thread, which guarantees they make progress even
+// when every pool worker is parked inside a blocking method (this breaks the
+// classic fetch-behind-get_page deadlock in the DSM protocol).
+enum class MethodClass : std::uint8_t { kBlocking = 0, kFast = 1 };
+
+struct RpcConfig {
+  Duration default_timeout = std::chrono::seconds(5);
+  std::size_t worker_threads = 4;
+};
+
+// Ticket for a claimable async call.
+class PendingCall {
+ public:
+  // Blocks until the response arrives or `timeout` elapses.
+  [[nodiscard]] Result<Payload> claim(Duration timeout);
+  [[nodiscard]] bool ready() const;
+
+ private:
+  friend class RpcEndpoint;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<Payload>> result;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+class RpcEndpoint {
+ public:
+  RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
+              IdGenerator& ids, RpcConfig config = {});
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  // Registers a named method.  Re-registering a name replaces the method.
+  void register_method(std::string name, Method method,
+                       MethodClass method_class = MethodClass::kBlocking);
+  void unregister_method(const std::string& name);
+
+  [[nodiscard]] Result<Payload> call(NodeId target, const std::string& method,
+                                     Payload args);
+  [[nodiscard]] Result<Payload> call(NodeId target, const std::string& method,
+                                     Payload args, Duration timeout);
+
+  [[nodiscard]] PendingCall call_async(NodeId target, const std::string& method,
+                                       Payload args);
+
+  // Non-claimable: no correlation state is kept (see header comment).
+  Status call_oneway(NodeId target, const std::string& method, Payload args);
+
+  // Drains and joins the worker pool ahead of destruction.  A node runtime
+  // tearing down calls this FIRST so no worker is still executing a method
+  // that touches subsystems (kernel, objects) destroyed before the endpoint.
+  // Idempotent; requests arriving afterwards are dropped.
+  void drain_workers();
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  void on_request(const net::Message& message);
+  void on_response(const net::Message& message);
+  CallId send_request(NodeId target, const std::string& method, Payload args,
+                      std::shared_ptr<PendingCall::State> state);
+  static void fulfill(PendingCall::State& state, Result<Payload> result);
+
+  net::Network& network_;
+  NodeId self_;
+  IdGenerator& ids_;
+  RpcConfig config_;
+  ThreadPool workers_;
+
+  struct RegisteredMethod {
+    Method method;
+    MethodClass method_class = MethodClass::kBlocking;
+  };
+
+  void execute_request(const net::Message& message);
+
+  std::mutex methods_mu_;
+  std::unordered_map<std::string, RegisteredMethod> methods_;
+
+  std::mutex pending_mu_;
+  std::unordered_map<CallId, std::shared_ptr<PendingCall::State>> pending_;
+};
+
+}  // namespace doct::rpc

@@ -1,0 +1,59 @@
+// IoHub — thread-attached I/O channels (§3.1 "Thread Contexts").
+//
+// "Assume that the process is connected to an I/O channel (such as an X
+//  terminal window).  If control is transferred from foo to bar, any output
+//  from bar also goes to the same terminal window, without the programmer
+//  explicitly performing any redirections."
+//
+// The hub is the system-wide set of named channels (terminal windows).  A
+// thread's attribute record carries the channel name (`io_channel`); code in
+// ANY object on ANY node writes through the current thread and the output
+// lands on the channel the thread was bound to at creation — the state of
+// the control mechanism is visible across all invocations.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace doct::runtime {
+
+class IoHub {
+ public:
+  // Writes a line to the channel bound to the CURRENT logical thread.
+  // Returns false if there is no current thread or it has no channel.
+  bool write_current(const std::string& line) {
+    kernel::ThreadContext* ctx = kernel::Kernel::current();
+    if (ctx == nullptr) return false;
+    const std::string channel = ctx->with_attributes(
+        [](kernel::ThreadAttributes& a) { return a.io_channel; });
+    if (channel.empty()) return false;
+    write(channel, line);
+    return true;
+  }
+
+  void write(const std::string& channel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_[channel].push_back(line);
+  }
+
+  [[nodiscard]] std::vector<std::string> read(const std::string& channel) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(channel);
+    return it == channels_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  void clear(const std::string& channel) {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_.erase(channel);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> channels_;
+};
+
+}  // namespace doct::runtime

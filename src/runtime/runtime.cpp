@@ -1,0 +1,42 @@
+#include "runtime/runtime.hpp"
+
+namespace doct::runtime {
+
+NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
+                         const NodeConfig& config)
+    : id(node_id),
+      rpc(cluster.network_, demux, node_id, cluster.ids_, config.rpc),
+      dsm(rpc, node_id, config.dsm),
+      kernel(cluster.network_, demux, rpc, node_id, cluster.ids_,
+             config.kernel),
+      objects(kernel, rpc),
+      store(objects, factory, std::make_unique<objects::MemoryBackend>()),
+      events(kernel, objects, rpc, cluster.registry_, cluster.procedures_,
+             config.events),
+      network_(cluster.network_) {
+  // Register with the network last: every subsystem has routed its message
+  // kinds into the demux by now.
+  network_.register_node(id, demux.as_handler());
+}
+
+NodeRuntime::~NodeRuntime() {
+  // Stop inbound traffic first so nothing new is queued, then drain the RPC
+  // worker pool so no in-flight method is still touching the kernel or the
+  // object manager when they destruct.  Members are then destroyed in
+  // reverse declaration order (events -> store -> objects -> kernel -> dsm
+  // -> rpc -> demux).
+  network_.unregister_node(id);
+  kernel.terminate_all_local();  // unwind adopted bodies on RPC workers
+  rpc.drain_workers();
+}
+
+Cluster::Cluster(std::size_t num_nodes, ClusterConfig config)
+    : network_(config.network) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(
+        *this, NodeId{i + 1}, config.node));
+  }
+}
+
+}  // namespace doct::runtime

@@ -1,0 +1,102 @@
+// NodeRuntime / Cluster — the assembled DO/CT system.
+//
+// A NodeRuntime bundles one node's full stack (demux, rpc, dsm, kernel,
+// objects, persistent store, events) in construction order; a Cluster owns
+// the simulated network plus N nodes and the system-wide services every node
+// shares: the id generator, the event name registry (§3: names are
+// registered with the operating system) and the per-thread procedure
+// registry (§7.2: the same handler code is mapped at a well-known "address"
+// — its name — on every node).
+//
+// This is the library's top-level public API; examples and benches build on
+// it.  Typical use:
+//
+//   doct::runtime::Cluster cluster(4);
+//   auto& n0 = cluster.node(0);
+//   ObjectId obj = n0.objects.add_object(my_object);
+//   ThreadId t = n0.kernel.spawn([&] { ... n0.objects.invoke(obj, ...); });
+//   n0.events.raise(doct::events::sys::kTerminate, t);
+//   n0.kernel.join_thread(t);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/id_gen.hpp"
+#include "runtime/io_hub.hpp"
+#include "dsm/dsm.hpp"
+#include "events/event_system.hpp"
+#include "events/registry.hpp"
+#include "kernel/kernel.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+#include "objects/manager.hpp"
+#include "objects/store.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::runtime {
+
+struct NodeConfig {
+  rpc::RpcConfig rpc;
+  dsm::DsmConfig dsm;
+  kernel::KernelConfig kernel;
+  events::EventConfig events;
+};
+
+class Cluster;
+
+class NodeRuntime {
+ public:
+  NodeRuntime(Cluster& cluster, NodeId id, const NodeConfig& config);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  const NodeId id;
+  net::Demux demux;
+  rpc::RpcEndpoint rpc;
+  dsm::DsmEngine dsm;
+  kernel::Kernel kernel;
+  objects::ObjectManager objects;
+  objects::ObjectFactory factory;
+  objects::ObjectStore store;
+  events::EventSystem events;
+
+ private:
+  net::Network& network_;
+};
+
+struct ClusterConfig {
+  net::NetworkConfig network;
+  NodeConfig node;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(std::size_t num_nodes, ClusterConfig config = {});
+
+  [[nodiscard]] NodeRuntime& node(std::size_t index) {
+    return *nodes_.at(index);
+  }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  net::Network& network() { return network_; }
+  IdGenerator& ids() { return ids_; }
+  events::EventRegistry& registry() { return registry_; }
+  events::ProcedureRegistry& procedures() { return procedures_; }
+  // System-wide named I/O channels (§3.1): output follows the thread.
+  IoHub& io() { return io_; }
+
+ private:
+  friend class NodeRuntime;
+
+  net::Network network_;
+  IdGenerator ids_;
+  events::EventRegistry registry_;
+  events::ProcedureRegistry procedures_;
+  IoHub io_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+}  // namespace doct::runtime

@@ -1,0 +1,159 @@
+#include "services/debugger/debugger.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "events/block.hpp"
+
+namespace doct::services {
+
+namespace {
+
+constexpr const char* kBreakpointEvent = "BREAKPOINT";
+
+struct ServerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t next_id = 1;
+  struct Stop {
+    StopInfo info;
+    std::optional<kernel::Verdict> verdict;
+  };
+  std::map<std::uint64_t, Stop> stops;
+};
+
+}  // namespace
+
+std::shared_ptr<objects::PassiveObject> DebuggerServer::make() {
+  auto object = std::make_shared<objects::PassiveObject>("debugger_server");
+  auto state = std::make_shared<ServerState>();
+
+  // The buddy handler: records the stop and blocks the debuggee (this runs
+  // on the server node's RPC worker while the debuggee thread waits in its
+  // synchronous raise) until the controller resolves it.
+  object->define_entry(
+      "on_breakpoint",
+      [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        auto r = block.user_reader();
+        StopInfo info;
+        info.label = r.get_string();
+        info.node = r.get<std::uint64_t>();
+        info.object = r.get<std::uint64_t>();
+        info.io_channel = r.get_string();
+        info.thread = block.target_thread();
+
+        std::unique_lock<std::mutex> lock(state->mu);
+        const std::uint64_t id = state->next_id++;
+        info.id = id;
+        state->stops[id] = ServerState::Stop{info, std::nullopt};
+        state->cv.notify_all();
+        // Block until resolved (bounded so an abandoned debuggee cannot hold
+        // the worker forever).
+        const bool resolved = state->cv.wait_for(
+            lock, std::chrono::seconds(30),
+            [&] { return state->stops[id].verdict.has_value(); });
+        const kernel::Verdict verdict =
+            resolved ? *state->stops[id].verdict : kernel::Verdict::kResume;
+        state->stops.erase(id);
+        return objects::Payload{static_cast<std::uint8_t>(verdict)};
+      },
+      objects::Visibility::kPrivate);
+
+  object->define_entry("stops", [state](objects::CallCtx&)
+                                    -> Result<objects::Payload> {
+    Writer w;
+    std::lock_guard<std::mutex> lock(state->mu);
+    std::uint32_t pending = 0;
+    for (const auto& [id, stop] : state->stops) {
+      if (!stop.verdict.has_value()) pending++;
+    }
+    w.put(pending);
+    for (const auto& [id, stop] : state->stops) {
+      if (stop.verdict.has_value()) continue;
+      w.put(stop.info.id);
+      w.put(stop.info.thread);
+      w.put(stop.info.node);
+      w.put(stop.info.object);
+      w.put(stop.info.label);
+      w.put(stop.info.io_channel);
+    }
+    return std::move(w).take();
+  });
+
+  object->define_entry("resolve", [state](objects::CallCtx& ctx)
+                                      -> Result<objects::Payload> {
+    const auto id = ctx.args.get<std::uint64_t>();
+    const auto verdict = ctx.args.get<kernel::Verdict>();
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto it = state->stops.find(id);
+    if (it == state->stops.end()) {
+      return Status{StatusCode::kInvalidArgument,
+                    "no pending stop " + std::to_string(id)};
+    }
+    it->second.verdict = verdict;
+    state->cv.notify_all();
+    return objects::Payload{};
+  });
+
+  return object;
+}
+
+std::vector<StopInfo> DebuggerServer::decode_stops(
+    const objects::Payload& payload) {
+  Reader r(payload);
+  const auto count = r.get<std::uint32_t>();
+  std::vector<StopInfo> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StopInfo info;
+    info.id = r.get<std::uint64_t>();
+    info.thread = r.get_id<ThreadTag>();
+    info.node = r.get<std::uint64_t>();
+    info.object = r.get<std::uint64_t>();
+    info.label = r.get_string();
+    info.io_channel = r.get_string();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::vector<StopInfo>> DebuggerController::pending_stops() {
+  auto reply = objects_.invoke(server_, "stops", {});
+  if (!reply.is_ok()) return reply.status();
+  return DebuggerServer::decode_stops(reply.value());
+}
+
+Status DebuggerController::resolve(std::uint64_t stop_id,
+                                   kernel::Verdict verdict) {
+  Writer w;
+  w.put(stop_id);
+  w.put(verdict);
+  return objects_.invoke(server_, "resolve", std::move(w).take()).status();
+}
+
+Status attach_debugger(events::EventSystem& events, ObjectId server) {
+  const EventId event = events.registry().register_event(kBreakpointEvent);
+  return events.attach_handler(event, server, "on_breakpoint").status();
+}
+
+Result<kernel::Verdict> breakpoint(events::EventSystem& events,
+                                   const std::string& label) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "breakpoint requires a logical thread"};
+  }
+  const EventId event = events.registry().register_event(kBreakpointEvent);
+  Writer w;
+  w.put(label);
+  w.put(ctx->node().value());
+  w.put(ctx->current_object().value());
+  w.put(ctx->with_attributes(
+      [](kernel::ThreadAttributes& a) { return a.io_channel; }));
+  return events.raise_exception(event, "breakpoint " + label,
+                                std::move(w).take());
+}
+
+}  // namespace doct::services

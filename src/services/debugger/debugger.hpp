@@ -1,0 +1,64 @@
+// Distributed debugger built on buddy handlers (§4.1, §9).
+//
+// "Buddy handlers are quite useful in implementing monitors, debuggers, etc.
+//  where an application can specify a central server as the event handler
+//  for events posted to its threads."  And, following Mach's split (§9),
+// the debugger "operates outside of this context, as a separate task":
+// here it is a central passive object on any node.
+//
+// Debuggee side: a thread attaches the BREAKPOINT buddy handler once
+// (attach_debugger) and then calls breakpoint("label") at interesting
+// points.  The breakpoint raises a synchronous event at the thread itself;
+// the buddy handler — the debugger server — records the stop and BLOCKS the
+// thread until the controlling side resolves it with a verdict (resume or
+// terminate).  While stopped, the controller can inspect the stop's captured
+// state (thread, node, object, label, attribute snapshot).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+struct StopInfo {
+  std::uint64_t id = 0;
+  ThreadId thread;
+  std::uint64_t node = 0;
+  std::uint64_t object = 0;  // object the thread occupied, 0 if none
+  std::string label;
+  std::string io_channel;  // sampled from the thread's attributes
+};
+
+class DebuggerServer {
+ public:
+  static std::shared_ptr<objects::PassiveObject> make();
+  static std::vector<StopInfo> decode_stops(const objects::Payload& payload);
+};
+
+// Controller side: inspect and resolve stops.
+class DebuggerController {
+ public:
+  DebuggerController(objects::ObjectManager& objects, ObjectId server)
+      : objects_(objects), server_(server) {}
+
+  [[nodiscard]] Result<std::vector<StopInfo>> pending_stops();
+  Status resolve(std::uint64_t stop_id, kernel::Verdict verdict);
+
+ private:
+  objects::ObjectManager& objects_;
+  ObjectId server_;
+};
+
+// Debuggee side.
+// Attaches the BREAKPOINT buddy handler to the CURRENT thread.
+Status attach_debugger(events::EventSystem& events, ObjectId server);
+// Hits a breakpoint: blocks until the controller resolves, then returns the
+// verdict (kTerminate has already been applied to the thread).
+Result<kernel::Verdict> breakpoint(events::EventSystem& events,
+                                   const std::string& label);
+
+}  // namespace doct::services

@@ -1,0 +1,39 @@
+#include "services/exceptions/exceptions.hpp"
+
+namespace doct::services {
+
+Result<kernel::Verdict> ExceptionFacility::raise(EventId event,
+                                                 ObjectId current_object,
+                                                 const std::string& system_info,
+                                                 rpc::Payload user_data) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return Status{StatusCode::kInvalidArgument,
+                  "exceptions arise from logical threads"};
+  }
+
+  // First chance: the object's own handler (if it registered one for this
+  // event name), run synchronously while this thread waits — the paper's
+  // "surrogate thread" examination point (§6.1).
+  if (current_object.valid()) {
+    auto verdict = events_.raise_and_wait(event, current_object, user_data);
+    if (verdict.is_ok()) {
+      switch (verdict.value()) {
+        case kernel::Verdict::kResume:
+          return kernel::Verdict::kResume;  // repaired by the object
+        case kernel::Verdict::kTerminate:
+          ctx->mark_terminated();
+          return kernel::Verdict::kTerminate;
+        case kernel::Verdict::kPropagate:
+          break;  // "a further exception may be raised by the object
+                  //  handler, to be handled by the thread handler"
+      }
+    }
+    // Delivery failure (e.g. object gone) also propagates to the thread.
+  }
+
+  // Second chance: the thread's own handler chain, on a surrogate.
+  return events_.raise_exception(event, system_info, std::move(user_data));
+}
+
+}  // namespace doct::services

@@ -1,0 +1,72 @@
+// Exception handling on top of the event facility (§6.1).
+//
+// "Exceptions are system events that arise due to the execution of code in
+//  an object, by a thread.  In most cases, exceptions arising while a thread
+//  is active inside an object can be handled by a handler in the object
+//  itself.  An object may wish to take some generic corrective action on an
+//  exception before it is propagated to the user (invoker) of the object."
+//
+// Two-level dispatch, exactly as the paper sketches:
+//   1. the OBJECT's own handler (registered via define_handler) gets the
+//      exception first, run on a surrogate so the faulting thread's state
+//      can be examined (raise_and_wait at the object);
+//   2. if the object handler PROPAGATES (or none exists), the THREAD's
+//      handler chain runs — where the invoker's handler, attached at the
+//      point of invocation, repairs or terminates (§5.2's restricted-scope
+//      pattern is provided by ScopedHandler, an RAII attach/detach).
+#pragma once
+
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+class ExceptionFacility {
+ public:
+  explicit ExceptionFacility(events::EventSystem& events) : events_(events) {}
+
+  // Raises `event` as an exception of the CURRENT thread executing in
+  // `current_object`.  Object handler first, then the thread chain.
+  // Returns the final verdict (kTerminate has already been applied to the
+  // thread when it returns).
+  Result<kernel::Verdict> raise(EventId event, ObjectId current_object,
+                                const std::string& system_info,
+                                rpc::Payload user_data = {});
+
+ private:
+  events::EventSystem& events_;
+};
+
+// RAII handler attachment: "scope of the handler is restricted to its
+// immediate caller" (§5.2).  Attach before an invocation, auto-detach after.
+class ScopedHandler {
+ public:
+  ScopedHandler(events::EventSystem& events, EventId event, ObjectId object,
+                const std::string& entry)
+      : events_(events) {
+    auto attached = events_.attach_handler(event, object, entry);
+    if (attached.is_ok()) handler_ = attached.value();
+  }
+  ScopedHandler(events::EventSystem& events, EventId event,
+                const std::string& procedure, events::OwnContextTag tag)
+      : events_(events) {
+    auto attached = events_.attach_handler(event, procedure, tag);
+    if (attached.is_ok()) handler_ = attached.value();
+  }
+
+  ~ScopedHandler() {
+    if (handler_.valid()) events_.detach_handler(handler_);
+  }
+
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+
+  [[nodiscard]] bool attached() const { return handler_.valid(); }
+  [[nodiscard]] HandlerId id() const { return handler_; }
+
+ private:
+  events::EventSystem& events_;
+  HandlerId handler_;
+};
+
+}  // namespace doct::services

@@ -1,0 +1,173 @@
+#include "services/locks/lock_manager.hpp"
+
+#include "common/log.hpp"
+#include "events/block.hpp"
+
+namespace doct::services {
+
+namespace {
+
+kernel::Verdict parse_tid_and_unlock(LockServer::State& state,
+                                     const std::string& name, ThreadId tid) {
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.holders.find(name);
+  if (it != state.holders.end() && it->second == tid) {
+    state.holders.erase(it);
+  }
+  // Unlock handlers always propagate: the TERMINATE must continue through
+  // the rest of the chain (more unlocks, then the application's handler or
+  // the default terminate action).
+  return kernel::Verdict::kPropagate;
+}
+
+}  // namespace
+
+std::shared_ptr<objects::PassiveObject> LockServer::make() {
+  auto object = std::make_shared<objects::PassiveObject>("lock_server");
+  auto state = std::make_shared<State>();
+
+  // acquire(name, tid) -> bool granted.  Non-blocking try: clients poll via
+  // their kernel's interruptible wait so TERMINATE can reach them mid-wait.
+  object->define_entry("acquire", [state](objects::CallCtx& ctx)
+                                      -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    const auto tid = ctx.args.get_id<ThreadTag>();
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto it = state->holders.find(name);
+    const bool granted = it == state->holders.end() || it->second == tid;
+    if (granted) state->holders[name] = tid;
+    Writer w;
+    w.put(granted);
+    return std::move(w).take();
+  });
+
+  object->define_entry("release", [state](objects::CallCtx& ctx)
+                                      -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    const auto tid = ctx.args.get_id<ThreadTag>();
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto it = state->holders.find(name);
+    if (it == state->holders.end() || it->second != tid) {
+      return Status{StatusCode::kPermissionDenied,
+                    "lock " + name + " not held by " + tid.to_string()};
+    }
+    state->holders.erase(it);
+    return objects::Payload{};
+  });
+
+  object->define_entry("holder", [state](objects::CallCtx& ctx)
+                                     -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    std::lock_guard<std::mutex> lock(state->mu);
+    auto it = state->holders.find(name);
+    Writer w;
+    w.put(it == state->holders.end() ? ThreadId{} : it->second);
+    return std::move(w).take();
+  });
+
+  // The per-lock unlock routine chained to TERMINATE (§4.2).  Private: only
+  // event delivery may call it.  The event block names the terminating
+  // thread; the lock name travels in the handler's entry suffix... the entry
+  // is shared, the lock name is read from the handler attachment's user data
+  // carried in the notice.  Since TERMINATE notices carry no per-handler
+  // payload, the unlock entry releases EVERY lock held by the thread named
+  // in the block — each chained handler is idempotent, so N chained handlers
+  // release N locks correctly regardless of order.
+  object->define_entry(
+      "unlock_on_terminate",
+      [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        const ThreadId victim = block.target_thread();
+        std::vector<std::string> held;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          for (const auto& [name, holder] : state->holders) {
+            if (holder == victim) held.push_back(name);
+          }
+        }
+        for (const auto& name : held) {
+          parse_tid_and_unlock(*state, name, victim);
+        }
+        return objects::Payload{
+            static_cast<std::uint8_t>(kernel::Verdict::kPropagate)};
+      },
+      objects::Visibility::kPrivate);
+
+  return object;
+}
+
+Status LockClient::acquire(const std::string& name, Duration timeout) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return {StatusCode::kInvalidArgument, "acquire requires a logical thread"};
+  }
+  auto& kernel = events_.kernel();
+  const Duration deadline =
+      std::chrono::duration_cast<Duration>(
+          std::chrono::steady_clock::now().time_since_epoch()) +
+      timeout;
+
+  while (true) {
+    Writer w;
+    w.put(name);
+    w.put(ctx->tid());
+    auto reply = objects_.invoke(server_, "acquire", std::move(w).take());
+    if (!reply.is_ok()) return reply.status();
+    Reader r(std::move(reply).value());
+    if (r.get_bool()) break;  // granted
+    const auto now = std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now().time_since_epoch());
+    if (now >= deadline) {
+      return {StatusCode::kTimeout, "lock " + name};
+    }
+    const Status slept = kernel.sleep_for(std::chrono::milliseconds(2));
+    if (!slept.is_ok()) return slept;  // terminated while waiting
+  }
+
+  // Chain the unlock to TERMINATE (buddy handler on the lock server).
+  auto chained =
+      events_.attach_handler(events::sys::kTerminate, server_,
+                             "unlock_on_terminate");
+  if (!chained.is_ok()) {
+    // Roll the acquisition back rather than leaking an unchained lock.
+    release(name);
+    return chained.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  chained_[name] = chained.value();
+  return Status::ok();
+}
+
+Status LockClient::release(const std::string& name) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return {StatusCode::kInvalidArgument, "release requires a logical thread"};
+  }
+  HandlerId chained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chained_.find(name);
+    if (it != chained_.end()) {
+      chained = it->second;
+      chained_.erase(it);
+    }
+  }
+  if (chained.valid()) events_.detach_handler(chained);
+
+  Writer w;
+  w.put(name);
+  w.put(ctx->tid());
+  auto reply = objects_.invoke(server_, "release", std::move(w).take());
+  return reply.status();
+}
+
+Result<ThreadId> LockClient::holder(const std::string& name) {
+  Writer w;
+  w.put(name);
+  auto reply = objects_.invoke(server_, "holder", std::move(w).take());
+  if (!reply.is_ok()) return reply.status();
+  Reader r(std::move(reply).value());
+  return r.get_id<ThreadTag>();
+}
+
+}  // namespace doct::services

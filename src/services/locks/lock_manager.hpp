@@ -1,0 +1,69 @@
+// Distributed lock management via handler chaining (§4.2).
+//
+// "Chaining of handlers is very useful in distributed lock management.
+//  Every time a thread locks data in an object, the unlock routine for that
+//  data is chained to the thread's TERMINATE handler.  If the threads
+//  receive a TERMINATE signal, all locked data are unlocked, regardless of
+//  their location and scope."
+//
+// LockServer is a passive object (place it on any node) holding named locks.
+// LockClient::acquire() invokes the server and chains a buddy TERMINATE
+// handler pointing at the per-lock unlock entry of the server; the handler
+// renders kPropagate so the TERMINATE continues outward through the rest of
+// the chain (ultimately reaching the default terminate action or the
+// application's own TERMINATE handler).  release() detaches the handler and
+// releases the lock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+class LockServer {
+ public:
+  // Builds the server object; register it with an ObjectManager to place it.
+  static std::shared_ptr<objects::PassiveObject> make();
+
+  // Introspection helpers used by tests (operate on the object's shared
+  // state; valid on the node hosting the server).
+  struct State {
+    std::mutex mu;
+    std::map<std::string, ThreadId> holders;          // lock -> holder
+    std::map<std::string, std::set<ThreadId>> queue;  // waiters (FIFO-ish)
+  };
+};
+
+// Client-side facade; usable from inside any logical thread on any node.
+class LockClient {
+ public:
+  LockClient(events::EventSystem& events, objects::ObjectManager& objects,
+             ObjectId server)
+      : events_(events), objects_(objects), server_(server) {}
+
+  // Blocks (bounded by timeout) until the named lock is granted to the
+  // current logical thread, then chains the unlock to TERMINATE.
+  Status acquire(const std::string& name,
+                 Duration timeout = std::chrono::seconds(10));
+
+  // Releases the lock and detaches its TERMINATE unlock handler.
+  Status release(const std::string& name);
+
+  // Current holder of a lock (invalid ThreadId if free).
+  Result<ThreadId> holder(const std::string& name);
+
+ private:
+  events::EventSystem& events_;
+  objects::ObjectManager& objects_;
+  ObjectId server_;
+  std::mutex mu_;
+  std::map<std::string, HandlerId> chained_;  // lock name -> TERMINATE handler
+};
+
+}  // namespace doct::services

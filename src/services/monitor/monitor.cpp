@@ -1,0 +1,155 @@
+#include "services/monitor/monitor.hpp"
+
+#include "common/log.hpp"
+#include "events/block.hpp"
+
+namespace doct::services {
+
+namespace {
+
+constexpr const char* kSampleProc = "doct.monitor.sample";
+constexpr const char* kSampleEvent = "MONITOR_SAMPLE";
+
+struct ServerState {
+  std::mutex mu;
+  std::map<ThreadId, std::vector<ThreadSample>> samples;
+  std::uint64_t sequence = 0;
+};
+
+}  // namespace
+
+void set_pc_marker(const std::string& marker) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) return;
+  ctx->with_attributes(
+      [&](kernel::ThreadAttributes& a) { a.user["pc"] = marker; });
+}
+
+std::shared_ptr<objects::PassiveObject> MonitorServer::make() {
+  auto object = std::make_shared<objects::PassiveObject>("monitor_server");
+  auto state = std::make_shared<ServerState>();
+
+  // Receives MONITOR_SAMPLE events raised at the object by monitored threads.
+  object->define_entry(
+      "on_sample",
+      [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        auto r = block.user_reader();
+        ThreadSample sample;
+        sample.thread = r.get_id<ThreadTag>();
+        sample.node = r.get<std::uint64_t>();
+        sample.object = r.get<std::uint64_t>();
+        sample.pc = r.get_string();
+        std::lock_guard<std::mutex> lock(state->mu);
+        sample.sequence = ++state->sequence;
+        state->samples[sample.thread].push_back(std::move(sample));
+        return objects::Payload{};
+      },
+      objects::Visibility::kPrivate);
+  object->define_handler(kSampleEvent, "on_sample");
+
+  object->define_entry("report", [state](objects::CallCtx&)
+                                     -> Result<objects::Payload> {
+    Writer w;
+    std::lock_guard<std::mutex> lock(state->mu);
+    std::uint32_t total = 0;
+    for (const auto& [tid, list] : state->samples) {
+      total += static_cast<std::uint32_t>(list.size());
+    }
+    w.put(total);
+    for (const auto& [tid, list] : state->samples) {
+      for (const auto& s : list) {
+        w.put(s.thread);
+        w.put(s.node);
+        w.put(s.object);
+        w.put(s.pc);
+        w.put(s.sequence);
+      }
+    }
+    return std::move(w).take();
+  });
+
+  return object;
+}
+
+std::vector<ThreadSample> MonitorServer::decode_report(
+    const objects::Payload& p) {
+  Reader r(p);
+  const auto total = r.get<std::uint32_t>();
+  std::vector<ThreadSample> out;
+  out.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    ThreadSample s;
+    s.thread = r.get_id<ThreadTag>();
+    s.node = r.get<std::uint64_t>();
+    s.object = r.get<std::uint64_t>();
+    s.pc = r.get_string();
+    s.sequence = r.get<std::uint64_t>();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Status MonitorClient::arm(Duration period) {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return {StatusCode::kInvalidArgument, "arm requires a logical thread"};
+  }
+  const EventId sample_event = events_.registry().register_event(kSampleEvent);
+
+  // The sampling procedure: runs in the context of whatever object the
+  // thread occupies when the TIMER event is delivered (§6.2: "executing
+  // within the context of the current object enables the handler to examine
+  // ... the state of the object/thread").
+  events_.procedures().register_procedure(
+      kSampleProc,
+      [this, sample_event](events::PerThreadCallCtx& pctx) {
+        Writer w;
+        w.put(pctx.thread.tid());
+        w.put(pctx.thread.node().value());
+        w.put(pctx.current_object.value());
+        w.put(pctx.thread.with_attributes([](kernel::ThreadAttributes& a) {
+          auto it = a.user.find("pc");
+          return it == a.user.end() ? std::string{} : it->second;
+        }));
+        const Status sent =
+            events_.raise(sample_event, server_, std::move(w).take());
+        if (!sent.is_ok()) {
+          DOCT_LOG(kWarn) << "monitor sample dropped: " << sent.to_string();
+        }
+        return kernel::Verdict::kResume;
+      });
+
+  auto handler =
+      events_.attach_handler(events::sys::kTimer, kSampleProc,
+                             events::OWN_CONTEXT);
+  if (!handler.is_ok()) return handler.status();
+  handler_ = handler.value();
+
+  return events_.kernel().add_timer(
+      *ctx, kernel::TimerRecord{
+                events::sys::kTimer,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        period)
+                        .count()),
+                false});
+}
+
+Status MonitorClient::disarm() {
+  kernel::ThreadContext* ctx = kernel::Kernel::current();
+  if (ctx == nullptr) {
+    return {StatusCode::kInvalidArgument, "disarm requires a logical thread"};
+  }
+  events_.kernel().remove_timer(*ctx, events::sys::kTimer);
+  if (handler_.valid()) return events_.detach_handler(handler_);
+  return Status::ok();
+}
+
+Result<std::vector<ThreadSample>> MonitorClient::report() {
+  auto reply = objects_.invoke(server_, "report", {});
+  if (!reply.is_ok()) return reply.status();
+  return MonitorServer::decode_report(reply.value());
+}
+
+}  // namespace doct::services

@@ -1,0 +1,71 @@
+// Distributed monitoring for liveliness (§6.2).
+//
+// "To monitor the thread, two facilities are required: a periodic timer
+//  delivered to the thread and a handler to execute when the timer event is
+//  received."  The TIMER registration rides in the thread's attribute list,
+//  so it is recreated at every node the thread visits; the handler is a
+//  per-thread procedure (OWN_CONTEXT) that samples the suspended thread's
+//  state — current node, current object, a simulated program-counter string —
+//  and posts it to a central monitor server object.
+//
+// The central server keeps per-thread sample histories and can report
+// liveliness (threads that have stopped sampling).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+struct ThreadSample {
+  ThreadId thread;
+  std::uint64_t node = 0;    // node the thread was on when sampled
+  std::uint64_t object = 0;  // object it was executing in (0 = none)
+  std::string pc;            // simulated program-counter / phase marker
+  std::uint64_t sequence = 0;
+};
+
+class MonitorServer {
+ public:
+  // Builds the central monitor object; register it on the monitoring node.
+  static std::shared_ptr<objects::PassiveObject> make();
+
+  // Decodes the "report" entry's reply payload.
+  static std::vector<ThreadSample> decode_report(const objects::Payload& p);
+};
+
+// Client-side: arms monitoring on the CURRENT logical thread.
+class MonitorClient {
+ public:
+  MonitorClient(events::EventSystem& events, objects::ObjectManager& objects,
+                ObjectId server)
+      : events_(events), objects_(objects), server_(server) {}
+
+  // Adds the TIMER attribute + OWN_CONTEXT handler to the current thread.
+  // `period` is the sampling period.
+  Status arm(Duration period);
+  Status disarm();
+
+  // Fetches all samples recorded by the server (invocable from any thread
+  // local to the server's node, or any logical thread).
+  Result<std::vector<ThreadSample>> report();
+
+ private:
+  events::EventSystem& events_;
+  objects::ObjectManager& objects_;
+  ObjectId server_;
+  HandlerId handler_;
+};
+
+// Sets the simulated program-counter marker the monitor samples for the
+// current thread (applications call this at phase boundaries).
+void set_pc_marker(const std::string& marker);
+
+}  // namespace doct::services

@@ -1,0 +1,150 @@
+#include "services/names/name_service.hpp"
+
+namespace doct::services {
+
+namespace {
+
+struct Directory {
+  std::mutex mu;
+  std::map<std::string, ObjectId> bindings;
+};
+
+}  // namespace
+
+std::shared_ptr<objects::PassiveObject> NameService::make() {
+  auto object = std::make_shared<objects::PassiveObject>("name_service");
+  auto dir = std::make_shared<Directory>();
+
+  object->define_entry("bind", [dir](objects::CallCtx& ctx)
+                                   -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    const auto target = ctx.args.get_id<ObjectTag>();
+    const bool unique = ctx.args.get_bool();
+    if (name.empty() || !target.valid()) {
+      return Status{StatusCode::kInvalidArgument, "name and object required"};
+    }
+    std::lock_guard<std::mutex> lock(dir->mu);
+    auto it = dir->bindings.find(name);
+    if (unique && it != dir->bindings.end() && it->second != target) {
+      return Status{StatusCode::kAlreadyExists, name};
+    }
+    dir->bindings[name] = target;
+    return objects::Payload{};
+  });
+
+  object->define_entry("lookup", [dir](objects::CallCtx& ctx)
+                                     -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    std::lock_guard<std::mutex> lock(dir->mu);
+    auto it = dir->bindings.find(name);
+    if (it == dir->bindings.end()) {
+      return Status{StatusCode::kNoSuchObject, "unbound name: " + name};
+    }
+    Writer w;
+    w.put(it->second);
+    return std::move(w).take();
+  });
+
+  object->define_entry("unbind", [dir](objects::CallCtx& ctx)
+                                     -> Result<objects::Payload> {
+    const auto name = ctx.args.get_string();
+    std::lock_guard<std::mutex> lock(dir->mu);
+    if (dir->bindings.erase(name) == 0) {
+      return Status{StatusCode::kNoSuchObject, "unbound name: " + name};
+    }
+    return objects::Payload{};
+  });
+
+  object->define_entry("list", [dir](objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+    const auto prefix = ctx.args.get_string();
+    Writer w;
+    std::lock_guard<std::mutex> lock(dir->mu);
+    std::uint32_t count = 0;
+    for (const auto& [name, target] : dir->bindings) {
+      if (name.rfind(prefix, 0) == 0) count++;
+    }
+    w.put(count);
+    for (const auto& [name, target] : dir->bindings) {
+      if (name.rfind(prefix, 0) == 0) w.put(name);
+    }
+    return std::move(w).take();
+  });
+
+  return object;
+}
+
+Status NameClient::bind(const std::string& name, ObjectId object) {
+  Writer w;
+  w.put(name);
+  w.put(object);
+  w.put(false);
+  auto reply = objects_.invoke(directory_, "bind", std::move(w).take());
+  if (reply.is_ok() && cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cached_[name] = object;
+  }
+  return reply.status();
+}
+
+Status NameClient::bind_unique(const std::string& name, ObjectId object) {
+  Writer w;
+  w.put(name);
+  w.put(object);
+  w.put(true);
+  auto reply = objects_.invoke(directory_, "bind", std::move(w).take());
+  if (reply.is_ok() && cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cached_[name] = object;
+  }
+  return reply.status();
+}
+
+Result<ObjectId> NameClient::lookup(const std::string& name) {
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cached_.find(name);
+    if (it != cached_.end()) return it->second;
+  }
+  Writer w;
+  w.put(name);
+  auto reply = objects_.invoke(directory_, "lookup", std::move(w).take());
+  if (!reply.is_ok()) return reply.status();
+  Reader r(std::move(reply).value());
+  const ObjectId found = r.get_id<ObjectTag>();
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cached_[name] = found;
+  }
+  return found;
+}
+
+Status NameClient::unbind(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cached_.erase(name);
+  }
+  Writer w;
+  w.put(name);
+  return objects_.invoke(directory_, "unbind", std::move(w).take()).status();
+}
+
+Result<std::vector<std::string>> NameClient::list(const std::string& prefix) {
+  Writer w;
+  w.put(prefix);
+  auto reply = objects_.invoke(directory_, "list", std::move(w).take());
+  if (!reply.is_ok()) return reply.status();
+  Reader r(std::move(reply).value());
+  const auto count = r.get<std::uint32_t>();
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) names.push_back(r.get_string());
+  return names;
+}
+
+void NameClient::drop_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cached_.clear();
+}
+
+}  // namespace doct::services

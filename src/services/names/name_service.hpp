@@ -1,0 +1,52 @@
+// NameService — a well-known directory object mapping string names to
+// ObjectIds.
+//
+// Every application in §6 designates "a central server" — a monitor, a
+// debugger, a pager, a lock manager — and the paper assumes threads can find
+// it.  In Clouds that is the system name service; here it is itself a
+// passive object (dogfooding the object model) placed on a well-known node.
+// bind/lookup/unbind run as ordinary invocations from any node; lookup
+// results may be cached by the client (names are expected to be stable).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+class NameService {
+ public:
+  // Builds the directory object; register it on the well-known node.
+  static std::shared_ptr<objects::PassiveObject> make();
+};
+
+// Client facade; cache_lookups keeps resolved names in-process.
+class NameClient {
+ public:
+  NameClient(objects::ObjectManager& objects, ObjectId directory,
+             bool cache_lookups = true)
+      : objects_(objects), directory_(directory), cache_(cache_lookups) {}
+
+  Status bind(const std::string& name, ObjectId object);
+  // kAlreadyExists unless rebinding to the same object.
+  Status bind_unique(const std::string& name, ObjectId object);
+  [[nodiscard]] Result<ObjectId> lookup(const std::string& name);
+  Status unbind(const std::string& name);
+  [[nodiscard]] Result<std::vector<std::string>> list(const std::string& prefix);
+
+  void drop_cache();
+
+ private:
+  objects::ObjectManager& objects_;
+  ObjectId directory_;
+  bool cache_;
+  std::mutex mu_;
+  std::map<std::string, ObjectId> cached_;
+};
+
+}  // namespace doct::services

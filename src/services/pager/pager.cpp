@@ -1,0 +1,209 @@
+#include "services/pager/pager.hpp"
+
+#include "common/log.hpp"
+#include "events/block.hpp"
+
+namespace doct::services {
+
+namespace {
+
+constexpr const char* kInstallMethod = "pager.install";
+
+struct BackingStore {
+  std::mutex mu;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint8_t>>
+      pages;  // (segment, page) -> data
+  std::uint64_t faults_served = 0;
+  std::uint64_t writebacks = 0;
+
+  std::vector<std::uint8_t>& page_for(SegmentId segment, std::size_t page,
+                                      std::size_t page_size) {
+    auto& data = pages[{segment.value(), page}];
+    if (data.size() != page_size) data.resize(page_size, 0);
+    return data;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<objects::PassiveObject> PagerServer::make(
+    rpc::RpcEndpoint& rpc) {
+  auto object = std::make_shared<objects::PassiveObject>("pager_server");
+  auto store = std::make_shared<BackingStore>();
+
+  // The buddy handler for VM_FAULT (§6.4): supplies a page to the faulting
+  // node, then resumes the suspended thread (kResume verdict).
+  object->define_entry(
+      "on_fault",
+      [store, &rpc](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        auto r = block.user_reader();
+        const auto segment = r.get_id<SegmentTag>();
+        const auto page = static_cast<std::size_t>(r.get<std::uint64_t>());
+        const auto access = r.get<dsm::Access>();
+        const auto fault_node = r.get_id<NodeTag>();
+        const auto page_size = static_cast<std::size_t>(r.get<std::uint32_t>());
+
+        std::vector<std::uint8_t> data;
+        {
+          std::lock_guard<std::mutex> lock(store->mu);
+          data = store->page_for(segment, page, page_size);
+          store->faults_served++;
+        }
+        // Push the page into the faulting node's DSM engine.
+        Writer w;
+        w.put(segment);
+        w.put(static_cast<std::uint64_t>(page));
+        w.put(data);
+        w.put(access == dsm::Access::kWrite ? dsm::PageState::kOwned
+                                            : dsm::PageState::kShared);
+        auto installed =
+            rpc.call(fault_node, kInstallMethod, std::move(w).take());
+        if (!installed.is_ok()) return installed.status();
+        return objects::Payload{
+            static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+      },
+      objects::Visibility::kPrivate);
+
+  // Direct fetch for faults taken outside any logical thread (no buddy
+  // handler chain available to route through).
+  object->define_entry("fetch_page", [store](objects::CallCtx& ctx)
+                                         -> Result<objects::Payload> {
+    const auto segment = ctx.args.get_id<SegmentTag>();
+    const auto page = static_cast<std::size_t>(ctx.args.get<std::uint64_t>());
+    const auto page_size = static_cast<std::size_t>(ctx.args.get<std::uint32_t>());
+    Writer w;
+    std::lock_guard<std::mutex> lock(store->mu);
+    store->faults_served++;
+    w.put(store->page_for(segment, page, page_size));
+    return std::move(w).take();
+  });
+
+  object->define_entry("writeback", [store](objects::CallCtx& ctx)
+                                        -> Result<objects::Payload> {
+    const auto segment = ctx.args.get_id<SegmentTag>();
+    const auto page = static_cast<std::size_t>(ctx.args.get<std::uint64_t>());
+    auto data = ctx.args.get_bytes();
+    std::lock_guard<std::mutex> lock(store->mu);
+    store->pages[{segment.value(), page}] = std::move(data);
+    store->writebacks++;
+    return objects::Payload{};
+  });
+
+  object->define_entry("read_page", [store](objects::CallCtx& ctx)
+                                        -> Result<objects::Payload> {
+    const auto segment = ctx.args.get_id<SegmentTag>();
+    const auto page = static_cast<std::size_t>(ctx.args.get<std::uint64_t>());
+    const auto page_size = static_cast<std::size_t>(ctx.args.get<std::uint32_t>());
+    Writer w;
+    std::lock_guard<std::mutex> lock(store->mu);
+    w.put(store->page_for(segment, page, page_size));
+    return std::move(w).take();
+  });
+
+  return object;
+}
+
+PagerClient::PagerClient(events::EventSystem& events,
+                         objects::ObjectManager& objects, dsm::DsmEngine& dsm,
+                         rpc::RpcEndpoint& rpc)
+    : events_(events), objects_(objects), dsm_(dsm), rpc_(rpc) {
+  rpc_.register_method(
+      kInstallMethod,
+      [this](NodeId, Reader& args) -> Result<rpc::Payload> {
+        const auto segment = args.get_id<SegmentTag>();
+        const auto page = static_cast<std::size_t>(args.get<std::uint64_t>());
+        auto data = args.get_bytes();
+        const auto state = args.get<dsm::PageState>();
+        const Status installed =
+            dsm_.install_page(segment, page, std::move(data), state);
+        if (!installed.is_ok()) return installed;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.pages_installed++;
+        }
+        return rpc::Payload{};
+      },
+      rpc::MethodClass::kFast);
+}
+
+PagerClient::~PagerClient() { rpc_.unregister_method(kInstallMethod); }
+
+Status PagerClient::create_paged_segment(SegmentId segment,
+                                         std::size_t num_pages,
+                                         ObjectId server) {
+  const Status created =
+      dsm_.create_segment(segment, num_pages, dsm::SegmentMode::kUserPaged);
+  if (!created.is_ok()) return created;
+
+  const std::size_t page_size = dsm_.page_size();
+  return dsm_.set_fault_hook(
+      segment,
+      [this, server, page_size](const dsm::FaultInfo& info)
+          -> Result<std::optional<std::vector<std::uint8_t>>> {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.faults_served++;
+        }
+        Writer w;
+        w.put(info.segment);
+        w.put(static_cast<std::uint64_t>(info.page));
+        w.put(info.access);
+        w.put(info.node);
+        w.put(static_cast<std::uint32_t>(page_size));
+
+        if (kernel::Kernel::current() != nullptr) {
+          // The paper's path: suspend the thread via a synchronous VM_FAULT;
+          // the buddy handler (the server) installs the page, then resumes.
+          auto verdict = events_.raise_exception(events::sys::kVmFault,
+                                                 "vm fault", std::move(w).take());
+          if (!verdict.is_ok()) return verdict.status();
+          if (verdict.value() == kernel::Verdict::kTerminate) {
+            return Status{StatusCode::kTerminated, "terminated during fault"};
+          }
+          // Page was installed out-of-band; the DSM engine re-checks.
+          return std::optional<std::vector<std::uint8_t>>{};
+        }
+
+        // No logical thread: fetch directly from the server object.
+        Writer fw;
+        fw.put(info.segment);
+        fw.put(static_cast<std::uint64_t>(info.page));
+        fw.put(static_cast<std::uint32_t>(page_size));
+        auto fetched = objects_.invoke(server, "fetch_page",
+                                       std::move(fw).take());
+        if (!fetched.is_ok()) return fetched.status();
+        Reader r(std::move(fetched).value());
+        return std::optional{r.get_bytes()};
+      });
+}
+
+Status PagerClient::arm_current_thread(ObjectId server) {
+  auto handler =
+      events_.attach_handler(events::sys::kVmFault, server, "on_fault");
+  return handler.status();
+}
+
+Status PagerClient::writeback(SegmentId segment, std::size_t page,
+                              ObjectId server) {
+  const std::size_t page_size = dsm_.page_size();
+  auto data = dsm_.read(segment, page * page_size, page_size);
+  if (!data.is_ok()) return data.status();
+  Writer w;
+  w.put(segment);
+  w.put(static_cast<std::uint64_t>(page));
+  w.put(data.value());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writebacks++;
+  }
+  auto reply = objects_.invoke(server, "writeback", std::move(w).take());
+  return reply.status();
+}
+
+PagerStats PagerClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace doct::services

@@ -1,0 +1,78 @@
+// User-level virtual memory managers — external pagers (§6.4).
+//
+// "The basic strategy is that the applications will tag regions of memory as
+//  pageable, request VM_FAULT events and designate a server as the handler
+//  for VM_FAULT events (buddy handler).  When any thread faults at an
+//  address, the thread is suspended and the handler attached to the server
+//  is notified.  The handler code then supplies a page to satisfy the fault.
+//  If another thread faults on the same memory, the server can supply a copy
+//  of the page, and later merge the pages."
+//
+// PagerServer is a passive object holding the backing store for user-paged
+// segments.  PagerClient tags a local DSM segment as user-paged and wires
+// its fault hook to raise VM_FAULT synchronously at the faulting thread; the
+// buddy handler (the server's `on_fault` entry) supplies the page by calling
+// the faulting node's `pager.install` RPC, then resumes the thread.  Writes
+// are pushed back with `writeback`, and `merge` reconciles divergent copies
+// (last-writer-wins per page, byte-wise merge helper provided for tests).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dsm/dsm.hpp"
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::services {
+
+class PagerServer {
+ public:
+  // Builds the pager server object with its own backing store.
+  // `rpc` is the endpoint of the node HOSTING the server (used to push pages
+  // to faulting nodes).
+  static std::shared_ptr<objects::PassiveObject> make(rpc::RpcEndpoint& rpc);
+};
+
+struct PagerStats {
+  std::uint64_t faults_served = 0;
+  std::uint64_t pages_installed = 0;
+  std::uint64_t writebacks = 0;
+};
+
+// Per-node client: registers the `pager.install` RPC method and arms
+// user-paged segments.
+class PagerClient {
+ public:
+  PagerClient(events::EventSystem& events, objects::ObjectManager& objects,
+              dsm::DsmEngine& dsm, rpc::RpcEndpoint& rpc);
+  ~PagerClient();
+
+  // Creates a user-paged segment backed by the pager server and wires the
+  // fault path.  Must be called from outside any logical thread (setup).
+  Status create_paged_segment(SegmentId segment, std::size_t num_pages,
+                              ObjectId server);
+
+  // Arms the CURRENT logical thread with the VM_FAULT buddy handler pointing
+  // at the server.  Threads that will touch the segment call this once.
+  Status arm_current_thread(ObjectId server);
+
+  // Pushes a locally modified page back to the server's backing store.
+  Status writeback(SegmentId segment, std::size_t page, ObjectId server);
+
+  [[nodiscard]] PagerStats stats() const;
+
+ private:
+  events::EventSystem& events_;
+  objects::ObjectManager& objects_;
+  dsm::DsmEngine& dsm_;
+  rpc::RpcEndpoint& rpc_;
+
+  mutable std::mutex mu_;
+  PagerStats stats_;
+};
+
+}  // namespace doct::services

@@ -1,0 +1,104 @@
+#include "services/termination/termination.hpp"
+
+#include "common/log.hpp"
+#include "events/block.hpp"
+
+namespace doct::services {
+
+namespace {
+
+constexpr const char* kRootHandlerProc = "doct.termination.on_terminate";
+constexpr const char* kQuitHandlerProc = "doct.termination.on_quit";
+constexpr const char* kAbortEntry = "doct_on_abort";
+
+// Raises ABORT at every object on the thread's current invocation chain —
+// "all objects that lie in the path between the root object and the objects
+// where the threads are currently active" get a chance to clean up.
+void abort_invocation_chain(events::EventSystem& events,
+                            kernel::ThreadContext& thread) {
+  const auto chain = thread.with_attributes(
+      [](kernel::ThreadAttributes& a) { return a.call_chain; });
+  for (const auto& frame : chain) {
+    Writer w;
+    w.put(thread.tid());
+    const Status raised =
+        events.raise(events::sys::kAbort, frame.object, std::move(w).take());
+    if (!raised.is_ok()) {
+      DOCT_LOG(kWarn) << "ABORT to " << frame.object.to_string()
+                      << " failed: " << raised.to_string();
+    }
+  }
+}
+
+}  // namespace
+
+TerminationService::TerminationService(events::EventSystem& events)
+    : events_(events) {
+  register_procedures();
+}
+
+void TerminationService::register_procedures() {
+  // Idempotent: register_procedure replaces, and the bodies are stateless.
+  events_.procedures().register_procedure(
+      kRootHandlerProc, [this](events::PerThreadCallCtx& ctx) {
+        // §6.3: "This handler aborts the top level invocation (causing all
+        // objects to be notified) and raises the event QUIT to the thread
+        // group."
+        abort_invocation_chain(events_, ctx.thread);
+        const GroupId group = ctx.thread.with_attributes(
+            [](kernel::ThreadAttributes& a) { return a.group; });
+        const Status raised = events_.raise(events::sys::kQuit, group);
+        if (!raised.is_ok()) {
+          DOCT_LOG(kWarn) << "QUIT to group failed: " << raised.to_string();
+        }
+        return kernel::Verdict::kTerminate;
+      });
+
+  events_.procedures().register_procedure(
+      kQuitHandlerProc, [this](events::PerThreadCallCtx& ctx) {
+        // Each member aborts its own invocation chain, then dies ("the
+        // handler for the event QUIT simply terminates the thread").
+        abort_invocation_chain(events_, ctx.thread);
+        return kernel::Verdict::kTerminate;
+      });
+}
+
+void TerminationService::arm_object(
+    objects::PassiveObject& object,
+    std::function<void(ThreadId)> cleanup) {
+  object.define_entry(
+      kAbortEntry,
+      [cleanup = std::move(cleanup)](
+          objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        ThreadId aborting;
+        // The aborting thread's id travels in the block's user data (set by
+        // abort_invocation_chain); fall back to the block's raiser.
+        try {
+          auto r = block.user_reader();
+          aborting = r.get_id<ThreadTag>();
+        } catch (const DeserializeError&) {
+          aborting = block.raiser();
+        }
+        if (cleanup) cleanup(aborting);
+        return objects::Payload{};
+      },
+      objects::Visibility::kPrivate);
+  object.define_handler("ABORT", kAbortEntry);
+}
+
+Status TerminationService::arm_current_thread() {
+  auto terminate_handler = events_.attach_handler(
+      events::sys::kTerminate, kRootHandlerProc, events::OWN_CONTEXT);
+  if (!terminate_handler.is_ok()) return terminate_handler.status();
+  auto quit_handler = events_.attach_handler(
+      events::sys::kQuit, kQuitHandlerProc, events::OWN_CONTEXT);
+  if (!quit_handler.is_ok()) return quit_handler.status();
+  return Status::ok();
+}
+
+Status TerminationService::request_termination(ThreadId root_thread) {
+  return events_.raise(events::sys::kTerminate, root_thread);
+}
+
+}  // namespace doct::services

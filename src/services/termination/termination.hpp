@@ -1,0 +1,55 @@
+// The "distributed ^C problem" (§6.3): cleanly terminating a distributed
+// application whose threads and invocation chains span nodes, where the
+// objects involved may be shared with unrelated applications.
+//
+// Following the paper's recipe exactly:
+//   * every participating object registers an object-based handler for the
+//     predefined event ABORT; when triggered, it performs cleanup for the
+//     invocation in progress for the thread named in the event block
+//     (arm_object(); the default handler provided here runs a user cleanup
+//     callback, e.g. closing I/O channels and releasing resources).
+//   * the root thread attaches handlers for TERMINATE and QUIT
+//     (arm_current_thread()); every thread subsequently spawned from it
+//     INHERITS these handlers through the thread attributes.
+//   * when TERMINATE is raised anywhere at the root thread, its handler
+//     aborts the top-level invocation — raising ABORT at every object on the
+//     thread's invocation chain — and raises QUIT at the thread group.
+//   * the QUIT handler on each member raises ABORT along that member's own
+//     invocation chain, then terminates the thread.
+//
+// Threads running in shared objects are unaffected unless they belong to the
+// application's group — exactly the sharability requirement of §3.1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "events/event_system.hpp"
+#include "objects/manager.hpp"
+
+namespace doct::services {
+
+class TerminationService {
+ public:
+  explicit TerminationService(events::EventSystem& events);
+
+  // Registers the ABORT object-based handler on `object`.  `cleanup` runs
+  // with the aborting thread's id whenever an ABORT for this object arrives.
+  void arm_object(objects::PassiveObject& object,
+                  std::function<void(ThreadId aborting_thread)> cleanup);
+
+  // Attaches the TERMINATE and QUIT handlers to the CURRENT logical thread
+  // (the application root).  Children spawned afterwards inherit them.
+  Status arm_current_thread();
+
+  // The ^C: raise TERMINATE at the application's root thread.
+  Status request_termination(ThreadId root_thread);
+
+ private:
+  void register_procedures();
+
+  events::EventSystem& events_;
+};
+
+}  // namespace doct::services

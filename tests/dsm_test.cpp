@@ -1,0 +1,458 @@
+// Unit tests for the DSM substrate: coherence protocol, fault accounting,
+// user-level pager hooks, sequential consistency under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/id_gen.hpp"
+#include "common/rng.hpp"
+#include "dsm/dsm.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::dsm {
+namespace {
+
+// An N-node DSM cluster fixture.
+class DsmCluster {
+ public:
+  explicit DsmCluster(int num_nodes, DsmConfig config = {.page_size = 64}) {
+    for (int i = 1; i <= num_nodes; ++i) {
+      auto node = std::make_unique<Node>();
+      node->id = NodeId{static_cast<std::uint64_t>(i)};
+      EXPECT_TRUE(net.register_node(node->id, node->demux.as_handler()).is_ok());
+      node->rpc = std::make_unique<rpc::RpcEndpoint>(net, node->demux, node->id, ids);
+      node->dsm = std::make_unique<DsmEngine>(*node->rpc, node->id, config);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  DsmEngine& operator[](int i) { return *nodes[static_cast<size_t>(i)]->dsm; }
+
+  struct Node {
+    NodeId id;
+    net::Demux demux;
+    std::unique_ptr<rpc::RpcEndpoint> rpc;
+    std::unique_ptr<DsmEngine> dsm;
+  };
+
+  net::Network net;
+  IdGenerator ids;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> il) {
+  return {il};
+}
+
+TEST(Dsm, CreateAndLocalReadWrite) {
+  DsmCluster cluster(1);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 4).is_ok());
+
+  auto initial = cluster[0].read(seg, 0, 8);
+  ASSERT_TRUE(initial.is_ok());
+  EXPECT_EQ(initial.value(), std::vector<std::uint8_t>(8, 0));
+
+  ASSERT_TRUE(cluster[0].write(seg, 3, bytes({1, 2, 3})).is_ok());
+  auto readback = cluster[0].read(seg, 3, 3);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_EQ(readback.value(), bytes({1, 2, 3}));
+}
+
+TEST(Dsm, CreateValidation) {
+  DsmCluster cluster(1);
+  EXPECT_EQ(cluster[0].create_segment(SegmentId{}, 4).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster[0].create_segment(SegmentId{1}, 0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(cluster[0].create_segment(SegmentId{1}, 4).is_ok());
+  EXPECT_EQ(cluster[0].create_segment(SegmentId{1}, 4).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Dsm, OutOfBoundsRejected) {
+  DsmCluster cluster(1);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 2).is_ok());  // 128 bytes
+  EXPECT_EQ(cluster[0].read(seg, 120, 16).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<std::uint8_t> big(16, 7);
+  EXPECT_EQ(cluster[0].write(seg, 120, big).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Dsm, UnknownSegmentRejected) {
+  DsmCluster cluster(1);
+  EXPECT_EQ(cluster[0].read(SegmentId{9}, 0, 1).status().code(),
+            StatusCode::kNoSuchObject);
+}
+
+TEST(Dsm, RemoteReadFaultsPageIn) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 2).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 2).is_ok());
+  ASSERT_TRUE(cluster[0].write(seg, 0, bytes({42})).is_ok());
+
+  auto remote = cluster[1].read(seg, 0, 1);
+  ASSERT_TRUE(remote.is_ok()) << remote.status().to_string();
+  EXPECT_EQ(remote.value(), bytes({42}));
+  EXPECT_EQ(cluster[1].stats().read_faults, 1u);
+  EXPECT_EQ(cluster[1].stats().pages_fetched, 1u);
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kShared);
+}
+
+TEST(Dsm, SecondReadHitsLocally) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  EXPECT_EQ(cluster[1].stats().read_faults, 1u);  // second read: no fault
+}
+
+TEST(Dsm, WriteTransfersOwnership) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+
+  ASSERT_TRUE(cluster[1].write(seg, 0, bytes({7})).is_ok());
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kOwned);
+  EXPECT_EQ(cluster[0].page_state(seg, 0), PageState::kInvalid);
+  EXPECT_EQ(cluster[0].stats().ownership_transfers, 1u);
+
+  // Home reads it back: faults, fetches from the new owner.
+  auto readback = cluster[0].read(seg, 0, 1);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_EQ(readback.value(), bytes({7}));
+}
+
+TEST(Dsm, WriteInvalidatesAllReaders) {
+  DsmCluster cluster(4);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_TRUE(cluster[i].attach_segment(seg, NodeId{1}, 1).is_ok());
+  }
+  // Everyone reads: 3 shared copies + owner.
+  for (int i = 1; i < 4; ++i) ASSERT_TRUE(cluster[i].read(seg, 0, 1).is_ok());
+
+  // Node 3 writes: nodes 1 and 2 must lose their copies.
+  ASSERT_TRUE(cluster[3].write(seg, 0, bytes({9})).is_ok());
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kInvalid);
+  EXPECT_EQ(cluster[2].page_state(seg, 0), PageState::kInvalid);
+  EXPECT_EQ(cluster[3].page_state(seg, 0), PageState::kOwned);
+
+  // Fresh reads see the new value.
+  for (int i = 0; i < 3; ++i) {
+    auto r = cluster[i].read(seg, 0, 1);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), bytes({9}));
+  }
+}
+
+TEST(Dsm, OwnerDowngradedOnRemoteRead) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+  EXPECT_EQ(cluster[0].page_state(seg, 0), PageState::kOwned);
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  // Home gave out a copy, so its own copy is no longer exclusive.
+  EXPECT_EQ(cluster[0].page_state(seg, 0), PageState::kShared);
+  // A subsequent home write must re-upgrade (write fault at the home).
+  ASSERT_TRUE(cluster[0].write(seg, 0, bytes({5})).is_ok());
+  EXPECT_EQ(cluster[0].page_state(seg, 0), PageState::kOwned);
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kInvalid);
+}
+
+TEST(Dsm, MultiPageWriteSpansBoundaries) {
+  DsmCluster cluster(2, DsmConfig{.page_size = 8});
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 4).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 4).is_ok());
+
+  std::vector<std::uint8_t> pattern(20);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  ASSERT_TRUE(cluster[1].write(seg, 5, pattern).is_ok());  // pages 0..3
+  auto readback = cluster[0].read(seg, 5, pattern.size());
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_EQ(readback.value(), pattern);
+}
+
+TEST(Dsm, UserPagedSegmentRequiresHook) {
+  DsmCluster cluster(1);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1, SegmentMode::kUserPaged).is_ok());
+  EXPECT_EQ(cluster[0].read(seg, 0, 1).status().code(), StatusCode::kNoHandler);
+}
+
+TEST(Dsm, UserPagerSuppliesPages) {
+  DsmCluster cluster(1, DsmConfig{.page_size = 16});
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 4, SegmentMode::kUserPaged).is_ok());
+
+  std::atomic<int> faults{0};
+  ASSERT_TRUE(cluster[0]
+                  .set_fault_hook(seg,
+                                  [&](const FaultInfo& info)
+                                      -> Result<std::optional<std::vector<std::uint8_t>>> {
+                                    faults++;
+                                    std::vector<std::uint8_t> page(
+                                        16, static_cast<std::uint8_t>(info.page));
+                                    return std::optional{std::move(page)};
+                                  })
+                  .is_ok());
+
+  auto page2 = cluster[0].read(seg, 2 * 16, 4);
+  ASSERT_TRUE(page2.is_ok());
+  EXPECT_EQ(page2.value(), std::vector<std::uint8_t>(4, 2));
+  EXPECT_EQ(faults.load(), 1);
+  EXPECT_EQ(cluster[0].stats().user_pager_fills, 1u);
+
+  // Second access: no new fault.
+  ASSERT_TRUE(cluster[0].read(seg, 2 * 16, 4).is_ok());
+  EXPECT_EQ(faults.load(), 1);
+}
+
+TEST(Dsm, UserPagerErrorFailsAccess) {
+  DsmCluster cluster(1);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1, SegmentMode::kUserPaged).is_ok());
+  ASSERT_TRUE(cluster[0]
+                  .set_fault_hook(seg,
+                                  [](const FaultInfo&)
+                                      -> Result<std::optional<std::vector<std::uint8_t>>> {
+                                    return Status{StatusCode::kPermissionDenied,
+                                                  "segment fenced"};
+                                  })
+                  .is_ok());
+  EXPECT_EQ(cluster[0].read(seg, 0, 1).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(Dsm, UserPagerDeclineFailsUserPagedAccess) {
+  DsmCluster cluster(1);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1, SegmentMode::kUserPaged).is_ok());
+  ASSERT_TRUE(cluster[0]
+                  .set_fault_hook(seg,
+                                  [](const FaultInfo&)
+                                      -> Result<std::optional<std::vector<std::uint8_t>>> {
+                                    return std::optional<std::vector<std::uint8_t>>{};
+                                  })
+                  .is_ok());
+  EXPECT_EQ(cluster[0].read(SegmentId{1}, 0, 1).status().code(),
+            StatusCode::kNoHandler);
+}
+
+TEST(Dsm, ObservationalHookOnDefaultSegment) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+
+  std::atomic<int> observed{0};
+  ASSERT_TRUE(cluster[1]
+                  .set_fault_hook(seg,
+                                  [&](const FaultInfo&)
+                                      -> Result<std::optional<std::vector<std::uint8_t>>> {
+                                    observed++;
+                                    return std::optional<std::vector<std::uint8_t>>{};
+                                  })
+                  .is_ok());
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());  // protocol still runs
+  EXPECT_EQ(observed.load(), 1);
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kShared);
+
+  ASSERT_TRUE(cluster[1].clear_fault_hook(seg).is_ok());
+  ASSERT_TRUE(cluster[1].evict_page(seg, 0).is_ok());
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  EXPECT_EQ(observed.load(), 1);  // hook cleared: not called again
+}
+
+TEST(Dsm, EvictForcesRefault) {
+  DsmCluster cluster(2);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  ASSERT_TRUE(cluster[1].evict_page(seg, 0).is_ok());
+  EXPECT_EQ(cluster[1].page_state(seg, 0), PageState::kInvalid);
+  ASSERT_TRUE(cluster[1].read(seg, 0, 1).is_ok());
+  EXPECT_EQ(cluster[1].stats().read_faults, 2u);
+}
+
+TEST(Dsm, InstallPagePrePopulates) {
+  DsmCluster cluster(1, DsmConfig{.page_size = 8});
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 2, SegmentMode::kUserPaged).is_ok());
+  ASSERT_TRUE(cluster[0].install_page(seg, 1, bytes({9, 8, 7}), PageState::kOwned).is_ok());
+  auto r = cluster[0].read(seg, 8, 3);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), bytes({9, 8, 7}));
+}
+
+// Sequential-consistency stress: single page, one writer bumping a counter,
+// several readers; readers must observe a non-decreasing sequence.
+TEST(Dsm, MonotoneCounterAcrossNodes) {
+  DsmCluster cluster(3);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(cluster[1].attach_segment(seg, NodeId{1}, 1).is_ok());
+  ASSERT_TRUE(cluster[2].attach_segment(seg, NodeId{1}, 1).is_ok());
+
+  constexpr std::uint8_t kMax = 50;
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (std::uint8_t v = 1; v <= kMax; ++v) {
+      if (!cluster[1].write(seg, 0, std::vector<std::uint8_t>{v}).is_ok()) {
+        failed = true;
+        return;
+      }
+    }
+  });
+  std::thread reader([&] {
+    std::uint8_t last = 0;
+    while (last < kMax && !failed.load()) {
+      auto r = cluster[2].read(seg, 0, 1);
+      if (!r.is_ok()) {
+        failed = true;
+        return;
+      }
+      const std::uint8_t v = r.value()[0];
+      if (v < last) {
+        failed = true;  // time went backwards: SC violation
+        return;
+      }
+      last = v;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// Property sweep: random read/write traffic from every node must leave all
+// nodes agreeing with a reference copy maintained under a global lock.
+class DsmRandomTrafficTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsmRandomTrafficTest, ConvergesToReferenceCopy) {
+  constexpr int kNodes = 3;
+  constexpr std::size_t kPages = 4;
+  constexpr std::size_t kPageSize = 16;
+  DsmCluster cluster(kNodes, DsmConfig{.page_size = kPageSize});
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, kPages).is_ok());
+  for (int i = 1; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster[i].attach_segment(seg, NodeId{1}, kPages).is_ok());
+  }
+
+  std::vector<std::uint8_t> reference(kPages * kPageSize, 0);
+  std::mutex ref_mu;  // serializes op + reference update per step
+  SplitMix64 rng(GetParam());
+
+  for (int step = 0; step < 200; ++step) {
+    const int node = static_cast<int>(rng.below(kNodes));
+    const std::size_t offset = rng.below(reference.size());
+    const std::size_t len =
+        1 + rng.below(std::min<std::size_t>(24, reference.size() - offset));
+    if (rng.chance(0.5)) {
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+      std::lock_guard<std::mutex> lock(ref_mu);
+      ASSERT_TRUE(cluster[node].write(seg, offset, data).is_ok());
+      std::copy(data.begin(), data.end(),
+                reference.begin() + static_cast<long>(offset));
+    } else {
+      std::lock_guard<std::mutex> lock(ref_mu);
+      auto r = cluster[node].read(seg, offset, len);
+      ASSERT_TRUE(r.is_ok());
+      const std::vector<std::uint8_t> expected(
+          reference.begin() + static_cast<long>(offset),
+          reference.begin() + static_cast<long>(offset + len));
+      ASSERT_EQ(r.value(), expected) << "step " << step << " node " << node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsmRandomTrafficTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Concurrent writers to disjoint pages must not interfere.
+TEST(Dsm, ConcurrentWritersDisjointPages) {
+  constexpr int kNodes = 4;
+  DsmCluster cluster(kNodes, DsmConfig{.page_size = 32});
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, kNodes).is_ok());
+  for (int i = 1; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster[i].attach_segment(seg, NodeId{1}, kNodes).is_ok());
+  }
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kNodes; ++i) {
+    writers.emplace_back([&, i] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::uint8_t> data(32, static_cast<std::uint8_t>(i + 1));
+        if (!cluster[i].write(seg, static_cast<size_t>(i) * 32, data).is_ok()) {
+          failures++;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 0; i < kNodes; ++i) {
+    auto r = cluster[0].read(seg, static_cast<size_t>(i) * 32, 32);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(),
+              std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i + 1)));
+  }
+}
+
+// Contended single page: every node increments a 64-bit counter under an
+// external lock; the final value must equal the total increment count.
+TEST(Dsm, ContendedPageUnderExternalLock) {
+  constexpr int kNodes = 3;
+  constexpr int kIncrements = 30;
+  DsmCluster cluster(kNodes);
+  const SegmentId seg{1};
+  ASSERT_TRUE(cluster[0].create_segment(seg, 1).is_ok());
+  for (int i = 1; i < kNodes; ++i) {
+    ASSERT_TRUE(cluster[i].attach_segment(seg, NodeId{1}, 1).is_ok());
+  }
+  std::mutex app_lock;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kNodes; ++i) {
+    threads.emplace_back([&, i] {
+      for (int n = 0; n < kIncrements; ++n) {
+        std::lock_guard<std::mutex> lock(app_lock);
+        auto r = cluster[i].read(seg, 0, 8);
+        ASSERT_TRUE(r.is_ok());
+        Reader reader(r.value());
+        auto v = reader.get<std::uint64_t>();
+        Writer w;
+        w.put(v + 1);
+        ASSERT_TRUE(cluster[i].write(seg, 0, std::move(w).take()).is_ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto final = cluster[0].read(seg, 0, 8);
+  ASSERT_TRUE(final.is_ok());
+  Reader reader(final.value());
+  EXPECT_EQ(reader.get<std::uint64_t>(),
+            static_cast<std::uint64_t>(kNodes * kIncrements));
+}
+
+}  // namespace
+}  // namespace doct::dsm

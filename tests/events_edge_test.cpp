@@ -1,0 +1,322 @@
+// Edge cases and failure paths of the event facility: sync timeouts against
+// non-polling targets, empty groups, handlers that re-raise, delivery to
+// terminated-but-running threads, event-block field coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "events/block.hpp"
+#include "runtime/runtime.hpp"
+
+namespace doct::events {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+TEST(EventsEdge, SyncRaiseTimesOutAgainstNonPollingTarget) {
+  runtime::ClusterConfig config;
+  config.node.events.sync_timeout = 100ms;
+  Cluster cluster(1, config);
+  auto& n0 = cluster.node(0);
+
+  // The target never reaches a delivery point (plain sleeps, no kernel
+  // calls) until released.
+  std::atomic<bool> release{false};
+  const ThreadId target = n0.kernel.spawn([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  const EventId ev = cluster.registry().register_event("NEVER_POLLED");
+  for (int i = 0; i < 500 && n0.kernel.local_threads().empty(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  std::atomic<bool> timed_out{false};
+  const ThreadId raiser = n0.kernel.spawn([&] {
+    auto verdict = n0.events.raise_and_wait(ev, target);
+    timed_out = !verdict.is_ok() &&
+                verdict.status().code() == StatusCode::kTimeout;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(raiser, 15s).is_ok());
+  EXPECT_TRUE(timed_out.load());
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(target, 10s).is_ok());
+}
+
+TEST(EventsEdge, GroupRaiseWithNoMembersSucceedsQuietly) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  const GroupId empty = n0.kernel.create_group();
+  const EventId ev = cluster.registry().register_event("INTO_THE_VOID");
+  EXPECT_TRUE(n0.events.raise(ev, empty).is_ok());
+  cluster.network().quiesce();
+  EXPECT_EQ(n0.kernel.stats().notices_delivered, 0u);
+}
+
+TEST(EventsEdge, SyncGroupRaiseWithNoMembersTimesOut) {
+  runtime::ClusterConfig config;
+  config.node.events.sync_timeout = 80ms;
+  Cluster cluster(1, config);
+  auto& n0 = cluster.node(0);
+  const GroupId empty = n0.kernel.create_group();
+  const EventId ev = cluster.registry().register_event("VOID_SYNC");
+  auto verdict = n0.events.raise_and_wait(ev, empty);
+  EXPECT_EQ(verdict.status().code(), StatusCode::kTimeout);
+}
+
+TEST(EventsEdge, RaiseExceptionWithoutHandlerUsesDefault) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<bool> resumed{false};
+  std::atomic<bool> terminated{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    // INTERRUPT defaults to ignore -> resume.
+    auto a = n0.events.raise_exception(sys::kInterrupt, "soft");
+    resumed = a.is_ok() && a.value() == Verdict::kResume;
+    // DIVIDE_BY_ZERO defaults to terminate.
+    auto b = n0.events.raise_exception(sys::kDivideByZero, "hard");
+    terminated = b.is_ok() && b.value() == Verdict::kTerminate;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(resumed.load());
+  EXPECT_TRUE(terminated.load());
+}
+
+TEST(EventsEdge, HandlerMayRaiseFollowUpEventAtSelf) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<int> first_runs{0};
+  std::atomic<int> second_runs{0};
+  const EventId first = cluster.registry().register_event("FIRST");
+  const EventId second = cluster.registry().register_event("SECOND");
+
+  cluster.procedures().register_procedure("second_h",
+                                          [&](PerThreadCallCtx&) {
+                                            second_runs++;
+                                            return Verdict::kResume;
+                                          });
+  cluster.procedures().register_procedure(
+      "first_h", [&](PerThreadCallCtx& ctx) {
+        first_runs++;
+        // Re-raise at the same thread: must be queued and handled at a later
+        // delivery point, not recursively inline.
+        n0.events.raise(second, ctx.thread.tid());
+        return Verdict::kResume;
+      });
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events.attach_handler(first, "first_h", OWN_CONTEXT).is_ok());
+    ASSERT_TRUE(n0.events.attach_handler(second, "second_h", OWN_CONTEXT).is_ok());
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(first, tid).is_ok());
+  for (int i = 0; i < 1000 && second_runs.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(first_runs.load(), 1);
+  EXPECT_EQ(second_runs.load(), 1);
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+TEST(EventsEdge, EventBlockExposesAllNoticeFields) {
+  kernel::EventNotice notice;
+  notice.event = EventId{42};
+  notice.event_name = "FULL";
+  notice.target_thread = ThreadId{1};
+  notice.target_group = GroupId{2};
+  notice.target_object = ObjectId{3};
+  notice.raiser = ThreadId{4};
+  notice.raiser_node = NodeId{5};
+  notice.synchronous = true;
+  notice.wait_token = 6;
+  notice.raised_in = ObjectId{7};
+  notice.system_info = "pc=0x8";
+  Writer w;
+  w.put(std::string("payload"));
+  notice.user_data = std::move(w).take();
+
+  const EventBlock block{notice};
+  EXPECT_EQ(block.event(), EventId{42});
+  EXPECT_EQ(block.event_name(), "FULL");
+  EXPECT_EQ(block.target_thread(), ThreadId{1});
+  EXPECT_EQ(block.target_group(), GroupId{2});
+  EXPECT_EQ(block.target_object(), ObjectId{3});
+  EXPECT_EQ(block.raiser(), ThreadId{4});
+  EXPECT_EQ(block.raiser_node(), NodeId{5});
+  EXPECT_TRUE(block.synchronous());
+  EXPECT_EQ(block.raised_in(), ObjectId{7});
+  EXPECT_EQ(block.system_info(), "pc=0x8");
+  auto r = block.user_reader();
+  EXPECT_EQ(r.get_string(), "payload");
+
+  // Round trip through the wire helpers.
+  auto payload = block.to_payload();
+  Reader reader(payload);
+  EXPECT_EQ(EventBlock::from_payload(reader).notice(), notice);
+}
+
+TEST(EventsEdge, MissingPerThreadProcedureSkippedInChain) {
+  // A handler record whose procedure isn't registered on this "binary" is
+  // skipped (logged), and the chain continues to the next handler.
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<int> outer_runs{0};
+  cluster.procedures().register_procedure("outer_ok",
+                                          [&](PerThreadCallCtx&) {
+                                            outer_runs++;
+                                            return Verdict::kResume;
+                                          });
+  const EventId ev = cluster.registry().register_event("HALF_MISSING");
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events.attach_handler(ev, "outer_ok", OWN_CONTEXT).is_ok());
+    // Inject a record for a procedure that exists now but is replaced by a
+    // missing name directly in the attributes (simulating a node that lacks
+    // the mapped code).
+    kernel::Kernel::current()->with_attributes([&](kernel::ThreadAttributes& a) {
+      kernel::HandlerRecord record;
+      record.id = HandlerId{9999};
+      record.event = ev;
+      record.kind = kernel::HandlerKind::kPerThread;
+      record.entry = "not_registered_anywhere";
+      a.handler_chain.push_back(record);
+    });
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000 && outer_runs.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(outer_runs.load(), 1);  // fell through the broken record
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+TEST(EventsEdge, HandlerObjectGoneFallsThroughChain) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<int> fallback_runs{0};
+  cluster.procedures().register_procedure("fallback",
+                                          [&](PerThreadCallCtx&) {
+                                            fallback_runs++;
+                                            return Verdict::kResume;
+                                          });
+  auto doomed = std::make_shared<objects::PassiveObject>("doomed");
+  doomed->define_entry(
+      "h",
+      [](objects::CallCtx&) -> Result<objects::Payload> {
+        return objects::Payload{};
+      },
+      objects::Visibility::kPrivate);
+  const ObjectId doomed_id = n0.objects.add_object(doomed);
+  const EventId ev = cluster.registry().register_event("DOOMED_HANDLER");
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events.attach_handler(ev, "fallback", OWN_CONTEXT).is_ok());
+    ASSERT_TRUE(n0.events.attach_handler(ev, doomed_id, "h").is_ok());
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  // Remove the handler object, then raise: the object-entry record fails
+  // (kNoSuchObject), and the chain falls through to the fallback proc.
+  ASSERT_TRUE(n0.objects.remove_object(doomed_id).is_ok());
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000 && fallback_runs.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fallback_runs.load(), 1);
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+TEST(EventsEdge, HandlerEntryReturningErrorFallsThrough) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<int> after{0};
+  cluster.procedures().register_procedure("after_h", [&](PerThreadCallCtx&) {
+    after++;
+    return Verdict::kResume;
+  });
+  auto flaky = std::make_shared<objects::PassiveObject>("flaky");
+  flaky->define_entry(
+      "h",
+      [](objects::CallCtx&) -> Result<objects::Payload> {
+        return Status{StatusCode::kInternal, "handler blew up"};
+      },
+      objects::Visibility::kPrivate);
+  const ObjectId flaky_id = n0.objects.add_object(flaky);
+  const EventId ev = cluster.registry().register_event("FLAKY_HANDLER");
+
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events.attach_handler(ev, "after_h", OWN_CONTEXT).is_ok());
+    ASSERT_TRUE(n0.events.attach_handler(ev, flaky_id, "h").is_ok());
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000 && after.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(after.load(), 1);
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+TEST(EventsEdge, TerminatedThreadReportsDeadTargetBeforeExit) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  // A thread that marks itself terminated but keeps its body alive briefly.
+  std::atomic<bool> marked{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    kernel::Kernel::current()->mark_terminated();
+    marked = true;
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  while (!marked.load()) std::this_thread::sleep_for(1ms);
+  const EventId ev = cluster.registry().register_event("TOO_LATE");
+  EXPECT_EQ(n0.events.raise(ev, tid).code(), StatusCode::kDeadTarget);
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+}
+
+TEST(EventsEdge, ObjectEventToUnknownObjectOnValidNode) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  // Object id encodes node 1 (valid) but was never registered: accepted for
+  // dispatch, dropped at the handler with a warning; system stays healthy.
+  const ObjectId ghost{(std::uint64_t{1} << 48) | 0xFFFF};
+  EXPECT_TRUE(n0.events.raise(events::sys::kPing, ghost).is_ok());
+  cluster.network().quiesce();
+  // And the node still works.
+  const ObjectId real =
+      n0.objects.add_object(std::make_shared<objects::PassiveObject>("ok"));
+  EXPECT_TRUE(n0.events.raise(events::sys::kPing, real).is_ok());
+}
+
+}  // namespace
+}  // namespace doct::events

@@ -1,0 +1,408 @@
+// Cross-module integration tests: full-stack scenarios spanning net, rpc,
+// dsm, kernel, objects, events, and services — including fault injection
+// (latency, partitions) and concurrency stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "runtime/runtime.hpp"
+#include "services/debugger/debugger.hpp"
+#include "services/locks/lock_manager.hpp"
+#include "services/monitor/monitor.hpp"
+#include "services/termination/termination.hpp"
+
+namespace doct {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+TEST(Integration, FullStackAppTerminatesCleanly) {
+  // Locks + monitoring + termination, one application, three nodes.
+  Cluster cluster(3);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  auto& n2 = cluster.node(2);
+
+  services::TerminationService term0(n0.events);
+  services::TerminationService term1(n1.events);
+  const ObjectId lock_server = n2.objects.add_object(services::LockServer::make());
+  const ObjectId monitor_server =
+      n0.objects.add_object(services::MonitorServer::make());
+  services::LockClient locks(n0.events, n0.objects, lock_server);
+  services::MonitorClient monitor(n0.events, n0.objects, monitor_server);
+
+  std::atomic<int> cleanups{0};
+  std::atomic<bool> in_service{false};
+  auto service = std::make_shared<objects::PassiveObject>("app_service");
+  service->define_entry("serve", [&](objects::CallCtx& ctx)
+                                     -> Result<objects::Payload> {
+    in_service = true;
+    while (true) {
+      if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+    }
+    return objects::Payload{};
+  });
+  term1.arm_object(*service, [&](ThreadId) { cleanups++; });
+  const ObjectId service_id = n1.objects.add_object(service);
+
+  ThreadId root_tid;
+  std::atomic<bool> ready{false};
+  const ThreadId root = n0.kernel.spawn([&] {
+    root_tid = kernel::Kernel::current()->tid();
+    ASSERT_TRUE(term0.arm_current_thread().is_ok());
+    ASSERT_TRUE(monitor.arm(3ms).is_ok());
+    ASSERT_TRUE(locks.acquire("app_state").is_ok());
+    const ThreadId worker = n0.kernel.spawn(
+        [&] { (void)n0.objects.invoke(service_id, "serve", {}); });
+    (void)worker;
+    ready = true;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!ready.load() || !in_service.load()) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(15ms);  // let the monitor sample a few times
+
+  ASSERT_TRUE(term0.request_termination(root_tid).is_ok());
+  ASSERT_TRUE(n0.kernel.join_thread(root, 15s).is_ok());
+
+  // Lock freed by the TERMINATE chain.
+  std::atomic<bool> lock_free{false};
+  const ThreadId checker = n0.kernel.spawn([&] {
+    for (int i = 0; i < 500; ++i) {
+      auto holder = locks.holder("app_state");
+      if (holder.is_ok() && !holder.value().valid()) {
+        lock_free = true;
+        return;
+      }
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(checker, 15s).is_ok());
+  EXPECT_TRUE(lock_free.load());
+
+  // Service cleanup ran; monitor collected samples.
+  for (int i = 0; i < 500 && cleanups.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(cleanups.load(), 1);
+  auto report = n0.objects.invoke(monitor_server, "report", {});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(services::MonitorServer::decode_report(report.value()).empty());
+}
+
+TEST(Integration, WorksUnderNetworkLatency) {
+  runtime::ClusterConfig config;
+  config.network.base_latency = 2ms;
+  Cluster cluster(2, config);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto counter = std::make_shared<std::atomic<long>>(0);
+  auto obj = std::make_shared<objects::PassiveObject>("slowlink");
+  obj->define_entry("bump", [counter](objects::CallCtx&)
+                                -> Result<objects::Payload> {
+    counter->fetch_add(1);
+    return objects::Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(obj);
+
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ok = n0.objects.invoke(oid, "bump", {}).is_ok();
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 30s).is_ok());
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(counter->load(), 1);
+}
+
+TEST(Integration, RaiseAcrossPartitionFailsThenHeals) {
+  runtime::ClusterConfig config;
+  config.node.kernel.locate_timeout = 200ms;
+  Cluster cluster(2, config);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  std::atomic<bool> release{false};
+  const ThreadId target = n1.kernel.spawn([&] {
+    while (!release.load()) {
+      if (!n1.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  const EventId ev = cluster.registry().register_event("PARTITIONED");
+  // Let the thread register first.
+  for (int i = 0; i < 500 && n1.kernel.local_threads().empty(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  cluster.network().partition(n0.id, n1.id);
+  const Status blocked = n0.events.raise(ev, target);
+  EXPECT_FALSE(blocked.is_ok());  // locate or deliver must fail
+
+  cluster.network().heal(n0.id, n1.id);
+  Status healed;
+  for (int i = 0; i < 100; ++i) {
+    healed = n0.events.raise(ev, target);
+    if (healed.is_ok()) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(healed.is_ok()) << healed.to_string();
+
+  release = true;
+  ASSERT_TRUE(n1.kernel.join_thread(target, 10s).is_ok());
+}
+
+TEST(Integration, AsyncRaiserGetsTargetDeadEvent) {
+  // §7 fault-tolerance: the sender of an asynchronous event is notified when
+  // the target has been destroyed.
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ThreadId dead = n0.kernel.spawn([] {});
+  ASSERT_TRUE(n0.kernel.join_thread(dead).is_ok());
+
+  std::atomic<bool> notified{false};
+  ThreadId reported_dead;
+  cluster.procedures().register_procedure(
+      "obituary", [&](events::PerThreadCallCtx& ctx) {
+        auto r = ctx.block.user_reader();
+        reported_dead = r.get_id<ThreadTag>();
+        notified = true;
+        return Verdict::kResume;
+      });
+  const EventId ev = cluster.registry().register_event("TO_THE_DEAD");
+  const ThreadId raiser = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events
+                    .attach_handler(events::sys::kTargetDead, "obituary",
+                                    events::OWN_CONTEXT)
+                    .is_ok());
+    EXPECT_EQ(n0.events.raise(ev, dead).code(), StatusCode::kDeadTarget);
+    n0.kernel.poll_events();  // delivery point for the obituary
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(raiser, 10s).is_ok());
+  EXPECT_TRUE(notified.load());
+  EXPECT_EQ(reported_dead, dead);
+}
+
+TEST(Integration, DebuggerStopsInspectsAndResumes) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);  // debuggee
+  auto& n1 = cluster.node(1);  // debugger
+
+  const ObjectId server = n1.objects.add_object(services::DebuggerServer::make());
+  services::DebuggerController controller(n1.objects, server);
+
+  std::atomic<bool> resumed{false};
+  const ThreadId debuggee = n0.kernel.spawn([&] {
+    kernel::Kernel::current()->with_attributes(
+        [](kernel::ThreadAttributes& a) { a.io_channel = "pts/7"; });
+    ASSERT_TRUE(services::attach_debugger(n0.events, server).is_ok());
+    auto verdict = services::breakpoint(n0.events, "checkpoint_alpha");
+    resumed = verdict.is_ok() && verdict.value() == Verdict::kResume;
+  });
+
+  // Wait for the stop to appear at the debugger.
+  std::vector<services::StopInfo> stops;
+  for (int i = 0; i < 1000; ++i) {
+    auto pending = controller.pending_stops();
+    ASSERT_TRUE(pending.is_ok());
+    stops = pending.value();
+    if (!stops.empty()) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(stops.size(), 1u);
+  EXPECT_EQ(stops[0].label, "checkpoint_alpha");
+  EXPECT_EQ(stops[0].node, n0.id.value());
+  EXPECT_EQ(stops[0].io_channel, "pts/7");
+  EXPECT_FALSE(resumed.load());  // still stopped
+
+  ASSERT_TRUE(controller.resolve(stops[0].id, Verdict::kResume).is_ok());
+  ASSERT_TRUE(n0.kernel.join_thread(debuggee, 15s).is_ok());
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(Integration, DebuggerCanTerminateAtBreakpoint) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(services::DebuggerServer::make());
+  services::DebuggerController controller(n0.objects, server);
+
+  std::atomic<bool> past_breakpoint{false};
+  const ThreadId debuggee = n0.kernel.spawn([&] {
+    services::attach_debugger(n0.events, server);
+    auto verdict = services::breakpoint(n0.events, "fatal_point");
+    if (verdict.is_ok() && verdict.value() == Verdict::kTerminate) return;
+    past_breakpoint = true;
+  });
+  std::vector<services::StopInfo> stops;
+  for (int i = 0; i < 1000; ++i) {
+    auto pending = controller.pending_stops();
+    ASSERT_TRUE(pending.is_ok());
+    stops = pending.value();
+    if (!stops.empty()) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(stops.size(), 1u);
+  ASSERT_TRUE(controller.resolve(stops[0].id, Verdict::kTerminate).is_ok());
+  ASSERT_TRUE(n0.kernel.join_thread(debuggee, 15s).is_ok());
+  EXPECT_FALSE(past_breakpoint.load());
+}
+
+TEST(Integration, EventFilteringAcrossCallChain) {
+  // §4.2: O1 -> O2 -> O3; each attaches its own handler as the thread
+  // passes; an event raised in O3's scope propagates outward O3 -> O2 -> O1,
+  // i.e. the chain "filters" the event between neighbouring objects.
+  Cluster cluster(3);
+  std::vector<std::string> order;
+  std::mutex order_mu;
+
+  const EventId ev = cluster.registry().register_event("FILTERED");
+  for (int i = 1; i <= 3; ++i) {
+    cluster.procedures().register_procedure(
+        "filter_o" + std::to_string(i), [&, i](events::PerThreadCallCtx&) {
+          std::lock_guard<std::mutex> lock(order_mu);
+          order.push_back("O" + std::to_string(i));
+          // O3 and O2 transform-and-forward; O1 consumes.
+          return i == 1 ? Verdict::kResume : Verdict::kPropagate;
+        });
+  }
+
+  // O3 on node 2: attaches its handler, then raises the event at itself.
+  auto& n2 = cluster.node(2);
+  auto o3 = std::make_shared<objects::PassiveObject>("O3");
+  o3->define_entry("work", [&](objects::CallCtx&) -> Result<objects::Payload> {
+    auto& events = n2.events;
+    auto attached = events.attach_handler(ev, "filter_o3", events::OWN_CONTEXT);
+    if (!attached.is_ok()) return attached.status();
+    auto verdict = events.raise_exception(ev, "raised in O3");
+    if (!verdict.is_ok()) return verdict.status();
+    return objects::Payload{};
+  });
+  const ObjectId o3_id = n2.objects.add_object(o3);
+
+  // O2 on node 1: attaches its handler, then invokes O3.
+  auto& n1 = cluster.node(1);
+  auto o2 = std::make_shared<objects::PassiveObject>("O2");
+  o2->define_entry("work", [&](objects::CallCtx& ctx) -> Result<objects::Payload> {
+    auto attached =
+        n1.events.attach_handler(ev, "filter_o2", events::OWN_CONTEXT);
+    if (!attached.is_ok()) return attached.status();
+    return ctx.manager.invoke(o3_id, "work", {});
+  });
+  const ObjectId o2_id = n1.objects.add_object(o2);
+
+  // O1 (root) on node 0.
+  auto& n0 = cluster.node(0);
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto attached =
+        n0.events.attach_handler(ev, "filter_o1", events::OWN_CONTEXT);
+    ASSERT_TRUE(attached.is_ok());
+    ok = n0.objects.invoke(o2_id, "work", {}).is_ok();
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 30s).is_ok());
+  EXPECT_TRUE(ok.load());
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "O3");  // innermost (most recently attached) first
+  EXPECT_EQ(order[1], "O2");
+  EXPECT_EQ(order[2], "O1");
+}
+
+TEST(Integration, ConcurrentEventStressNoLostDeliveries) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  constexpr int kTargets = 6;
+  constexpr int kEventsPerTarget = 50;
+
+  std::atomic<long> handled{0};
+  cluster.procedures().register_procedure(
+      "stress", [&](events::PerThreadCallCtx&) {
+        handled.fetch_add(1);
+        return Verdict::kResume;
+      });
+  const EventId ev = cluster.registry().register_event("STRESS");
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> release{false};
+  std::vector<ThreadId> targets;
+  for (int i = 0; i < kTargets; ++i) {
+    auto& node = i % 2 == 0 ? n0 : n1;
+    targets.push_back(node.kernel.spawn([&, idx = i] {
+      auto& my_node = idx % 2 == 0 ? n0 : n1;
+      ASSERT_TRUE(
+          my_node.events.attach_handler(ev, "stress", events::OWN_CONTEXT).is_ok());
+      ready++;
+      while (!release.load()) {
+        if (!my_node.kernel.sleep_for(1ms).is_ok()) return;
+      }
+    }));
+  }
+  while (ready.load() < kTargets) std::this_thread::sleep_for(1ms);
+
+  std::vector<std::thread> raisers;
+  std::atomic<long> raised{0};
+  for (int r = 0; r < 4; ++r) {
+    raisers.emplace_back([&, r] {
+      SplitMix64 rng(static_cast<std::uint64_t>(r) + 1);
+      for (int i = 0; i < kTargets * kEventsPerTarget / 4; ++i) {
+        const ThreadId target = targets[rng.below(kTargets)];
+        auto& from = rng.chance(0.5) ? n0 : n1;
+        if (from.events.raise(ev, target).is_ok()) raised.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : raisers) t.join();
+
+  for (int i = 0; i < 2000 && handled.load() < raised.load(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(handled.load(), raised.load());
+
+  release = true;
+  for (int i = 0; i < kTargets; ++i) {
+    auto& node = i % 2 == 0 ? n0 : n1;
+    ASSERT_TRUE(node.kernel.join_thread(targets[static_cast<size_t>(i)], 15s).is_ok());
+  }
+}
+
+TEST(Integration, PassiveObjectEventAfterDeactivationFullPath) {
+  // Persistence + activation hook + master handler thread, across nodes.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto hits = std::make_shared<std::atomic<int>>(0);
+  n1.factory.register_type("persistent_target", [hits] {
+    auto obj = std::make_shared<objects::PassiveObject>("persistent_target");
+    obj->define_entry(
+        "on_commit",
+        [hits](objects::CallCtx&) -> Result<objects::Payload> {
+          hits->fetch_add(1);
+          return objects::Payload{};
+        },
+        objects::Visibility::kPrivate);
+    obj->define_handler("COMMIT2", "on_commit");
+    return obj;
+  });
+  n1.events.set_activation_hook(
+      [&n1](ObjectId id) { return n1.store.activate(id); });
+
+  auto made = n1.factory.make("persistent_target");
+  ASSERT_TRUE(made.is_ok());
+  const ObjectId oid = n1.objects.add_object(made.value());
+  ASSERT_TRUE(n1.store.deactivate(oid).is_ok());
+
+  const EventId commit = cluster.registry().register_event("COMMIT2");
+  ASSERT_TRUE(n0.events.raise(commit, oid).is_ok());  // remote + passive
+  for (int i = 0; i < 1000 && hits->load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(hits->load(), 1);
+}
+
+}  // namespace
+}  // namespace doct

@@ -1,0 +1,311 @@
+// Unit tests for the simulated network: point-to-point delivery, broadcast,
+// multicast groups, latency injection, loss injection, partitions, quiesce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+
+namespace doct::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message make_message(NodeId from, NodeId to, std::uint16_t kind = 1,
+                     std::vector<std::uint8_t> payload = {}) {
+  return Message{.from = from, .to = to, .kind = kind, .call = CallId{},
+                 .payload = std::move(payload)};
+}
+
+TEST(Network, DeliversPointToPoint) {
+  Network net;
+  const NodeId a{1}, b{2};
+  BlockingQueue<Message> inbox;
+  ASSERT_TRUE(net.register_node(a, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(b, [&](const Message& m) { inbox.push(m); }).is_ok());
+
+  ASSERT_TRUE(net.send(make_message(a, b, 42, {9, 9})).is_ok());
+  net.quiesce();
+
+  auto m = inbox.try_pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, a);
+  EXPECT_EQ(m->kind, 42);
+  EXPECT_EQ(m->payload, (std::vector<std::uint8_t>{9, 9}));
+}
+
+TEST(Network, SendToUnknownNodeFails) {
+  Network net;
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  const Status s = net.send(make_message(NodeId{1}, NodeId{99}));
+  EXPECT_EQ(s.code(), StatusCode::kNoSuchNode);
+}
+
+TEST(Network, RegisterDuplicateFails) {
+  Network net;
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  EXPECT_EQ(net.register_node(NodeId{1}, [](const Message&) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Network, RegisterInvalidArgsFail) {
+  Network net;
+  EXPECT_EQ(net.register_node(NodeId{}, [](const Message&) {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net.register_node(NodeId{5}, MessageHandler{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Network, UnregisterStopsDelivery) {
+  Network net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { received++; }).is_ok());
+  ASSERT_TRUE(net.unregister_node(NodeId{2}).is_ok());
+  EXPECT_EQ(net.send(make_message(NodeId{1}, NodeId{2})).code(),
+            StatusCode::kNoSuchNode);
+  net.quiesce();
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.unregister_node(NodeId{2}).code(), StatusCode::kNoSuchNode);
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  Network net;
+  std::atomic<int> a{0}, b{0}, c{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [&](const Message&) { a++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { b++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{3}, [&](const Message&) { c++; }).is_ok());
+
+  ASSERT_TRUE(net.broadcast(make_message(NodeId{1}, NodeId{})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(a.load(), 0);
+  EXPECT_EQ(b.load(), 1);
+  EXPECT_EQ(c.load(), 1);
+  EXPECT_EQ(net.stats().fanout_messages, 2u);
+  EXPECT_EQ(net.stats().broadcast_sends, 1u);
+}
+
+TEST(Network, MulticastReachesGroupMembersOnly) {
+  Network net;
+  std::atomic<int> a{0}, b{0}, c{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [&](const Message&) { a++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { b++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{3}, [&](const Message&) { c++; }).is_ok());
+
+  const GroupId g{10};
+  ASSERT_TRUE(net.create_multicast_group(g).is_ok());
+  ASSERT_TRUE(net.join(g, NodeId{2}).is_ok());
+  ASSERT_TRUE(net.join(g, NodeId{3}).is_ok());
+  ASSERT_TRUE(net.leave(g, NodeId{3}).is_ok());
+
+  ASSERT_TRUE(net.multicast(g, make_message(NodeId{1}, NodeId{})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(a.load(), 0);
+  EXPECT_EQ(b.load(), 1);
+  EXPECT_EQ(c.load(), 0);
+}
+
+TEST(Network, MulticastSenderExcludedEvenIfMember) {
+  Network net;
+  std::atomic<int> a{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [&](const Message&) { a++; }).is_ok());
+  const GroupId g{10};
+  ASSERT_TRUE(net.create_multicast_group(g).is_ok());
+  ASSERT_TRUE(net.join(g, NodeId{1}).is_ok());
+  ASSERT_TRUE(net.multicast(g, make_message(NodeId{1}, NodeId{})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(a.load(), 0);
+}
+
+TEST(Network, MulticastGroupErrors) {
+  Network net;
+  EXPECT_EQ(net.join(GroupId{5}, NodeId{1}).code(), StatusCode::kNoSuchGroup);
+  EXPECT_EQ(net.multicast(GroupId{5}, make_message(NodeId{1}, NodeId{})).code(),
+            StatusCode::kNoSuchGroup);
+  ASSERT_TRUE(net.create_multicast_group(GroupId{5}).is_ok());
+  EXPECT_EQ(net.create_multicast_group(GroupId{5}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Network, PartitionDropsBothDirections) {
+  Network net;
+  std::atomic<int> a{0}, b{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [&](const Message&) { a++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { b++; }).is_ok());
+
+  net.partition(NodeId{1}, NodeId{2});
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  ASSERT_TRUE(net.send(make_message(NodeId{2}, NodeId{1})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(a.load(), 0);
+  EXPECT_EQ(b.load(), 0);
+  EXPECT_EQ(net.stats().dropped, 2u);
+
+  net.heal(NodeId{1}, NodeId{2});
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(b.load(), 1);
+}
+
+TEST(Network, IsolateAndReconnect) {
+  Network net;
+  std::atomic<int> b{0}, c{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { b++; }).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{3}, [&](const Message&) { c++; }).is_ok());
+
+  net.isolate(NodeId{1});
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{3})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(b.load() + c.load(), 0);
+
+  net.reconnect(NodeId{1});
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(b.load(), 1);
+}
+
+TEST(Network, DropProbabilityOneLosesEverything) {
+  NetworkConfig config;
+  config.drop_probability = 1.0;
+  Network net(config);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { received++; }).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  }
+  net.quiesce();
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.stats().dropped, 20u);
+}
+
+TEST(Network, LatencyDelaysDelivery) {
+  NetworkConfig config;
+  config.base_latency = 20ms;
+  Network net(config);
+  std::atomic<bool> got{false};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [&](const Message&) { got = true; }).is_ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(elapsed, 18ms);  // allow scheduler slop below the nominal 20ms
+}
+
+TEST(Network, FifoOrderPreservedPerLink) {
+  Network net;
+  std::vector<int> order;
+  std::mutex mu;
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net
+                  .register_node(NodeId{2},
+                                 [&](const Message& m) {
+                                   std::lock_guard<std::mutex> lock(mu);
+                                   order.push_back(m.kind);
+                                 })
+                  .is_ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2},
+                                      static_cast<std::uint16_t>(i))).is_ok());
+  }
+  net.quiesce();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Network, StatsCountBytes) {
+  Network net;
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2}, 1,
+                                    std::vector<std::uint8_t>(128, 0))).is_ok());
+  net.quiesce();
+  EXPECT_EQ(net.stats().bytes, 128u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().bytes, 0u);
+}
+
+TEST(Network, NodesListsRegisteredSorted) {
+  Network net;
+  ASSERT_TRUE(net.register_node(NodeId{3}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  const auto nodes = net.nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], NodeId{1});
+  EXPECT_EQ(nodes[1], NodeId{3});
+}
+
+TEST(Network, HandlerMaySendMoreMessages) {
+  // A chain a->b->c triggered inside handlers: quiesce must cover cascades.
+  Network net;
+  std::atomic<bool> done{false};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net
+                  .register_node(NodeId{2},
+                                 [&](const Message& m) {
+                                   net.send(make_message(m.to, NodeId{3}));
+                                 })
+                  .is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{3}, [&](const Message&) { done = true; }).is_ok());
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Demux, RoutesByKind) {
+  Demux demux;
+  std::atomic<int> a{0}, b{0};
+  demux.route(1, [&](const Message&) { a++; });
+  demux.route(2, [&](const Message&) { b++; });
+  demux(make_message(NodeId{1}, NodeId{2}, 1));
+  demux(make_message(NodeId{1}, NodeId{2}, 2));
+  demux(make_message(NodeId{1}, NodeId{2}, 3));  // unrouted: dropped
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 1);
+}
+
+TEST(Demux, WorksAsNetworkHandler) {
+  Network net;
+  Demux demux;
+  std::atomic<int> hits{0};
+  demux.route(7, [&](const Message&) { hits++; });
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(net.register_node(NodeId{2}, demux.as_handler()).is_ok());
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2}, 7)).is_ok());
+  net.quiesce();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+class NetworkScaleTest : public ::testing::TestWithParam<int> {};
+
+// Property: broadcast fan-out is exactly n-1 regardless of n.
+TEST_P(NetworkScaleTest, BroadcastFanoutIsNMinusOne) {
+  const int n = GetParam();
+  Network net;
+  std::atomic<int> received{0};
+  for (int i = 1; i <= n; ++i) {
+    ASSERT_TRUE(net
+                    .register_node(NodeId{static_cast<std::uint64_t>(i)},
+                                   [&](const Message&) { received++; })
+                    .is_ok());
+  }
+  ASSERT_TRUE(net.broadcast(make_message(NodeId{1}, NodeId{})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(received.load(), n - 1);
+  EXPECT_EQ(net.stats().fanout_messages, static_cast<std::uint64_t>(n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetworkScaleTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace doct::net

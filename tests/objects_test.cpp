@@ -1,0 +1,426 @@
+// Objects layer tests: entry registration/visibility, local and remote
+// invocation (thread travel, attribute round-trip), call-chain maintenance,
+// async claimable/oneway invocations, locator interaction with async spawns,
+// and the persistent object store.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "objects/store.hpp"
+#include "runtime/runtime.hpp"
+
+namespace doct::objects {
+namespace {
+
+using namespace std::chrono_literals;
+using runtime::Cluster;
+
+Payload int_payload(std::int64_t v) {
+  Writer w;
+  w.put(v);
+  return std::move(w).take();
+}
+
+std::int64_t int_value(const Payload& p) {
+  Reader r(p);
+  return r.get<std::int64_t>();
+}
+
+// Builds a simple counter object with public entries add/get and a private
+// entry "secret".
+std::shared_ptr<PassiveObject> make_counter() {
+  auto obj = std::make_shared<PassiveObject>("counter");
+  auto value = std::make_shared<std::atomic<std::int64_t>>(0);
+  obj->define_entry("add", [value](CallCtx& ctx) -> Result<Payload> {
+    *value += ctx.args.get<std::int64_t>();
+    return int_payload(value->load());
+  });
+  obj->define_entry("get", [value](CallCtx&) -> Result<Payload> {
+    return int_payload(value->load());
+  });
+  obj->define_entry(
+      "secret", [](CallCtx&) -> Result<Payload> { return int_payload(42); },
+      Visibility::kPrivate);
+  return obj;
+}
+
+TEST(Objects, LocalInvocationFromPlainThread) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = n0.objects.add_object(make_counter());
+  auto result = n0.objects.invoke(oid, "add", int_payload(5));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(int_value(result.value()), 5);
+}
+
+TEST(Objects, ObjectIdEncodesHomeNode) {
+  Cluster cluster(2);
+  const ObjectId oid = cluster.node(1).objects.add_object(make_counter());
+  EXPECT_EQ(ObjectManager::object_node(oid), cluster.node(1).id);
+}
+
+TEST(Objects, UnknownEntryAndObjectFail) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = n0.objects.add_object(make_counter());
+  EXPECT_EQ(n0.objects.invoke(oid, "nope", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(n0.objects.invoke(ObjectId{999}, "get", {}).status().code(),
+            StatusCode::kNoSuchObject);
+}
+
+TEST(Objects, PrivateEntryRejected) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = n0.objects.add_object(make_counter());
+  EXPECT_EQ(n0.objects.invoke(oid, "secret", {}).status().code(),
+            StatusCode::kPermissionDenied);
+  // ...but the event-delivery path may call it.
+  auto viaHandler = n0.objects.invoke_handler_entry(oid, "secret", {}, nullptr);
+  ASSERT_TRUE(viaHandler.is_ok());
+  EXPECT_EQ(int_value(viaHandler.value()), 42);
+}
+
+TEST(Objects, RemoteInvocationTravelsThread) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  const ObjectId oid = n1.objects.add_object(make_counter());
+
+  std::atomic<std::int64_t> got{0};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto result = n0.objects.invoke(oid, "add", int_payload(7));
+    if (result.is_ok()) got = int_value(result.value());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_EQ(got.load(), 7);
+  EXPECT_EQ(n0.objects.stats().invocations_remote, 1u);
+  EXPECT_EQ(n0.kernel.stats().migrations_out, 1u);
+  EXPECT_EQ(n1.kernel.stats().migrations_in, 1u);
+}
+
+TEST(Objects, RemoteInvocationRequiresLogicalThread) {
+  Cluster cluster(2);
+  const ObjectId oid = cluster.node(1).objects.add_object(make_counter());
+  EXPECT_EQ(cluster.node(0).objects.invoke(oid, "get", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Objects, AttributesAttachedRemotelySurviveReturn) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto obj = std::make_shared<PassiveObject>("attacher");
+  obj->define_entry("tag", [](CallCtx& ctx) -> Result<Payload> {
+    // Executed at node 1 by the travelling thread: mutate its attributes.
+    ctx.thread->with_attributes([](kernel::ThreadAttributes& a) {
+      a.user["visited"] = "n1";
+      a.handler_chain.push_back(kernel::HandlerRecord{
+          HandlerId{77}, EventId{5}, kernel::HandlerKind::kPerThread,
+          ObjectId{}, "remote_proc", ObjectId{}});
+    });
+    return Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(obj);
+
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.objects.invoke(oid, "tag", {}).is_ok());
+    // Back at node 0: the attribute changes must have come home with us.
+    auto* ctx = kernel::Kernel::current();
+    ok = ctx->attributes().user.at("visited") == "n1" &&
+         ctx->attributes().handler_chain.size() == 1 &&
+         ctx->attributes().handler_chain[0].entry == "remote_proc";
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Objects, CallChainTracksNesting) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  std::atomic<size_t> depth_inner{0};
+  ObjectId inner_id, outer_id;
+
+  auto inner = std::make_shared<PassiveObject>("inner");
+  inner->define_entry("probe", [&](CallCtx& ctx) -> Result<Payload> {
+    depth_inner = ctx.thread->with_attributes(
+        [](kernel::ThreadAttributes& a) { return a.call_chain.size(); });
+    return Payload{};
+  });
+  inner_id = n1.objects.add_object(inner);
+
+  auto outer = std::make_shared<PassiveObject>("outer");
+  outer->define_entry("run", [&](CallCtx& ctx) -> Result<Payload> {
+    auto nested = ctx.manager.invoke(inner_id, "probe", {});
+    if (!nested.is_ok()) return nested.status();
+    return Payload{};
+  });
+  outer_id = n0.objects.add_object(outer);
+
+  std::atomic<size_t> depth_after{99};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.objects.invoke(outer_id, "run", {}).is_ok());
+    depth_after = kernel::Kernel::current()->with_attributes(
+        [](kernel::ThreadAttributes& a) { return a.call_chain.size(); });
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_EQ(depth_inner.load(), 2u);  // outer + inner
+  EXPECT_EQ(depth_after.load(), 0u);  // fully popped
+}
+
+TEST(Objects, ForcedRpcModeOnLocalObject) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = n0.objects.add_object(make_counter());
+  std::atomic<std::int64_t> got{0};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto result = n0.objects.invoke(oid, "add", int_payload(3), InvokeMode::kRpc);
+    if (result.is_ok()) got = int_value(result.value());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_EQ(got.load(), 3);
+  EXPECT_EQ(n0.objects.stats().invocations_remote, 1u);
+}
+
+TEST(Objects, DsmModeRunsLocallyAgainstSharedState) {
+  // Counter state in a DSM segment, object replicated on both nodes; DSM-mode
+  // invocation on node 1 must see writes made through node 0's replica.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  const SegmentId seg{401};
+  ASSERT_TRUE(n0.dsm.create_segment(seg, 1).is_ok());
+  ASSERT_TRUE(n1.dsm.attach_segment(seg, n0.id, 1).is_ok());
+
+  auto make_dsm_counter = [seg](dsm::DsmEngine& engine) {
+    auto obj = std::make_shared<PassiveObject>("dsm_counter");
+    obj->define_entry("add", [&engine, seg](CallCtx& ctx) -> Result<Payload> {
+      auto current = engine.read(seg, 0, 8);
+      if (!current.is_ok()) return current.status();
+      Reader r(current.value());
+      const auto v = r.get<std::int64_t>() + ctx.args.get<std::int64_t>();
+      Writer w;
+      w.put(v);
+      const Status written = engine.write(seg, 0, std::move(w).take());
+      if (!written.is_ok()) return written;
+      return int_payload(v);
+    });
+    obj->define_entry("get", [&engine, seg](CallCtx&) -> Result<Payload> {
+      auto current = engine.read(seg, 0, 8);
+      if (!current.is_ok()) return current.status();
+      Reader r(current.value());
+      return int_payload(r.get<std::int64_t>());
+    });
+    return obj;
+  };
+
+  const ObjectId oid = n0.objects.add_object(make_dsm_counter(n0.dsm));
+  ASSERT_TRUE(n1.objects.add_replica(oid, make_dsm_counter(n1.dsm)).is_ok());
+
+  ASSERT_TRUE(
+      n0.objects.invoke(oid, "add", int_payload(10), InvokeMode::kDsm).is_ok());
+  auto via_n1 =
+      n1.objects.invoke(oid, "get", {}, InvokeMode::kDsm);
+  ASSERT_TRUE(via_n1.is_ok()) << via_n1.status().to_string();
+  EXPECT_EQ(int_value(via_n1.value()), 10);
+  EXPECT_EQ(n1.objects.stats().invocations_dsm, 1u);
+  EXPECT_GE(n1.dsm.stats().read_faults, 1u);  // state came over DSM
+}
+
+TEST(Objects, AsyncInvocationClaimable) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = cluster.node(1).objects.add_object(make_counter());
+  std::atomic<std::int64_t> got{0};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto pending = n0.objects.invoke_async(oid, "add", int_payload(9));
+    ASSERT_TRUE(pending.is_ok()) << pending.status().to_string();
+    auto result = pending.value().claim(5s);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    got = int_value(result.value());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_EQ(got.load(), 9);
+}
+
+TEST(Objects, AsyncChildIsFindableByPathFollow) {
+  // The system keeps track of claimable async invocations: path-following
+  // must find the child thread at the object's node while it runs.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  auto obj = std::make_shared<PassiveObject>("slow");
+  obj->define_entry("wait", [&](CallCtx& ctx) -> Result<Payload> {
+    entered = true;
+    while (!release.load()) {
+      if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+    }
+    return Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(obj);
+
+  std::atomic<bool> found{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto pending = n0.objects.invoke_async(oid, "wait", {});
+    ASSERT_TRUE(pending.is_ok());
+    while (!entered.load()) std::this_thread::sleep_for(1ms);
+    // Find the child: it is the only thread present at node 1.
+    const auto locals = n1.kernel.local_threads();
+    ASSERT_EQ(locals.size(), 1u);
+    auto located =
+        n0.kernel.locate(locals[0], kernel::LocatorKind::kPathFollow);
+    found = located.is_ok() && located.value() == n1.id;
+    release = true;
+    ASSERT_TRUE(pending.value().claim(5s).is_ok());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(found.load());
+}
+
+TEST(Objects, OnewayChildIsMissedByPathFollowButFoundByBroadcast) {
+  // §7.1: non-claimable asynchronous invocations break the trail.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  auto obj = std::make_shared<PassiveObject>("slow");
+  obj->define_entry("wait", [&](CallCtx& ctx) -> Result<Payload> {
+    entered = true;
+    while (!release.load()) {
+      if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+    }
+    return Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(obj);
+
+  std::atomic<bool> path_missed{false};
+  std::atomic<bool> broadcast_found{false};
+  std::atomic<bool> multicast_found{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.objects.invoke_oneway(oid, "wait", {}).is_ok());
+    while (!entered.load()) std::this_thread::sleep_for(1ms);
+    const auto locals = n1.kernel.local_threads();
+    ASSERT_EQ(locals.size(), 1u);
+    const ThreadId child = locals[0];
+    // The child's tid is rooted at node 0, but node 0 has no TCB for it.
+    EXPECT_EQ(IdGenerator::thread_root_node(child), n0.id);
+    auto via_path = n0.kernel.locate(child, kernel::LocatorKind::kPathFollow);
+    path_missed = !via_path.is_ok() &&
+                  via_path.status().code() == StatusCode::kNoSuchThread;
+    auto via_broadcast =
+        n0.kernel.locate(child, kernel::LocatorKind::kBroadcast);
+    broadcast_found = via_broadcast.is_ok() && via_broadcast.value() == n1.id;
+    auto via_multicast =
+        n0.kernel.locate(child, kernel::LocatorKind::kMulticast);
+    multicast_found = via_multicast.is_ok() && via_multicast.value() == n1.id;
+    release = true;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  release = true;
+  EXPECT_TRUE(path_missed.load());
+  EXPECT_TRUE(broadcast_found.load());
+  EXPECT_TRUE(multicast_found.load());
+  // Let the child finish before teardown.
+  for (int i = 0; i < 500 && !n1.kernel.local_threads().empty(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(Objects, ReplicaRegistrationErrors) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  EXPECT_EQ(n0.objects.add_replica(ObjectId{}, make_counter()).code(),
+            StatusCode::kInvalidArgument);
+  const ObjectId oid = n0.objects.add_object(make_counter());
+  EXPECT_EQ(n0.objects.add_replica(oid, make_counter()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- persistence (§3.1) --------------------------------------------------------
+
+class PersistentNote : public PassiveObject {
+ public:
+  PersistentNote() : PassiveObject("note") {
+    define_entry("set", [this](CallCtx& ctx) -> Result<Payload> {
+      text_ = ctx.args.get_string();
+      return Payload{};
+    });
+    define_entry("get", [this](CallCtx&) -> Result<Payload> {
+      Writer w;
+      w.put(text_);
+      return std::move(w).take();
+    });
+  }
+
+  void save_state(Writer& w) const override { w.put(text_); }
+  void load_state(Reader& r) override { text_ = r.get_string(); }
+
+ private:
+  std::string text_;
+};
+
+TEST(ObjectStoreTest, DeactivateAndActivateRoundTrip) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  n0.factory.register_type("note",
+                           [] { return std::make_shared<PersistentNote>(); });
+
+  const ObjectId oid = n0.objects.add_object(std::make_shared<PersistentNote>());
+  Writer w;
+  w.put(std::string("remember me"));
+  ASSERT_TRUE(n0.objects.invoke(oid, "set", std::move(w).take()).is_ok());
+
+  ASSERT_TRUE(n0.store.deactivate(oid).is_ok());
+  EXPECT_EQ(n0.objects.find(oid), nullptr);
+  EXPECT_TRUE(n0.store.is_passive(oid));
+
+  ASSERT_TRUE(n0.store.activate(oid).is_ok());
+  auto got = n0.objects.invoke(oid, "get", {});
+  ASSERT_TRUE(got.is_ok());
+  Reader r(got.value());
+  EXPECT_EQ(r.get_string(), "remember me");
+}
+
+TEST(ObjectStoreTest, ActivateWithoutFactoryFails) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId oid = n0.objects.add_object(std::make_shared<PersistentNote>());
+  ASSERT_TRUE(n0.store.deactivate(oid).is_ok());
+  EXPECT_EQ(n0.store.activate(oid).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, DeactivateUnknownFails) {
+  Cluster cluster(1);
+  EXPECT_EQ(cluster.node(0).store.deactivate(ObjectId{42}).code(),
+            StatusCode::kNoSuchObject);
+}
+
+TEST(ObjectStoreTest, FileBackendRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "doct_store_test";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  const ObjectId oid{123};
+  ASSERT_TRUE(backend.put(oid, "note", {1, 2, 3}).is_ok());
+  auto got = backend.get(oid);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().first, "note");
+  EXPECT_EQ(got.value().second, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(backend.list().size(), 1u);
+  ASSERT_TRUE(backend.erase(oid).is_ok());
+  EXPECT_EQ(backend.get(oid).status().code(), StatusCode::kNoSuchObject);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace doct::objects

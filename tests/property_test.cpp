@@ -1,0 +1,353 @@
+// Property-based tests (parameterized sweeps over seeds): serialization
+// round-trips under fuzzed inputs, LIFO handler-chain invariants under
+// random attach/detach interleavings, locator agreement on random trails,
+// delivery-order invariants under mixed urgent/ordinary traffic, and
+// registry idempotence under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace doct {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+// --- serialization round-trips under fuzz -------------------------------------
+
+std::string random_string(SplitMix64& rng, std::size_t max_len) {
+  std::string s;
+  const auto len = rng.below(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.below(256)));
+  }
+  return s;
+}
+
+kernel::ThreadAttributes random_attributes(SplitMix64& rng) {
+  kernel::ThreadAttributes attrs;
+  attrs.creator = ThreadId{rng.next()};
+  attrs.group = GroupId{rng.next()};
+  attrs.io_channel = random_string(rng, 32);
+  attrs.consistency_label = random_string(rng, 16);
+  const auto num_user = rng.below(5);
+  for (std::size_t i = 0; i < num_user; ++i) {
+    attrs.user[random_string(rng, 8)] = random_string(rng, 24);
+  }
+  const auto num_handlers = rng.below(6);
+  for (std::size_t i = 0; i < num_handlers; ++i) {
+    kernel::HandlerRecord record;
+    record.id = HandlerId{rng.next()};
+    record.event = EventId{rng.next()};
+    record.kind = static_cast<kernel::HandlerKind>(rng.below(3));
+    record.object = ObjectId{rng.next()};
+    record.entry = random_string(rng, 20);
+    record.attached_in = ObjectId{rng.next()};
+    attrs.handler_chain.push_back(std::move(record));
+  }
+  const auto num_timers = rng.below(3);
+  for (std::size_t i = 0; i < num_timers; ++i) {
+    attrs.timers.push_back(
+        kernel::TimerRecord{EventId{rng.next()}, rng.next() % 1000000 + 1,
+                            rng.chance(0.5)});
+  }
+  const auto num_frames = rng.below(5);
+  for (std::size_t i = 0; i < num_frames; ++i) {
+    attrs.call_chain.push_back(
+        kernel::InvocationFrame{ObjectId{rng.next()}, NodeId{rng.next()}});
+  }
+  return attrs;
+}
+
+class AttrRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttrRoundTripTest, SerializeDeserializeIsIdentity) {
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const kernel::ThreadAttributes attrs = random_attributes(rng);
+    Writer w;
+    attrs.serialize(w);
+    Reader r(std::move(w).take());
+    const kernel::ThreadAttributes back =
+        kernel::ThreadAttributes::deserialize(r);
+    EXPECT_EQ(attrs, back);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttrRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class NoticeRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NoticeRoundTripTest, SerializeDeserializeIsIdentity) {
+  SplitMix64 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    kernel::EventNotice notice;
+    notice.event = EventId{rng.next()};
+    notice.event_name = random_string(rng, 16);
+    notice.target_thread = ThreadId{rng.next()};
+    notice.target_group = GroupId{rng.next()};
+    notice.target_object = ObjectId{rng.next()};
+    notice.raiser = ThreadId{rng.next()};
+    notice.raiser_node = NodeId{rng.next()};
+    notice.synchronous = rng.chance(0.5);
+    notice.wait_token = rng.next();
+    notice.raised_in = ObjectId{rng.next()};
+    notice.system_info = random_string(rng, 64);
+    const auto data_len = rng.below(128);
+    for (std::size_t i = 0; i < data_len; ++i) {
+      notice.user_data.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    Writer w;
+    notice.serialize(w);
+    Reader r(std::move(w).take());
+    EXPECT_EQ(kernel::EventNotice::deserialize(r), notice);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoticeRoundTripTest,
+                         ::testing::Values(66, 77, 88));
+
+// Truncated payloads must throw, never crash or mis-parse.
+class TruncationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruncationTest, TruncatedNoticeThrows) {
+  SplitMix64 rng(GetParam());
+  kernel::EventNotice notice;
+  notice.event_name = "TRUNCATED";
+  notice.system_info = random_string(rng, 40);
+  notice.user_data.assign(64, 7);
+  Writer w;
+  notice.serialize(w);
+  auto bytes = std::move(w).take();
+  // Chop at a random point strictly inside the payload.
+  const auto cut = 1 + rng.below(bytes.size() - 1);
+  bytes.resize(cut);
+  Reader r(std::move(bytes));
+  EXPECT_THROW((void)kernel::EventNotice::deserialize(r), DeserializeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruncationTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- handler-chain LIFO invariant under random attach/detach -------------------
+
+class ChainInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainInvariantTest, MatchesReferenceModel) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  cluster.procedures().register_procedure(
+      "prop_noop",
+      [](events::PerThreadCallCtx&) { return Verdict::kResume; });
+  const EventId ev = cluster.registry().register_event("CHAIN_PROP");
+
+  const std::uint64_t seed = GetParam();
+  std::atomic<bool> ok{true};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    SplitMix64 rng(seed);
+    std::vector<HandlerId> model;  // reference: ordered list of live handlers
+    for (int op = 0; op < 200; ++op) {
+      if (model.empty() || rng.chance(0.6)) {
+        auto h = n0.events.attach_handler(ev, "prop_noop", events::OWN_CONTEXT);
+        if (!h.is_ok()) {
+          ok = false;
+          return;
+        }
+        model.push_back(h.value());
+      } else {
+        const auto victim = rng.below(model.size());
+        if (!n0.events.detach_handler(model[victim]).is_ok()) {
+          ok = false;
+          return;
+        }
+        model.erase(model.begin() + static_cast<long>(victim));
+      }
+      // Invariant: the thread's chain (filtered to our event) equals the
+      // model, in attachment order.
+      const auto chain = kernel::Kernel::current()->with_attributes(
+          [&](kernel::ThreadAttributes& a) {
+            std::vector<HandlerId> ids;
+            for (const auto& record : a.handler_chain) {
+              if (record.event == ev) ids.push_back(record.id);
+            }
+            return ids;
+          });
+      if (chain != model) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 30s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainInvariantTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+// --- locator agreement on random invocation trails ------------------------------
+
+class LocatorAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocatorAgreementTest, AllThreeStrategiesAgree) {
+  constexpr int kNodes = 5;
+  Cluster cluster(kNodes);
+  SplitMix64 rng(GetParam());
+
+  // Build a random invocation trail: the thread starts at node 0 and hops
+  // through a random sequence of distinct nodes, spinning at the last.
+  std::vector<int> trail;
+  int hops = 1 + static_cast<int>(rng.below(kNodes - 1));
+  std::vector<int> candidates{1, 2, 3, 4};
+  for (int i = 0; i < hops; ++i) {
+    const auto pick = rng.below(candidates.size());
+    trail.push_back(candidates[pick]);
+    candidates.erase(candidates.begin() + static_cast<long>(pick));
+  }
+
+  std::atomic<bool> arrived{false};
+  std::atomic<bool> release{false};
+  ObjectId next;
+  for (int i = static_cast<int>(trail.size()) - 1; i >= 0; --i) {
+    auto& node = cluster.node(static_cast<std::size_t>(trail[static_cast<size_t>(i)]));
+    auto object = std::make_shared<objects::PassiveObject>(
+        "trail_" + std::to_string(i));
+    const bool last = i == static_cast<int>(trail.size()) - 1;
+    const ObjectId next_copy = next;
+    object->define_entry("hop", [&, last, next_copy](objects::CallCtx& ctx)
+                                    -> Result<objects::Payload> {
+      if (last) {
+        arrived = true;
+        while (!release.load()) {
+          if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;
+        }
+        return objects::Payload{};
+      }
+      return ctx.manager.invoke(next_copy, "hop", {});
+    });
+    next = node.objects.add_object(object);
+  }
+
+  auto& n0 = cluster.node(0);
+  const ThreadId traveller = n0.kernel.spawn([&, first = next] {
+    (void)n0.objects.invoke(first, "hop", {});
+  });
+  while (!arrived.load()) std::this_thread::sleep_for(1ms);
+
+  const NodeId expected =
+      cluster.node(static_cast<std::size_t>(trail.back())).id;
+  for (auto kind : {kernel::LocatorKind::kBroadcast,
+                    kernel::LocatorKind::kPathFollow,
+                    kernel::LocatorKind::kMulticast}) {
+    // Issue the locate from a random node.
+    auto& from = cluster.node(rng.below(kNodes));
+    auto located = from.kernel.locate(traveller, kind);
+    ASSERT_TRUE(located.is_ok())
+        << "locator " << static_cast<int>(kind) << ": "
+        << located.status().to_string();
+    EXPECT_EQ(located.value(), expected)
+        << "locator " << static_cast<int>(kind);
+  }
+
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(traveller, 30s).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocatorAgreementTest,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+// --- delivery order: FIFO for ordinary, urgent overtakes ------------------------
+
+class DeliveryOrderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeliveryOrderTest, UrgentFirstThenFifo) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  SplitMix64 rng(GetParam());
+
+  std::vector<std::uint64_t> delivered;
+  std::mutex delivered_mu;
+  n0.kernel.set_delivery_callback(
+      [&](kernel::ThreadContext&, const kernel::EventNotice& notice) {
+        std::lock_guard<std::mutex> lock(delivered_mu);
+        delivered.push_back(notice.wait_token);  // token reused as marker
+        return Verdict::kResume;
+      });
+
+  std::atomic<bool> go{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    while (!go.load()) std::this_thread::sleep_for(1ms);
+    n0.kernel.poll_events();
+  });
+  // Queue a random mix while the thread is NOT polling.
+  std::vector<std::uint64_t> expected_urgent, expected_ordinary;
+  bool enqueued_any = false;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    kernel::EventNotice notice;
+    notice.event = EventId{1};
+    notice.target_thread = tid;
+    notice.wait_token = i;
+    const bool urgent = rng.chance(0.3);
+    Status s;
+    for (int retry = 0; retry < 500; ++retry) {
+      s = n0.kernel.deliver_local(notice, urgent);
+      if (s.is_ok()) break;
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_TRUE(s.is_ok());
+    enqueued_any = true;
+    if (urgent) {
+      // push_front: urgent notices come out in REVERSE enqueue order, all
+      // before any ordinary notice that was queued earlier or later.
+      expected_urgent.insert(expected_urgent.begin(), i);
+    } else {
+      expected_ordinary.push_back(i);
+    }
+  }
+  ASSERT_TRUE(enqueued_any);
+  go = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+
+  std::vector<std::uint64_t> expected = expected_urgent;
+  expected.insert(expected.end(), expected_ordinary.begin(),
+                  expected_ordinary.end());
+  std::lock_guard<std::mutex> lock(delivered_mu);
+  EXPECT_EQ(delivered, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryOrderTest,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+// --- registry idempotence under concurrency -------------------------------------
+
+TEST(RegistryProperty, ConcurrentRegistrationYieldsOneId) {
+  events::EventRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<EventId> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int round = 0; round < 100; ++round) {
+        results[static_cast<size_t>(i)] =
+            registry.register_event("CONTENDED_NAME");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], results[0]);
+  }
+  // And distinct names get distinct ids.
+  EXPECT_NE(registry.register_event("OTHER_NAME"), results[0]);
+}
+
+}  // namespace
+}  // namespace doct

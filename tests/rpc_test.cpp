@@ -1,0 +1,206 @@
+// Unit tests for the RPC layer: sync calls, claimable async calls, oneway
+// (non-claimable) calls, errors, timeouts, nested calls, concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/id_gen.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+#include "rpc/rpc.hpp"
+
+namespace doct::rpc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Two-node fixture: client on node 1, server on node 2.
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() {
+    EXPECT_TRUE(net_.register_node(n1_, demux1_.as_handler()).is_ok());
+    EXPECT_TRUE(net_.register_node(n2_, demux2_.as_handler()).is_ok());
+    client_ = std::make_unique<RpcEndpoint>(net_, demux1_, n1_, ids_);
+    server_ = std::make_unique<RpcEndpoint>(net_, demux2_, n2_, ids_);
+  }
+
+  static Payload int_payload(std::int64_t v) {
+    Writer w;
+    w.put(v);
+    return std::move(w).take();
+  }
+
+  static std::int64_t int_value(const Payload& p) {
+    Reader r(p);
+    return r.get<std::int64_t>();
+  }
+
+  net::Network net_;
+  net::Demux demux1_, demux2_;
+  IdGenerator ids_;
+  NodeId n1_{1}, n2_{2};
+  std::unique_ptr<RpcEndpoint> client_, server_;
+};
+
+TEST_F(RpcTest, SyncCallRoundTrip) {
+  server_->register_method("double", [](NodeId, Reader& args) -> Result<Payload> {
+    return int_payload(args.get<std::int64_t>() * 2);
+  });
+  auto result = client_->call(n2_, "double", int_payload(21));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(int_value(result.value()), 42);
+}
+
+TEST_F(RpcTest, ServerSeesCallerNode) {
+  server_->register_method("who", [&](NodeId caller, Reader&) -> Result<Payload> {
+    Writer w;
+    w.put(caller);
+    return std::move(w).take();
+  });
+  auto result = client_->call(n2_, "who", {});
+  ASSERT_TRUE(result.is_ok());
+  Reader r(result.value());
+  EXPECT_EQ(r.get_id<NodeTag>(), n1_);
+}
+
+TEST_F(RpcTest, UnknownMethodFails) {
+  auto result = client_->call(n2_, "nope", {});
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RpcTest, MethodErrorPropagates) {
+  server_->register_method("fail", [](NodeId, Reader&) -> Result<Payload> {
+    return Status{StatusCode::kPermissionDenied, "private entry point"};
+  });
+  auto result = client_->call(n2_, "fail", {});
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(result.status().message(), "private entry point");
+}
+
+TEST_F(RpcTest, CallToUnknownNodeFailsFast) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client_->call(NodeId{99}, "x", {});
+  EXPECT_EQ(result.status().code(), StatusCode::kNoSuchNode);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+}
+
+TEST_F(RpcTest, TimeoutWhenPartitioned) {
+  server_->register_method("echo", [](NodeId, Reader&) -> Result<Payload> {
+    return Payload{};
+  });
+  net_.partition(n1_, n2_);
+  auto result = client_->call(n2_, "echo", {}, 50ms);
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, AsyncCallClaimable) {
+  server_->register_method("triple", [](NodeId, Reader& args) -> Result<Payload> {
+    return int_payload(args.get<std::int64_t>() * 3);
+  });
+  PendingCall pending = client_->call_async(n2_, "triple", int_payload(5));
+  auto result = pending.claim(2s);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(int_value(result.value()), 15);
+  EXPECT_TRUE(pending.ready());
+}
+
+TEST_F(RpcTest, OnewayExecutesWithoutResponse) {
+  std::atomic<int> hits{0};
+  server_->register_method("notify", [&](NodeId, Reader&) -> Result<Payload> {
+    hits++;
+    return Payload{};
+  });
+  EXPECT_TRUE(client_->call_oneway(n2_, "notify", {}).is_ok());
+  net_.quiesce();
+  // The method runs on the server worker pool; wait for it to land.
+  for (int i = 0; i < 100 && hits.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(net_.stats().sent, 1u);  // no response message for oneway
+}
+
+TEST_F(RpcTest, NestedCallDoesNotDeadlock) {
+  // Server method calls back into the client while handling a request.
+  client_->register_method("ping", [](NodeId, Reader&) -> Result<Payload> {
+    Writer w;
+    w.put(std::int64_t{7});
+    return std::move(w).take();
+  });
+  server_->register_method("relay", [&](NodeId caller, Reader&) -> Result<Payload> {
+    auto inner = server_->call(caller, "ping", {});
+    if (!inner.is_ok()) return inner.status();
+    return int_payload(int_value(inner.value()) + 1);
+  });
+  auto result = client_->call(n2_, "relay", {});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(int_value(result.value()), 8);
+}
+
+TEST_F(RpcTest, SelfCallWorks) {
+  client_->register_method("id", [](NodeId, Reader& args) -> Result<Payload> {
+    return int_payload(args.get<std::int64_t>());
+  });
+  auto result = client_->call(n1_, "id", int_payload(99));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(int_value(result.value()), 99);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelateCorrectly) {
+  server_->register_method("echo", [](NodeId, Reader& args) -> Result<Payload> {
+    return int_payload(args.get<std::int64_t>());
+  });
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const std::int64_t v = t * 1000 + i;
+        auto result = client_->call(n2_, "echo", int_payload(v));
+        if (!result.is_ok() || int_value(result.value()) != v) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(RpcTest, UnregisterMethodMakesItUnknown) {
+  server_->register_method("temp", [](NodeId, Reader&) -> Result<Payload> {
+    return Payload{};
+  });
+  ASSERT_TRUE(client_->call(n2_, "temp", {}).is_ok());
+  server_->unregister_method("temp");
+  EXPECT_EQ(client_->call(n2_, "temp", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RpcTest, LateResponseAfterTimeoutIsDropped) {
+  server_->register_method("slow", [](NodeId, Reader&) -> Result<Payload> {
+    std::this_thread::sleep_for(100ms);
+    return Payload{};
+  });
+  auto result = client_->call(n2_, "slow", {}, 10ms);
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  // Wait for the late response to arrive; it must be ignored without crash.
+  std::this_thread::sleep_for(150ms);
+  net_.quiesce();
+}
+
+TEST_F(RpcTest, EndpointShutdownFailsPendingCalls) {
+  net_.partition(n1_, n2_);
+  auto pending = client_->call_async(n2_, "never", {});
+  client_.reset();  // destructor must wake the claimer
+  auto result = pending.claim(1s);
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace doct::rpc

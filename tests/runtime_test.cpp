@@ -1,0 +1,109 @@
+// Runtime-layer tests: Cluster/NodeRuntime assembly, thread-attached I/O
+// channels (§3.1), and entry-signature metadata (§5.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+
+namespace doct::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Cluster, NodesGetSequentialIdsAndAreReachable) {
+  Cluster cluster(3);
+  EXPECT_EQ(cluster.size(), 3u);
+  EXPECT_EQ(cluster.node(0).id, NodeId{1});
+  EXPECT_EQ(cluster.node(2).id, NodeId{3});
+  EXPECT_EQ(cluster.network().nodes().size(), 3u);
+}
+
+TEST(Cluster, SharedRegistryAcrossNodes) {
+  Cluster cluster(2);
+  const EventId ev = cluster.registry().register_event("SHARED");
+  // Both nodes resolve the same name to the same id (system-wide naming).
+  EXPECT_EQ(cluster.node(0).events.registry().lookup("SHARED").value(), ev);
+  EXPECT_EQ(cluster.node(1).events.registry().lookup("SHARED").value(), ev);
+}
+
+TEST(IoHubTest, OutputFollowsTheThreadAcrossObjectsAndNodes) {
+  // §3.1: a thread bound to a terminal at creation writes to that terminal
+  // from every object it visits, with no explicit redirection.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto remote = std::make_shared<objects::PassiveObject>("printer");
+  remote->define_entry("print", [&](objects::CallCtx&)
+                                    -> Result<objects::Payload> {
+    // Runs at node 2, but writes to whatever channel the THREAD carries.
+    EXPECT_TRUE(cluster.io().write_current("line from node 2"));
+    return objects::Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(remote);
+
+  const ThreadId tid = n0.kernel.spawn([&] {
+    kernel::Kernel::current()->with_attributes(
+        [](kernel::ThreadAttributes& a) { a.io_channel = "xterm-42"; });
+    EXPECT_TRUE(cluster.io().write_current("line from node 1"));
+    ASSERT_TRUE(n0.objects.invoke(oid, "print", {}).is_ok());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+
+  const auto lines = cluster.io().read("xterm-42");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "line from node 1");
+  EXPECT_EQ(lines[1], "line from node 2");
+}
+
+TEST(IoHubTest, NoChannelOrNoThreadReturnsFalse) {
+  Cluster cluster(1);
+  EXPECT_FALSE(cluster.io().write_current("nowhere"));  // not a logical thread
+  std::atomic<bool> no_channel{true};
+  const ThreadId tid = cluster.node(0).kernel.spawn([&] {
+    no_channel = !cluster.io().write_current("still nowhere");
+  });
+  ASSERT_TRUE(cluster.node(0).kernel.join_thread(tid).is_ok());
+  EXPECT_TRUE(no_channel.load());
+}
+
+TEST(IoHubTest, ChannelsAreIndependentAndClearable) {
+  Cluster cluster(1);
+  cluster.io().write("a", "1");
+  cluster.io().write("b", "2");
+  EXPECT_EQ(cluster.io().read("a"), std::vector<std::string>{"1"});
+  EXPECT_EQ(cluster.io().read("b"), std::vector<std::string>{"2"});
+  cluster.io().clear("a");
+  EXPECT_TRUE(cluster.io().read("a").empty());
+  EXPECT_EQ(cluster.io().read("b").size(), 1u);
+}
+
+TEST(EntrySignatures, DeclaredExceptionsQueryable) {
+  // §5.2: callers consult the entry's signature to know which exceptional
+  // events to attach handlers for at the point of invocation.
+  objects::PassiveObject object("risky");
+  object.declare_raises("parse", "DIVIDE_BY_ZERO");
+  object.declare_raises("parse", "VM_FAULT");
+  const auto raised = object.raised_by("parse");
+  ASSERT_EQ(raised.size(), 2u);
+  EXPECT_EQ(raised[0], "DIVIDE_BY_ZERO");
+  EXPECT_EQ(raised[1], "VM_FAULT");
+  EXPECT_TRUE(object.raised_by("other").empty());
+}
+
+TEST(Cluster, ManyNodesConstructAndTearDown) {
+  Cluster cluster(16);
+  EXPECT_EQ(cluster.network().nodes().size(), 16u);
+  // Spawn one thread per node, join all — exercises full-stack teardown.
+  std::vector<ThreadId> tids;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    tids.push_back(cluster.node(i).kernel.spawn([] {}));
+  }
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_TRUE(cluster.node(i).kernel.join_thread(tids[i]).is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace doct::runtime

@@ -1,0 +1,497 @@
+// Services tests: distributed lock manager with TERMINATE-chained unlock
+// (§4.2), the distributed ^C termination recipe (§6.3), liveliness
+// monitoring (§6.2), user-level pagers (§6.4), and two-level exception
+// dispatch (§6.1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "runtime/runtime.hpp"
+#include "services/exceptions/exceptions.hpp"
+#include "services/locks/lock_manager.hpp"
+#include "services/monitor/monitor.hpp"
+#include "services/pager/pager.hpp"
+#include "services/termination/termination.hpp"
+
+namespace doct::services {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+// --- locks (§4.2) ---------------------------------------------------------------
+
+TEST(Locks, AcquireReleaseAndHolder) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(LockServer::make());
+  LockClient client(n0.events, n0.objects, server);
+
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.acquire("resource_a").is_ok());
+    auto holder = client.holder("resource_a");
+    ASSERT_TRUE(holder.is_ok());
+    EXPECT_EQ(holder.value(), kernel::Kernel::current()->tid());
+    ASSERT_TRUE(client.release("resource_a").is_ok());
+    holder = client.holder("resource_a");
+    ok = holder.is_ok() && !holder.value().valid();
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Locks, ReleaseWithoutHoldFails) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(LockServer::make());
+  LockClient client(n0.events, n0.objects, server);
+  std::atomic<bool> denied{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    denied =
+        client.release("never_held").code() == StatusCode::kPermissionDenied;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(denied.load());
+}
+
+TEST(Locks, ContendedLockWaitsForRelease) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(LockServer::make());
+  LockClient client(n0.events, n0.objects, server);
+
+  std::atomic<bool> first_has_it{false};
+  std::atomic<bool> release_now{false};
+  std::atomic<bool> second_got_it{false};
+
+  const ThreadId t1 = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.acquire("hot").is_ok());
+    first_has_it = true;
+    while (!release_now.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+    ASSERT_TRUE(client.release("hot").is_ok());
+  });
+  while (!first_has_it.load()) std::this_thread::sleep_for(1ms);
+
+  const ThreadId t2 = n0.kernel.spawn([&] {
+    second_got_it = client.acquire("hot", 5s).is_ok();
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(second_got_it.load());  // still held by t1
+  release_now = true;
+  ASSERT_TRUE(n0.kernel.join_thread(t1, 10s).is_ok());
+  ASSERT_TRUE(n0.kernel.join_thread(t2, 10s).is_ok());
+  EXPECT_TRUE(second_got_it.load());
+}
+
+TEST(Locks, TerminateReleasesAllHeldLocks) {
+  // The §4.2 headline: TERMINATE unlocks everything the thread held,
+  // "regardless of their location and scope", via chained handlers.
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  const ObjectId server = n1.objects.add_object(LockServer::make());
+  LockClient client(n0.events, n0.objects, server);
+
+  std::atomic<bool> both_held{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.acquire("lock_x").is_ok());
+    ASSERT_TRUE(client.acquire("lock_y").is_ok());
+    // The chain now has two TERMINATE unlock handlers.
+    EXPECT_EQ(kernel::Kernel::current()->with_attributes(
+                  [](kernel::ThreadAttributes& a) {
+                    return a.handler_chain.size();
+                  }),
+              2u);
+    both_held = true;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;  // until terminated
+    }
+  });
+  while (!both_held.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(events::sys::kTerminate, tid).is_ok());
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+
+  // Both locks must be free again (checked through a fresh thread).
+  std::atomic<bool> freed{false};
+  const ThreadId checker = n0.kernel.spawn([&] {
+    auto x = client.holder("lock_x");
+    auto y = client.holder("lock_y");
+    freed = x.is_ok() && !x.value().valid() && y.is_ok() && !y.value().valid();
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(checker, 10s).is_ok());
+  EXPECT_TRUE(freed.load());
+}
+
+// --- termination: the distributed ^C (§6.3) ----------------------------------------
+
+TEST(Termination, DistributedCtrlCKillsGroupAndCleansObjects) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  TerminationService svc0(n0.events);
+  TerminationService svc1(n1.events);
+
+  // An object on node 1 the app's threads occupy; armed for ABORT cleanup.
+  std::atomic<int> cleanups{0};
+  std::atomic<int> spinners{0};
+  auto shared_obj = std::make_shared<objects::PassiveObject>("shared_service");
+  shared_obj->define_entry("spin", [&](objects::CallCtx& ctx)
+                                       -> Result<objects::Payload> {
+    spinners++;
+    while (true) {
+      if (!ctx.manager.kernel().sleep_for(1ms).is_ok()) break;  // terminated
+    }
+    return objects::Payload{};
+  });
+  svc1.arm_object(*shared_obj, [&](ThreadId) { cleanups++; });
+  const ObjectId oid = n1.objects.add_object(shared_obj);
+
+  // Root thread arms itself, then spawns two children that invoke the
+  // remote object and spin inside it.
+  std::atomic<bool> armed{false};
+  ThreadId root_tid;
+  std::vector<ThreadId> children;
+  std::mutex children_mu;
+  const ThreadId root = n0.kernel.spawn([&] {
+    root_tid = kernel::Kernel::current()->tid();
+    ASSERT_TRUE(svc0.arm_current_thread().is_ok());
+    for (int i = 0; i < 2; ++i) {
+      const ThreadId child = n0.kernel.spawn([&] {
+        (void)n0.objects.invoke(oid, "spin", {});  // returns when terminated
+      });
+      std::lock_guard<std::mutex> lock(children_mu);
+      children.push_back(child);
+    }
+    armed = true;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;  // until TERMINATE
+    }
+  });
+  while (!armed.load() || spinners.load() < 2) std::this_thread::sleep_for(1ms);
+
+  // An UNRELATED thread (different group) inside the same shared object must
+  // survive the application's termination (§3.1 sharability).
+  std::atomic<bool> unrelated_alive{true};
+  std::atomic<bool> stop_unrelated{false};
+  const ThreadId unrelated = n1.kernel.spawn([&] {
+    while (!stop_unrelated.load()) {
+      if (!n1.kernel.sleep_for(1ms).is_ok()) {
+        unrelated_alive = false;
+        return;
+      }
+    }
+  });
+
+  // ^C.
+  ASSERT_TRUE(svc0.request_termination(root_tid).is_ok());
+
+  ASSERT_TRUE(n0.kernel.join_thread(root, 15s).is_ok());
+  {
+    std::lock_guard<std::mutex> lock(children_mu);
+    for (ThreadId child : children) {
+      ASSERT_TRUE(n0.kernel.join_thread(child, 15s).is_ok());
+    }
+  }
+  // ABORT cleanups ran for the object on the children's invocation chains.
+  for (int i = 0; i < 500 && cleanups.load() < 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(cleanups.load(), 2);
+
+  EXPECT_TRUE(unrelated_alive.load());
+  stop_unrelated = true;
+  ASSERT_TRUE(n1.kernel.join_thread(unrelated, 10s).is_ok());
+  EXPECT_TRUE(unrelated_alive.load());
+}
+
+TEST(Termination, QuitAloneTerminatesOnlyGroupMembers) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  TerminationService svc(n0.events);
+
+  const GroupId group = n0.kernel.create_group();
+  kernel::SpawnOptions options;
+  options.group = group;
+  std::atomic<int> ready{0};
+  auto body = [&] {
+    ASSERT_TRUE(svc.arm_current_thread().is_ok());
+    ready++;
+    while (true) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  };
+  const ThreadId t1 = n0.kernel.spawn(body, options);
+  const ThreadId t2 = n0.kernel.spawn(body, options);
+  while (ready.load() < 2) std::this_thread::sleep_for(1ms);
+
+  ASSERT_TRUE(n0.events.raise(events::sys::kQuit, group).is_ok());
+  EXPECT_TRUE(n0.kernel.join_thread(t1, 10s).is_ok());
+  EXPECT_TRUE(n0.kernel.join_thread(t2, 10s).is_ok());
+}
+
+// --- monitoring (§6.2) -------------------------------------------------------------
+
+TEST(Monitor, SamplesThreadAcrossNodes) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  const ObjectId server = n0.objects.add_object(MonitorServer::make());
+  MonitorClient client(n0.events, n0.objects, server);
+
+  std::atomic<bool> done{false};
+  auto remote_obj = std::make_shared<objects::PassiveObject>("workload");
+  remote_obj->define_entry("phase2", [&](objects::CallCtx& ctx)
+                                         -> Result<objects::Payload> {
+    set_pc_marker("phase2");
+    // Dwell at node 1 long enough for several samples.
+    for (int i = 0; i < 30; ++i) {
+      if (!ctx.manager.kernel().sleep_for(2ms).is_ok()) break;
+    }
+    return objects::Payload{};
+  });
+  const ObjectId remote_id = n1.objects.add_object(remote_obj);
+
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.arm(3ms).is_ok());
+    set_pc_marker("phase1");
+    for (int i = 0; i < 10; ++i) {
+      if (!n0.kernel.sleep_for(2ms).is_ok()) return;
+    }
+    ASSERT_TRUE(n0.objects.invoke(remote_id, "phase2", {}).is_ok());
+    done = true;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  ASSERT_TRUE(done.load());
+
+  // Samples must exist from both nodes (timer recreated on migration) and
+  // carry the pc markers.
+  auto report = n0.objects.invoke(server, "report", {});
+  ASSERT_TRUE(report.is_ok());
+  const auto samples = MonitorServer::decode_report(report.value());
+  ASSERT_FALSE(samples.empty());
+  bool saw_n0 = false, saw_n1 = false, saw_phase2 = false;
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.thread, tid);
+    if (s.node == n0.id.value()) saw_n0 = true;
+    if (s.node == n1.id.value()) saw_n1 = true;
+    if (s.pc == "phase2") saw_phase2 = true;
+  }
+  EXPECT_TRUE(saw_n0);
+  EXPECT_TRUE(saw_n1);
+  EXPECT_TRUE(saw_phase2);
+}
+
+TEST(Monitor, DisarmStopsSampling) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(MonitorServer::make());
+  MonitorClient client(n0.events, n0.objects, server);
+
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.arm(3ms).is_ok());
+    for (int i = 0; i < 5; ++i) {
+      if (!n0.kernel.sleep_for(3ms).is_ok()) return;
+    }
+    ASSERT_TRUE(client.disarm().is_ok());
+    auto before = client.report();
+    ASSERT_TRUE(before.is_ok());
+    const auto count = before.value().size();
+    for (int i = 0; i < 10; ++i) {
+      if (!n0.kernel.sleep_for(3ms).is_ok()) return;
+    }
+    auto after = client.report();
+    ASSERT_TRUE(after.is_ok());
+    EXPECT_LE(after.value().size(), count + 1);  // at most one straggler
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+// --- external pager (§6.4) -----------------------------------------------------------
+
+TEST(Pager, FaultSuppliesPageViaBuddyHandler) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);  // faulting node
+  auto& n1 = cluster.node(1);  // pager server node
+
+  const ObjectId server = n1.objects.add_object(PagerServer::make(n1.rpc));
+  PagerClient client(n0.events, n0.objects, n0.dsm, n0.rpc);
+  const SegmentId seg{500};
+  ASSERT_TRUE(client.create_paged_segment(seg, 4, server).is_ok());
+
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client.arm_current_thread(server).is_ok());
+    // First touch: VM_FAULT -> buddy handler -> server installs zeros.
+    auto data = n0.dsm.read(seg, 0, 16);
+    ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+    ok = data.value() == std::vector<std::uint8_t>(16, 0);
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(ok.load());
+  EXPECT_GE(client.stats().faults_served, 1u);
+  EXPECT_GE(client.stats().pages_installed, 1u);
+}
+
+TEST(Pager, WritebackPersistsAndSecondNodeSeesCopy) {
+  // Two faulting nodes sharing one pager-backed segment: node 0 writes and
+  // writes back; node 2 then faults and receives the merged copy.
+  Cluster cluster(3);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  auto& n2 = cluster.node(2);
+
+  const ObjectId server = n1.objects.add_object(PagerServer::make(n1.rpc));
+  PagerClient client0(n0.events, n0.objects, n0.dsm, n0.rpc);
+  PagerClient client2(n2.events, n2.objects, n2.dsm, n2.rpc);
+  const SegmentId seg{501};
+  ASSERT_TRUE(client0.create_paged_segment(seg, 2, server).is_ok());
+  ASSERT_TRUE(client2.create_paged_segment(seg, 2, server).is_ok());
+
+  const ThreadId writer = n0.kernel.spawn([&] {
+    ASSERT_TRUE(client0.arm_current_thread(server).is_ok());
+    std::vector<std::uint8_t> data{7, 7, 7, 7};
+    ASSERT_TRUE(n0.dsm.write(seg, 0, data).is_ok());
+    ASSERT_TRUE(client0.writeback(seg, 0, server).is_ok());
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(writer, 15s).is_ok());
+
+  std::atomic<bool> ok{false};
+  const ThreadId reader = n2.kernel.spawn([&] {
+    ASSERT_TRUE(client2.arm_current_thread(server).is_ok());
+    auto data = n2.dsm.read(seg, 0, 4);
+    ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+    ok = data.value() == std::vector<std::uint8_t>({7, 7, 7, 7});
+  });
+  ASSERT_TRUE(n2.kernel.join_thread(reader, 15s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Pager, FallbackFetchWithoutLogicalThread) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId server = n0.objects.add_object(PagerServer::make(n0.rpc));
+  PagerClient client(n0.events, n0.objects, n0.dsm, n0.rpc);
+  const SegmentId seg{502};
+  ASSERT_TRUE(client.create_paged_segment(seg, 1, server).is_ok());
+  // Plain (non-logical) thread: the fallback fetch path.
+  auto data = n0.dsm.read(seg, 0, 8);
+  ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+  EXPECT_EQ(data.value(), std::vector<std::uint8_t>(8, 0));
+}
+
+// --- exceptions (§6.1) ----------------------------------------------------------------
+
+TEST(Exceptions, ObjectHandlerRepairsFirst) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  ExceptionFacility facility(n0.events);
+
+  std::atomic<int> object_handled{0};
+  auto obj = std::make_shared<objects::PassiveObject>("resilient");
+  obj->define_entry(
+      "fix",
+      [&](objects::CallCtx&) -> Result<objects::Payload> {
+        object_handled++;
+        return objects::Payload{
+            static_cast<std::uint8_t>(Verdict::kResume)};
+      },
+      objects::Visibility::kPrivate);
+  obj->define_handler("DIVIDE_BY_ZERO", "fix");
+  const ObjectId oid = n0.objects.add_object(obj);
+
+  std::atomic<bool> resumed{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto verdict =
+        facility.raise(events::sys::kDivideByZero, oid, "pc=0x1234");
+    resumed = verdict.is_ok() && verdict.value() == Verdict::kResume;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(resumed.load());
+  EXPECT_EQ(object_handled.load(), 1);
+}
+
+TEST(Exceptions, PropagatesToThreadHandlerWhenObjectDeclines) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  ExceptionFacility facility(n0.events);
+
+  // Object declines (kPropagate).
+  auto obj = std::make_shared<objects::PassiveObject>("declines");
+  obj->define_entry(
+      "decline",
+      [&](objects::CallCtx&) -> Result<objects::Payload> {
+        return objects::Payload{
+            static_cast<std::uint8_t>(Verdict::kPropagate)};
+      },
+      objects::Visibility::kPrivate);
+  obj->define_handler("DIVIDE_BY_ZERO", "decline");
+  const ObjectId oid = n0.objects.add_object(obj);
+
+  std::atomic<int> thread_handled{0};
+  cluster.procedures().register_procedure("thread_fix",
+                                          [&](events::PerThreadCallCtx&) {
+                                            thread_handled++;
+                                            return Verdict::kResume;
+                                          });
+  std::atomic<bool> resumed{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ScopedHandler guard(n0.events, events::sys::kDivideByZero, "thread_fix",
+                        events::OWN_CONTEXT);
+    ASSERT_TRUE(guard.attached());
+    auto verdict = facility.raise(events::sys::kDivideByZero, oid, "pc=0x1");
+    resumed = verdict.is_ok() && verdict.value() == Verdict::kResume;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(resumed.load());
+  EXPECT_EQ(thread_handled.load(), 1);
+}
+
+TEST(Exceptions, UnhandledExceptionTerminatesThread) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  ExceptionFacility facility(n0.events);
+  const ObjectId oid = n0.objects.add_object(
+      std::make_shared<objects::PassiveObject>("bare"));
+
+  std::atomic<bool> terminated{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto verdict = facility.raise(events::sys::kDivideByZero, oid, "pc=0x2");
+    terminated = verdict.is_ok() &&
+                 verdict.value() == Verdict::kTerminate &&
+                 kernel::Kernel::current()->terminated();
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(terminated.load());
+}
+
+TEST(Exceptions, ScopedHandlerDetachesOnExit) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  cluster.procedures().register_procedure(
+      "noop", [](events::PerThreadCallCtx&) { return Verdict::kResume; });
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    auto chain_size = [] {
+      return kernel::Kernel::current()->with_attributes(
+          [](kernel::ThreadAttributes& a) { return a.handler_chain.size(); });
+    };
+    EXPECT_EQ(chain_size(), 0u);
+    {
+      ScopedHandler guard(n0.events, events::sys::kInterrupt, "noop",
+                          events::OWN_CONTEXT);
+      EXPECT_EQ(chain_size(), 1u);
+    }
+    ok = chain_size() == 0;
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace doct::services

@@ -1,0 +1,174 @@
+// Cross-cutting statistics-consistency tests: one scripted scenario drives
+// the whole stack, then the per-module counters are checked against each
+// other (migrations out == in, raises == deliveries, handler runs match,
+// etc.).  Catching a counter drift usually means a code path was duplicated
+// or skipped somewhere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+
+namespace doct {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+TEST(Stats, MigrationCountersBalanceAcrossNodes) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+
+  auto obj = std::make_shared<objects::PassiveObject>("target");
+  obj->define_entry("noop", [](objects::CallCtx&) -> Result<objects::Payload> {
+    return objects::Payload{};
+  });
+  const ObjectId oid = n1.objects.add_object(obj);
+
+  constexpr int kCalls = 10;
+  const ThreadId tid = n0.kernel.spawn([&] {
+    for (int i = 0; i < kCalls; ++i) {
+      ASSERT_TRUE(n0.objects.invoke(oid, "noop", {}).is_ok());
+    }
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 30s).is_ok());
+
+  EXPECT_EQ(n0.kernel.stats().migrations_out, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(n1.kernel.stats().migrations_in, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(n0.objects.stats().invocations_remote,
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(n1.kernel.stats().migrations_out, 0u);
+}
+
+TEST(Stats, RaiseAndDeliveryCountersAgree) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  std::atomic<long> handled{0};
+  cluster.procedures().register_procedure("h", [&](events::PerThreadCallCtx&) {
+    handled++;
+    return Verdict::kResume;
+  });
+  const EventId ev = cluster.registry().register_event("STATS_EV");
+
+  constexpr int kRaises = 20;
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(n0.events.attach_handler(ev, "h", events::OWN_CONTEXT).is_ok());
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  n0.kernel.reset_stats();
+  n0.events.reset_stats();
+
+  for (int i = 0; i < kRaises; ++i) {
+    ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  }
+  for (int i = 0; i < 2000 && handled.load() < kRaises; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+
+  const auto estats = n0.events.stats();
+  const auto kstats = n0.kernel.stats();
+  EXPECT_EQ(estats.raises_async, static_cast<std::uint64_t>(kRaises));
+  EXPECT_EQ(kstats.notices_delivered, static_cast<std::uint64_t>(kRaises));
+  EXPECT_EQ(estats.per_thread_procs_run, static_cast<std::uint64_t>(kRaises));
+  EXPECT_EQ(handled.load(), kRaises);
+  EXPECT_EQ(estats.defaults_applied, 0u);  // every notice had a handler
+}
+
+TEST(Stats, DefaultsCountedWhenNoHandler) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const EventId ev = cluster.registry().register_event("NO_HANDLER_EV");
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  n0.events.reset_stats();
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000 && n0.events.stats().defaults_applied == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(n0.events.stats().defaults_applied, 1u);
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 15s).is_ok());
+}
+
+TEST(Stats, DsmCountersTrackProtocolActions) {
+  Cluster cluster(2);
+  auto& home = cluster.node(0);
+  auto& remote = cluster.node(1);
+  const SegmentId seg{77};
+  ASSERT_TRUE(home.dsm.create_segment(seg, 2).is_ok());
+  ASSERT_TRUE(remote.dsm.attach_segment(seg, home.id, 2).is_ok());
+
+  // Remote read -> 1 read fault + 1 fetch; remote write -> 1 write fault +
+  // ownership transfer; home re-read -> 1 read fault at home.
+  ASSERT_TRUE(remote.dsm.read(seg, 0, 1).is_ok());
+  ASSERT_TRUE(remote.dsm.write(seg, 0, std::vector<std::uint8_t>{1}).is_ok());
+  ASSERT_TRUE(home.dsm.read(seg, 0, 1).is_ok());
+
+  const auto rstats = remote.dsm.stats();
+  const auto hstats = home.dsm.stats();
+  EXPECT_EQ(rstats.read_faults, 1u);
+  EXPECT_EQ(rstats.write_faults, 1u);
+  EXPECT_EQ(rstats.pages_fetched, 2u);
+  EXPECT_GE(hstats.ownership_transfers, 1u);
+  EXPECT_EQ(hstats.read_faults, 1u);
+}
+
+TEST(Stats, NetworkCountersDistinguishFanout) {
+  Cluster cluster(3);
+  cluster.network().reset_stats();
+  auto& n0 = cluster.node(0);
+  const GroupId group = n0.kernel.create_group();
+  const EventId ev = cluster.registry().register_event("FANOUT_EV");
+  ASSERT_TRUE(n0.events.raise(ev, group).is_ok());
+  cluster.network().quiesce();
+  const auto stats = cluster.network().stats();
+  EXPECT_EQ(stats.broadcast_sends, 1u);
+  EXPECT_EQ(stats.fanout_messages, 2u);  // 3 nodes, sender excluded
+}
+
+TEST(Stats, ObjectManagerHandlerInvocations) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  auto obj = std::make_shared<objects::PassiveObject>("counted");
+  obj->define_entry(
+      "on_ping",
+      [](objects::CallCtx&) -> Result<objects::Payload> {
+        return objects::Payload{};
+      },
+      objects::Visibility::kPrivate);
+  obj->define_handler("PING", "on_ping");
+  const ObjectId oid = n0.objects.add_object(obj);
+  n0.objects.reset_stats();
+
+  constexpr int kPings = 5;
+  for (int i = 0; i < kPings; ++i) {
+    ASSERT_TRUE(n0.events.raise(events::sys::kPing, oid).is_ok());
+  }
+  for (int i = 0; i < 1000 &&
+       n0.objects.stats().handler_invocations < kPings; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(n0.objects.stats().handler_invocations,
+            static_cast<std::uint64_t>(kPings));
+  EXPECT_EQ(n0.objects.stats().invocations_local, 0u);  // handlers don't count
+}
+
+}  // namespace
+}  // namespace doct

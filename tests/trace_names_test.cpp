@@ -1,0 +1,205 @@
+// Tests for the event-lifecycle trace and the name service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+#include "services/names/name_service.hpp"
+
+namespace doct {
+namespace {
+
+using namespace std::chrono_literals;
+using kernel::Verdict;
+using runtime::Cluster;
+
+runtime::ClusterConfig traced_config() {
+  runtime::ClusterConfig config;
+  config.node.events.trace_capacity = 256;
+  return config;
+}
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  EXPECT_FALSE(n0.events.trace().enabled());
+  const EventId ev = cluster.registry().register_event("UNTRACED");
+  const ThreadId tid = n0.kernel.spawn([&] { n0.kernel.sleep_for(5ms); });
+  (void)n0.events.raise(ev, tid);
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+  EXPECT_TRUE(n0.events.trace().snapshot().empty());
+}
+
+TEST(Trace, RecordsFullLifecycleOfHandledEvent) {
+  Cluster cluster(1, traced_config());
+  auto& n0 = cluster.node(0);
+  std::atomic<int> handled{0};
+  cluster.procedures().register_procedure("traced_h",
+                                          [&](events::PerThreadCallCtx&) {
+                                            handled++;
+                                            return Verdict::kResume;
+                                          });
+  const EventId ev = cluster.registry().register_event("TRACED");
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    ASSERT_TRUE(
+        n0.events.attach_handler(ev, "traced_h", events::OWN_CONTEXT).is_ok());
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000 && handled.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+
+  const auto records = n0.events.trace().for_event(ev);
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records[0].stage, events::TraceStage::kRaised);
+  EXPECT_EQ(records[1].stage, events::TraceStage::kDelivered);
+  EXPECT_EQ(records[2].stage, events::TraceStage::kHandlerRun);
+  EXPECT_EQ(records[2].detail, "traced_h");
+  // Sequence numbers strictly increase; human-readable form works.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GT(records[i].sequence, records[i - 1].sequence);
+  }
+  EXPECT_NE(records[0].to_string().find("RAISED"), std::string::npos);
+}
+
+TEST(Trace, RecordsDefaultActionAndDeadTarget) {
+  Cluster cluster(1, traced_config());
+  auto& n0 = cluster.node(0);
+  const EventId ev = cluster.registry().register_event("TRACED_DEFAULT");
+  std::atomic<bool> armed{false};
+  std::atomic<bool> release{false};
+  const ThreadId tid = n0.kernel.spawn([&] {
+    armed = true;
+    while (!release.load()) {
+      if (!n0.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!armed.load()) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(n0.events.raise(ev, tid).is_ok());
+  for (int i = 0; i < 1000; ++i) {
+    const auto records = n0.events.trace().for_event(ev);
+    if (records.size() >= 3) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  release = true;
+  ASSERT_TRUE(n0.kernel.join_thread(tid, 10s).is_ok());
+
+  bool saw_default = false;
+  for (const auto& record : n0.events.trace().for_event(ev)) {
+    if (record.stage == events::TraceStage::kDefaultApplied) saw_default = true;
+  }
+  EXPECT_TRUE(saw_default);
+
+  // Dead target is traced too.
+  ASSERT_EQ(n0.events.raise(ev, tid).code(), StatusCode::kDeadTarget);
+  bool saw_dead = false;
+  for (const auto& record : n0.events.trace().for_event(ev)) {
+    if (record.stage == events::TraceStage::kDeadTarget) saw_dead = true;
+  }
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(Trace, RingBufferBounded) {
+  events::EventTrace trace(8);
+  for (int i = 0; i < 100; ++i) {
+    trace.record(events::TraceStage::kRaised, EventId{1}, "X", ThreadId{},
+                 ObjectId{});
+  }
+  const auto records = trace.snapshot();
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_EQ(records.back().sequence, 100u);
+  EXPECT_EQ(records.front().sequence, 93u);
+  trace.clear();
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(Trace, EveryStageHasAName) {
+  for (int s = 0; s <= static_cast<int>(events::TraceStage::kDeadTarget); ++s) {
+    EXPECT_STRNE(events::trace_stage_name(static_cast<events::TraceStage>(s)),
+                 "?");
+  }
+}
+
+// --- name service ---------------------------------------------------------------
+
+TEST(Names, BindLookupUnbindRoundTrip) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  const ObjectId dir = n0.objects.add_object(services::NameService::make());
+  services::NameClient names(n1.objects, dir, /*cache_lookups=*/false);
+
+  const ObjectId monitor{(std::uint64_t{1} << 48) | 99};
+  std::atomic<bool> ok{false};
+  const ThreadId tid = n1.kernel.spawn([&] {
+    ASSERT_TRUE(names.bind("services/monitor", monitor).is_ok());
+    auto found = names.lookup("services/monitor");
+    ASSERT_TRUE(found.is_ok());
+    EXPECT_EQ(found.value(), monitor);
+    ASSERT_TRUE(names.unbind("services/monitor").is_ok());
+    ok = names.lookup("services/monitor").status().code() ==
+         StatusCode::kNoSuchObject;
+  });
+  ASSERT_TRUE(n1.kernel.join_thread(tid, 15s).is_ok());
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Names, BindUniqueRejectsCollision) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId dir = n0.objects.add_object(services::NameService::make());
+  services::NameClient names(n0.objects, dir);
+  ASSERT_TRUE(names.bind_unique("lock_server", ObjectId{1001}).is_ok());
+  EXPECT_TRUE(names.bind_unique("lock_server", ObjectId{1001}).is_ok());  // same
+  EXPECT_EQ(names.bind_unique("lock_server", ObjectId{1002}).code(),
+            StatusCode::kAlreadyExists);
+  // Plain bind may rebind.
+  ASSERT_TRUE(names.bind("lock_server", ObjectId{1002}).is_ok());
+}
+
+TEST(Names, ValidationAndListing) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId dir = n0.objects.add_object(services::NameService::make());
+  services::NameClient names(n0.objects, dir);
+  EXPECT_EQ(names.bind("", ObjectId{5}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(names.bind("x", ObjectId{}).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(names.bind("services/a", ObjectId{1}).is_ok());
+  ASSERT_TRUE(names.bind("services/b", ObjectId{2}).is_ok());
+  ASSERT_TRUE(names.bind("apps/c", ObjectId{3}).is_ok());
+  auto services_names = names.list("services/");
+  ASSERT_TRUE(services_names.is_ok());
+  EXPECT_EQ(services_names.value().size(), 2u);
+  auto all = names.list("");
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value().size(), 3u);
+}
+
+TEST(Names, CacheServesRepeatLookups) {
+  Cluster cluster(1);
+  auto& n0 = cluster.node(0);
+  const ObjectId dir = n0.objects.add_object(services::NameService::make());
+  services::NameClient names(n0.objects, dir, /*cache_lookups=*/true);
+  ASSERT_TRUE(names.bind("cached", ObjectId{42}).is_ok());
+
+  n0.objects.reset_stats();
+  ASSERT_TRUE(names.lookup("cached").is_ok());  // served from the bind cache
+  EXPECT_EQ(n0.objects.stats().invocations_local, 0u);
+
+  names.drop_cache();
+  ASSERT_TRUE(names.lookup("cached").is_ok());  // now hits the directory
+  EXPECT_EQ(n0.objects.stats().invocations_local, 1u);
+}
+
+}  // namespace
+}  // namespace doct
