@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_delivery_cadence.dir/bench_a2_delivery_cadence.cpp.o"
+  "CMakeFiles/bench_a2_delivery_cadence.dir/bench_a2_delivery_cadence.cpp.o.d"
+  "bench_a2_delivery_cadence"
+  "bench_a2_delivery_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_delivery_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_location.dir/bench_e1_location.cpp.o"
+  "CMakeFiles/bench_e1_location.dir/bench_e1_location.cpp.o.d"
+  "bench_e1_location"
+  "bench_e1_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

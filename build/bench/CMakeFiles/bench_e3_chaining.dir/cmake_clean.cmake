@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_chaining.dir/bench_e3_chaining.cpp.o"
+  "CMakeFiles/bench_e3_chaining.dir/bench_e3_chaining.cpp.o.d"
+  "bench_e3_chaining"
+  "bench_e3_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

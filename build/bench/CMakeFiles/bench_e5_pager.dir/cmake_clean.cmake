@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_pager.dir/bench_e5_pager.cpp.o"
+  "CMakeFiles/bench_e5_pager.dir/bench_e5_pager.cpp.o.d"
+  "bench_e5_pager"
+  "bench_e5_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_monitor.dir/bench_e7_monitor.cpp.o"
+  "CMakeFiles/bench_e7_monitor.dir/bench_e7_monitor.cpp.o.d"
+  "bench_e7_monitor"
+  "bench_e7_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_addressing.dir/bench_t1_addressing.cpp.o"
+  "CMakeFiles/bench_t1_addressing.dir/bench_t1_addressing.cpp.o.d"
+  "bench_t1_addressing"
+  "bench_t1_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

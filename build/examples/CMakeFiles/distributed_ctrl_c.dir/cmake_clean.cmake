@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_ctrl_c.dir/distributed_ctrl_c.cpp.o"
+  "CMakeFiles/distributed_ctrl_c.dir/distributed_ctrl_c.cpp.o.d"
+  "distributed_ctrl_c"
+  "distributed_ctrl_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_ctrl_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_cleanup.dir/lock_cleanup.cpp.o"
+  "CMakeFiles/lock_cleanup.dir/lock_cleanup.cpp.o.d"
+  "lock_cleanup"
+  "lock_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

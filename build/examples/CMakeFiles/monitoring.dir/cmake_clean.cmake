@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring.dir/monitoring.cpp.o"
+  "CMakeFiles/monitoring.dir/monitoring.cpp.o.d"
+  "monitoring"
+  "monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_search.cpp" "examples/CMakeFiles/parallel_search.dir/parallel_search.cpp.o" "gcc" "examples/CMakeFiles/parallel_search.dir/parallel_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/doct_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/doct_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/doct_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/doct_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/doct_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/doct_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/doct_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

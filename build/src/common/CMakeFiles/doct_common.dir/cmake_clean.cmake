@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_common.dir/clock.cpp.o"
+  "CMakeFiles/doct_common.dir/clock.cpp.o.d"
+  "CMakeFiles/doct_common.dir/log.cpp.o"
+  "CMakeFiles/doct_common.dir/log.cpp.o.d"
+  "CMakeFiles/doct_common.dir/result.cpp.o"
+  "CMakeFiles/doct_common.dir/result.cpp.o.d"
+  "libdoct_common.a"
+  "libdoct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

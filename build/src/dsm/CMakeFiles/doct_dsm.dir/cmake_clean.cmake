@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_dsm.dir/dsm.cpp.o"
+  "CMakeFiles/doct_dsm.dir/dsm.cpp.o.d"
+  "libdoct_dsm.a"
+  "libdoct_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_events.dir/event_system.cpp.o"
+  "CMakeFiles/doct_events.dir/event_system.cpp.o.d"
+  "CMakeFiles/doct_events.dir/registry.cpp.o"
+  "CMakeFiles/doct_events.dir/registry.cpp.o.d"
+  "CMakeFiles/doct_events.dir/trace.cpp.o"
+  "CMakeFiles/doct_events.dir/trace.cpp.o.d"
+  "libdoct_events.a"
+  "libdoct_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

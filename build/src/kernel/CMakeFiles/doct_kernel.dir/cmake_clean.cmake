@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_kernel.dir/attributes.cpp.o"
+  "CMakeFiles/doct_kernel.dir/attributes.cpp.o.d"
+  "CMakeFiles/doct_kernel.dir/event_notice.cpp.o"
+  "CMakeFiles/doct_kernel.dir/event_notice.cpp.o.d"
+  "CMakeFiles/doct_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/doct_kernel.dir/kernel.cpp.o.d"
+  "libdoct_kernel.a"
+  "libdoct_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

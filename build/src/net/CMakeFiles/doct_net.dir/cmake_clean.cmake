@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_net.dir/network.cpp.o"
+  "CMakeFiles/doct_net.dir/network.cpp.o.d"
+  "libdoct_net.a"
+  "libdoct_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_objects.dir/manager.cpp.o"
+  "CMakeFiles/doct_objects.dir/manager.cpp.o.d"
+  "CMakeFiles/doct_objects.dir/store.cpp.o"
+  "CMakeFiles/doct_objects.dir/store.cpp.o.d"
+  "libdoct_objects.a"
+  "libdoct_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_rpc.dir/rpc.cpp.o"
+  "CMakeFiles/doct_rpc.dir/rpc.cpp.o.d"
+  "libdoct_rpc.a"
+  "libdoct_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

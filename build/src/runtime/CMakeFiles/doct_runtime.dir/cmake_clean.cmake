@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/doct_runtime.dir/runtime.cpp.o.d"
+  "libdoct_runtime.a"
+  "libdoct_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoct_runtime.a"
+)

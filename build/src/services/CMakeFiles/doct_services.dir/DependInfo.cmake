@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/debugger/debugger.cpp" "src/services/CMakeFiles/doct_services.dir/debugger/debugger.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/debugger/debugger.cpp.o.d"
+  "/root/repo/src/services/exceptions/exceptions.cpp" "src/services/CMakeFiles/doct_services.dir/exceptions/exceptions.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/exceptions/exceptions.cpp.o.d"
+  "/root/repo/src/services/locks/lock_manager.cpp" "src/services/CMakeFiles/doct_services.dir/locks/lock_manager.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/locks/lock_manager.cpp.o.d"
+  "/root/repo/src/services/monitor/monitor.cpp" "src/services/CMakeFiles/doct_services.dir/monitor/monitor.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/monitor/monitor.cpp.o.d"
+  "/root/repo/src/services/names/name_service.cpp" "src/services/CMakeFiles/doct_services.dir/names/name_service.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/names/name_service.cpp.o.d"
+  "/root/repo/src/services/pager/pager.cpp" "src/services/CMakeFiles/doct_services.dir/pager/pager.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/pager/pager.cpp.o.d"
+  "/root/repo/src/services/termination/termination.cpp" "src/services/CMakeFiles/doct_services.dir/termination/termination.cpp.o" "gcc" "src/services/CMakeFiles/doct_services.dir/termination/termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/events/CMakeFiles/doct_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/doct_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/doct_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/doct_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/doct_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/doct_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/doct_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

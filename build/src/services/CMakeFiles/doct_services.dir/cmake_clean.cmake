@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doct_services.dir/debugger/debugger.cpp.o"
+  "CMakeFiles/doct_services.dir/debugger/debugger.cpp.o.d"
+  "CMakeFiles/doct_services.dir/exceptions/exceptions.cpp.o"
+  "CMakeFiles/doct_services.dir/exceptions/exceptions.cpp.o.d"
+  "CMakeFiles/doct_services.dir/locks/lock_manager.cpp.o"
+  "CMakeFiles/doct_services.dir/locks/lock_manager.cpp.o.d"
+  "CMakeFiles/doct_services.dir/monitor/monitor.cpp.o"
+  "CMakeFiles/doct_services.dir/monitor/monitor.cpp.o.d"
+  "CMakeFiles/doct_services.dir/names/name_service.cpp.o"
+  "CMakeFiles/doct_services.dir/names/name_service.cpp.o.d"
+  "CMakeFiles/doct_services.dir/pager/pager.cpp.o"
+  "CMakeFiles/doct_services.dir/pager/pager.cpp.o.d"
+  "CMakeFiles/doct_services.dir/termination/termination.cpp.o"
+  "CMakeFiles/doct_services.dir/termination/termination.cpp.o.d"
+  "libdoct_services.a"
+  "libdoct_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doct_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/events_edge_test.dir/events_edge_test.cpp.o"
+  "CMakeFiles/events_edge_test.dir/events_edge_test.cpp.o.d"
+  "events_edge_test"
+  "events_edge_test.pdb"
+  "events_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/events_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

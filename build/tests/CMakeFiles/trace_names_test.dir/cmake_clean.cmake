@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_names_test.dir/trace_names_test.cpp.o"
+  "CMakeFiles/trace_names_test.dir/trace_names_test.cpp.o.d"
+  "trace_names_test"
+  "trace_names_test.pdb"
+  "trace_names_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_names_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
