@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Run every bench binary and write machine-readable results next to the cwd
+# as BENCH_<name>.json (the format CI uploads as an artifact).
+#
+# Usage: scripts/run_benches.sh [build-dir] [extra benchmark flags...]
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: '$build_dir/bench' not found — build the tree first" >&2
+  exit 1
+fi
+
+for bin in "$build_dir"/bench/bench_*; do
+  [[ -x $bin ]] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  "$bin" --benchmark_out="BENCH_${name#bench_}.json" \
+         --benchmark_out_format=json "$@"
+done

@@ -319,11 +319,19 @@ Result<kernel::Verdict> EventSystem::raise_exception(
   kernel_.prepare_wait(notice.wait_token);
 
   // Run the chain on a surrogate thread that adopts the suspended thread's
-  // context (§6.1) while the raiser blocks below.
-  const bool submitted = surrogates_.submit([this, ctx, notice] {
-    const kernel::Verdict verdict = execute_chain(*ctx, notice);
-    kernel_.resume_waiter(notice.wait_token, verdict);
-  });
+  // context (§6.1) while the raiser blocks below.  The surrogate holds a
+  // shared handle: if the raiser times out and its thread exits, the context
+  // must stay alive until the chain finishes.
+  std::shared_ptr<kernel::ThreadContext> shared =
+      kernel_.share_context(ctx->tid());
+  if (shared == nullptr) {
+    return Status{StatusCode::kNoSuchThread, ctx->tid().to_string()};
+  }
+  const bool submitted =
+      surrogates_.submit([this, shared = std::move(shared), notice] {
+        const kernel::Verdict verdict = execute_chain(*shared, notice);
+        kernel_.resume_waiter(notice.wait_token, verdict);
+      });
   if (!submitted) {
     return Status{StatusCode::kAborted, "event system shutting down"};
   }

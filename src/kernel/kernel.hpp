@@ -122,6 +122,15 @@ class Kernel {
   // (nullptr outside any logical thread).
   static ThreadContext* current();
 
+  // Shared handle to a context registered at this node (nullptr if unknown).
+  // Subsystems that run work against a context on another OS thread (e.g.
+  // surrogate handler execution) must hold this so the context outlives a
+  // raiser that gives up waiting.
+  [[nodiscard]] std::shared_ptr<ThreadContext> share_context(
+      ThreadId tid) const {
+    return find_context(tid);
+  }
+
   // Processes pending notices for the current thread now (a delivery point).
   // Returns kTerminated if a handler terminated the thread.
   Status poll_events();

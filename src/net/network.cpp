@@ -68,9 +68,8 @@ Status Network::unregister_node(NodeId node) {
   // Drain anything left in the mailbox: those messages were in flight and are
   // now lost; release their quiesce tokens.
   while (state->mailbox.try_pop()) {
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    finish_in_flight();
   }
-  quiesce_cv_.notify_all();
   return Status::ok();
 }
 
@@ -85,6 +84,15 @@ void Network::enqueue_wire(Message message) {
   wire_.push(WireItem{clock_.now() + latency_for(message), wire_sequence_++,
                       std::move(message)});
   wire_cv_.notify_one();
+}
+
+void Network::finish_in_flight() {
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  // The notify must happen under quiesce_mu_: quiesce() checks the counter
+  // under that mutex, and a notify between its predicate check and its block
+  // would otherwise be lost, leaving the waiter asleep forever.
+  std::lock_guard<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.notify_all();
 }
 
 Status Network::send(Message message) {
@@ -240,9 +248,8 @@ void Network::wire_loop() {
       // Drop everything still on the wire and release quiesce tokens.
       while (!wire_.empty()) {
         wire_.pop();
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        finish_in_flight();
       }
-      quiesce_cv_.notify_all();
       return;
     }
     if (wire_.empty()) {
@@ -265,15 +272,13 @@ void Network::wire_loop() {
         std::lock_guard<std::mutex> slock(stats_mu_);
         stats_.dropped++;
       }
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      quiesce_cv_.notify_all();
+      finish_in_flight();
       continue;
     }
     // Mailbox push is cheap; keeping mu_ held here keeps the node-exists
     // check and the push atomic with respect to unregister_node.
     if (!it->second->mailbox.push(std::move(message))) {
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      quiesce_cv_.notify_all();
+      finish_in_flight();
     }
   }
 }
@@ -285,8 +290,7 @@ void Network::delivery_loop(NodeState& state) {
       std::lock_guard<std::mutex> slock(stats_mu_);
       stats_.delivered++;
     }
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    quiesce_cv_.notify_all();
+    finish_in_flight();
   }
 }
 

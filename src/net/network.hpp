@@ -95,6 +95,12 @@ class Network {
   // and handled.  Tests use this instead of sleeps.
   void quiesce();
 
+  // Messages currently on the wire or in a mailbox (including one being
+  // handled right now).  0 once quiesce() would return immediately.
+  [[nodiscard]] std::int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
  private:
   struct NodeState {
     MessageHandler handler;
@@ -115,6 +121,7 @@ class Network {
   void wire_loop();
   void delivery_loop(NodeState& state);
   void enqueue_wire(Message message);
+  void finish_in_flight();
   [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration latency_for(const Message& message) const;
 

@@ -336,14 +336,14 @@ TEST(KernelWaiters, DoubleResumeRejected) {
   Cluster cluster(1);
   auto& k = cluster.node(0).kernel;
   const std::uint64_t token = k.new_wait_token();
-  std::thread resumer([&] {
-    std::this_thread::sleep_for(20ms);
-    EXPECT_TRUE(k.resume_waiter(token, Verdict::kTerminate).is_ok());
-    EXPECT_EQ(k.resume_waiter(token, Verdict::kResume).code(),
-              StatusCode::kAlreadyExists);
-  });
+  // Register the waiter entry up front so both resume calls are ordered
+  // before the await — a blocked waiter could otherwise consume the token
+  // between the two resumes and turn the second into kNoSuchThread.
+  k.prepare_wait(token);
+  EXPECT_TRUE(k.resume_waiter(token, Verdict::kTerminate).is_ok());
+  EXPECT_EQ(k.resume_waiter(token, Verdict::kResume).code(),
+            StatusCode::kAlreadyExists);
   auto verdict = k.await_resume(token, 5s);
-  resumer.join();
   ASSERT_TRUE(verdict.is_ok());
   EXPECT_EQ(verdict.value(), Verdict::kTerminate);
 }

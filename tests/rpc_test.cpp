@@ -28,6 +28,14 @@ class RpcTest : public ::testing::Test {
     server_ = std::make_unique<RpcEndpoint>(net_, demux2_, n2_, ids_);
   }
 
+  ~RpcTest() override {
+    // Same teardown order as NodeRuntime: unregistering joins the delivery
+    // threads, so no demux handler can still be running inside an endpoint
+    // when the endpoints are destroyed below.
+    EXPECT_TRUE(net_.unregister_node(n1_).is_ok());
+    EXPECT_TRUE(net_.unregister_node(n2_).is_ok());
+  }
+
   static Payload int_payload(std::int64_t v) {
     Writer w;
     w.put(v);
