@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: diff a google-benchmark JSON run against a baseline.
+
+Matches benchmarks by name and compares per-iteration latency (real_time).
+Regressions beyond the threshold are reported as GitHub Actions ::warning::
+annotations; the exit code stays 0 unless --fail is given, so CI warns
+without blocking (runner noise makes hard gates on shared runners flaky).
+
+Usage:
+  compare_benches.py BASELINE.json CURRENT.json [--threshold 0.25] [--fail]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: (time, unit)} for non-aggregate benchmark entries."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); raw
+        # iterations are what the smoke run produces.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time", bench.get("cpu_time"))
+        if name is None or time is None:
+            continue
+        out[name] = (float(time), bench.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative latency increase that counts as a regression",
+    )
+    parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit non-zero when regressions are found (default: warn only)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    regressions = []
+    width = max((len(n) for n in current), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(current):
+        cur_time, unit = current[name]
+        if name not in baseline:
+            print(f"{name:<{width}}  {'--':>12}  {cur_time:>10.1f}{unit}  (new)")
+            continue
+        base_time, _ = baseline[name]
+        delta = (cur_time - base_time) / base_time if base_time > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, base_time, cur_time, delta, unit))
+        print(
+            f"{name:<{width}}  {base_time:>10.1f}{unit}  {cur_time:>10.1f}{unit}"
+            f"  {delta:+7.1%}{flag}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  (missing from current run)")
+
+    if regressions:
+        for name, base_time, cur_time, delta, unit in regressions:
+            print(
+                f"::warning title=bench regression::{name}: "
+                f"{base_time:.1f}{unit} -> {cur_time:.1f}{unit} ({delta:+.1%}, "
+                f"threshold {args.threshold:.0%})"
+            )
+        if args.fail:
+            return 1
+    else:
+        print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "events/event_system.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace doct::events {
@@ -62,8 +64,15 @@ EventSystem::~EventSystem() {
   kernel_.set_delivery_callback(nullptr);
   master_.shutdown();
   surrogates_.shutdown();
-  std::lock_guard<std::mutex> lock(per_event_mu_);
-  for (auto& t : per_event_threads_) {
+  // Joining must happen outside per_event_mu_: exiting handler threads
+  // take it to announce completion.
+  std::vector<std::thread> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(per_event_mu_);
+    leftovers.swap(per_event_threads_);
+    per_event_finished_.clear();
+  }
+  for (auto& t : leftovers) {
     if (t.joinable()) t.join();
   }
 }
@@ -503,17 +512,39 @@ void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
     return;
   }
   // kThreadPerEvent: the costly alternative, kept for the E2 ablation.
-  std::lock_guard<std::mutex> lock(per_event_mu_);
-  if (per_event_threads_.size() > 512) {
-    for (auto& t : per_event_threads_) {
-      if (t.joinable()) t.join();
+  std::thread backstop;
+  {
+    std::lock_guard<std::mutex> lock(per_event_mu_);
+    // Reap only threads that have announced completion: joining them is
+    // near-instant, so the dispatch path never blocks behind running
+    // handlers.
+    for (auto it = per_event_threads_.begin();
+         it != per_event_threads_.end();) {
+      const auto done = std::find(per_event_finished_.begin(),
+                                  per_event_finished_.end(), it->get_id());
+      if (done != per_event_finished_.end()) {
+        it->join();
+        per_event_finished_.erase(done);
+        it = per_event_threads_.erase(it);
+      } else {
+        ++it;
+      }
     }
-    per_event_threads_.clear();
+    // Backstop against runaway growth when handlers outlive the event
+    // rate: pull the oldest thread out and join it below, after the lock
+    // is released — it still needs per_event_mu_ to announce completion.
+    if (per_event_threads_.size() > 512) {
+      backstop = std::move(per_event_threads_.front());
+      per_event_threads_.erase(per_event_threads_.begin());
+    }
+    per_event_threads_.emplace_back([this, notice] {
+      const kernel::Verdict verdict = run_object_handler_now(notice);
+      if (notice.synchronous) send_resume(notice, verdict);
+      std::lock_guard<std::mutex> done_lock(per_event_mu_);
+      per_event_finished_.push_back(std::this_thread::get_id());
+    });
   }
-  per_event_threads_.emplace_back([this, notice] {
-    const kernel::Verdict verdict = run_object_handler_now(notice);
-    if (notice.synchronous) send_resume(notice, verdict);
-  });
+  if (backstop.joinable()) backstop.join();
 }
 
 kernel::Verdict EventSystem::run_object_handler_now(

@@ -182,9 +182,14 @@ class EventSystem {
   ThreadPool surrogates_{2};
 
   // kThreadPerEvent bookkeeping: spawned threads joined opportunistically
-  // and at shutdown (CP.26: never detach).
+  // and at shutdown (CP.26: never detach).  Threads announce completion in
+  // per_event_finished_ so the dispatch path only ever joins threads that
+  // have already run to the end — for remote notifies the dispatcher is the
+  // RPC delivery thread, and a blocking bulk join there stalls every caller
+  // past its deadline.
   std::mutex per_event_mu_;
   std::vector<std::thread> per_event_threads_;
+  std::vector<std::thread::id> per_event_finished_;
 
   std::function<Status(ObjectId)> activation_hook_;
   std::mutex hook_mu_;

@@ -15,6 +15,8 @@ EventRegistry::EventRegistry() {
   add({sys::kDelete, "DELETE", true, false, DefaultAction::kIgnore});
   add({sys::kPing, "PING", true, false, DefaultAction::kIgnore});
   add({sys::kTargetDead, "TARGET_DEAD", true, false, DefaultAction::kIgnore});
+  add({sys::kNodeDown, "NODE_DOWN", true, false, DefaultAction::kIgnore});
+  add({sys::kNodeUp, "NODE_UP", true, false, DefaultAction::kIgnore});
 }
 
 void EventRegistry::add(EventInfo info) {

@@ -55,6 +55,8 @@ inline constexpr EventId kAlarm{8};
 inline constexpr EventId kDelete{9};        // §5.1 object template example
 inline constexpr EventId kPing{10};         // liveness probe for objects
 inline constexpr EventId kTargetDead{11};   // §7: dead-target notification
+inline constexpr EventId kNodeDown{12};     // failure detector: peer suspected
+inline constexpr EventId kNodeUp{13};       // failure detector: peer recovered
 inline constexpr std::uint64_t kFirstUserEvent = 100;
 }  // namespace sys
 

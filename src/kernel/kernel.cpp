@@ -369,6 +369,24 @@ void Kernel::on_group_census_reply(const net::Message& message) {
   pending->cv.notify_all();
 }
 
+void Kernel::note_peer_down(NodeId peer) {
+  (void)peer;
+  std::vector<std::shared_ptr<CensusPending>> waiting;
+  {
+    std::lock_guard<std::mutex> lock(census_mu_);
+    for (const auto& [token, pending] : censuses_) waiting.push_back(pending);
+  }
+  for (const auto& pending : waiting) {
+    {
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->replies++;  // the dead peer can contribute no members
+    }
+    pending->cv.notify_all();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.census_peer_down_skips++;
+  }
+}
+
 // --- delivery points ---------------------------------------------------------
 
 Status Kernel::poll_events() {

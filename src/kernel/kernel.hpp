@@ -66,6 +66,7 @@ struct KernelStats {
   std::uint64_t migrations_in = 0;
   std::uint64_t migrations_out = 0;
   std::uint64_t timer_events = 0;
+  std::uint64_t census_peer_down_skips = 0;  // note_peer_down fast-paths
 };
 
 // Verdict a handler renders for the stopped thread (§3: after the handler
@@ -227,6 +228,12 @@ class Kernel {
   // needing this (QUIT is addressed to the group), but controllers and tests
   // want the roll call.
   [[nodiscard]] Result<std::vector<ThreadId>> group_census(GroupId group);
+
+  // Failure-detector hook: a peer is confirmed down, so any census still
+  // waiting on it will never hear back.  Counts the dead peer as replied on
+  // every pending census (it can contribute no members), letting callers
+  // return immediately instead of burning the full locate timeout.
+  void note_peer_down(NodeId peer);
 
   // --- timers (§6.2) -------------------------------------------------------
 

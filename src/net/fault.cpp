@@ -1,0 +1,136 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+#include "net/message.hpp"
+
+namespace doct::net {
+
+namespace {
+
+// One independent decision per fault category, drawn from a per-message RNG
+// seeded by (plan seed, stream identity, stream sequence).  A fixed draw
+// order keeps decisions stable when probabilities change between categories.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t from, std::uint64_t to,
+                  std::uint64_t kind, std::uint64_t seq) {
+  SplitMix64 h(seed);
+  // Fold the stream identity in through successive SplitMix64 steps; each
+  // component perturbs the state so (from=1,to=2) != (from=2,to=1).
+  SplitMix64 f(h.next() ^ (from * 0x9E3779B97F4A7C15ULL));
+  SplitMix64 t(f.next() ^ (to * 0xC2B2AE3D27D4EB4FULL));
+  SplitMix64 k(t.next() ^ (kind * 0x165667B19E3779F9ULL));
+  SplitMix64 s(k.next() ^ seq);
+  return s.next();
+}
+
+// Combined probability of at least one of two independent fault sources.
+double combine(double p1, double p2) { return 1.0 - (1.0 - p1) * (1.0 - p2); }
+
+}  // namespace
+
+void FaultInjector::load(FaultPlan plan) {
+  plan_ = std::move(plan);
+  stream_seq_.clear();
+  schedule_.clear();
+  for (const PartitionEvent& p : plan_.partitions) {
+    schedule_.push_back({p.at,
+                         {ScheduledAction::Kind::kPartition, p.a, p.b},
+                         false});
+    if (p.heal_at != Duration::max()) {
+      schedule_.push_back(
+          {p.heal_at, {ScheduledAction::Kind::kHeal, p.a, p.b}, false});
+    }
+  }
+  for (const CrashEvent& c : plan_.crashes) {
+    schedule_.push_back(
+        {c.at, {ScheduledAction::Kind::kCrash, c.node, NodeId{}}, false});
+    if (c.restart_at != Duration::max()) {
+      schedule_.push_back(
+          {c.restart_at, {ScheduledAction::Kind::kRestart, c.node, NodeId{}},
+           false});
+    }
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const TimedAction& x, const TimedAction& y) {
+                     return x.at < y.at;
+                   });
+  armed_ = plan_.link_defaults.any() || !plan_.windows.empty() ||
+           !schedule_.empty();
+}
+
+LinkFaults FaultInjector::effective_faults(NodeId from, NodeId to,
+                                           Duration now) const {
+  LinkFaults out = plan_.link_defaults;
+  for (const FaultWindow& w : plan_.windows) {
+    if (now < w.start || now >= w.end) continue;
+    if (!w.all_links) {
+      const bool matches = (w.a == from && w.b == to) ||
+                           (w.a == to && w.b == from);
+      if (!matches) continue;
+    }
+    out.drop_probability =
+        combine(out.drop_probability, w.faults.drop_probability);
+    out.duplicate_probability =
+        combine(out.duplicate_probability, w.faults.duplicate_probability);
+    out.reorder_probability =
+        combine(out.reorder_probability, w.faults.reorder_probability);
+    out.delay_spike_probability =
+        combine(out.delay_spike_probability, w.faults.delay_spike_probability);
+    out.delay_spike_min = std::max(out.delay_spike_min, w.faults.delay_spike_min);
+    out.delay_spike_max = std::max(out.delay_spike_max, w.faults.delay_spike_max);
+    out.reorder_delay = std::max(out.reorder_delay, w.faults.reorder_delay);
+  }
+  return out;
+}
+
+FaultDecision FaultInjector::decide(NodeId from, NodeId to, std::uint16_t kind,
+                                    Duration now) {
+  FaultDecision decision;
+  if (!armed_) return decision;
+  if (plan_.spare_heartbeats && kind == kHeartbeat) return decision;
+
+  const LinkFaults faults = effective_faults(from, to, now);
+  if (!faults.any()) return decision;
+
+  const auto key = std::make_tuple(from.value(), to.value(), kind);
+  const std::uint64_t seq = stream_seq_[key]++;
+  SplitMix64 rng(mix(plan_.seed, from.value(), to.value(), kind, seq));
+
+  // Fixed draw order: drop, duplicate, reorder, spike, spike magnitude.
+  if (rng.chance(faults.drop_probability)) {
+    decision.drop = true;
+    return decision;  // nothing else matters for a dropped message
+  }
+  decision.duplicate = rng.chance(faults.duplicate_probability);
+  decision.reorder = rng.chance(faults.reorder_probability);
+  decision.delay_spike = rng.chance(faults.delay_spike_probability);
+  if (decision.reorder) decision.extra_delay += faults.reorder_delay;
+  if (decision.delay_spike) {
+    const auto lo = faults.delay_spike_min.count();
+    const auto hi = std::max(faults.delay_spike_max.count(), lo);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    decision.extra_delay +=
+        Duration{lo + static_cast<Duration::rep>(rng.below(span))};
+  }
+  return decision;
+}
+
+std::vector<ScheduledAction> FaultInjector::due(Duration now) {
+  std::vector<ScheduledAction> out;
+  for (TimedAction& timed : schedule_) {
+    if (timed.fired) continue;
+    if (timed.at > now) break;  // sorted: nothing later is due
+    timed.fired = true;
+    out.push_back(timed.action);
+  }
+  return out;
+}
+
+Duration FaultInjector::next_event_at() const {
+  for (const TimedAction& timed : schedule_) {
+    if (!timed.fired) return timed.at;
+  }
+  return Duration::max();
+}
+
+}  // namespace doct::net

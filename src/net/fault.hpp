@@ -1,0 +1,152 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan describes everything that should go wrong during a run:
+// probabilistic per-link faults (drop, duplicate, reorder, delay spikes),
+// optional time windows restricting when a fault mix is active, scheduled
+// partition/heal intervals, and scheduled node crash/restart events.  A
+// FaultInjector executes the plan for the Network.
+//
+// Determinism guarantee: the fate of a message is a pure function of
+// (plan seed, source, destination, message kind, per-stream sequence
+// number, active windows).  Each (link, kind) pair is an independent
+// fault stream with its own counter, so unrelated traffic — heartbeats,
+// retransmissions on the reverse link — never perturbs the decisions made
+// for another stream.  A workload that sends the same message sequence on
+// a stream therefore sees the identical fault sequence on every run with
+// the same seed, regardless of thread interleaving elsewhere.
+//
+// The injector is NOT internally synchronized: Network calls it with its
+// own mutex held.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace doct::net {
+
+// Probabilistic faults applied independently to each wire message
+// (including every leg of a broadcast/multicast fan-out).
+struct LinkFaults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;   // deliver the message twice
+  double reorder_probability = 0.0;     // delay so later traffic overtakes it
+  double delay_spike_probability = 0.0;
+  Duration delay_spike_min{0};
+  Duration delay_spike_max{0};
+  Duration reorder_delay{std::chrono::microseconds(500)};
+
+  [[nodiscard]] bool any() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || delay_spike_probability > 0.0;
+  }
+};
+
+// Restricts a fault mix to a time window (relative to plan load) and
+// optionally to a single link (unordered node pair).
+struct FaultWindow {
+  Duration start{0};
+  Duration end{Duration::max()};
+  LinkFaults faults;
+  bool all_links = true;
+  NodeId a;  // when !all_links: the (unordered) pair the window applies to
+  NodeId b;
+};
+
+// Scheduled symmetric partition between two nodes, healed at heal_at.
+struct PartitionEvent {
+  NodeId a;
+  NodeId b;
+  Duration at{0};
+  Duration heal_at{Duration::max()};  // max() = never heals
+};
+
+// Scheduled fail-stop crash (unregister + mailbox flush) and later restart
+// (re-register with the original handler).
+struct CrashEvent {
+  NodeId node;
+  Duration at{0};
+  Duration restart_at{Duration::max()};  // max() = stays down
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0xFA017;
+  LinkFaults link_defaults;                 // applies to every link, always
+  std::vector<FaultWindow> windows;         // additional scoped fault mixes
+  std::vector<PartitionEvent> partitions;   // scheduled partition/heal
+  std::vector<CrashEvent> crashes;          // scheduled crash/restart
+  // Exempt failure-detector heartbeats (kHeartbeat) from probabilistic
+  // faults.  Keeps the injector's fault counts a function of application
+  // traffic only, so a seeded run replays to identical NetworkStats even
+  // with timer-driven heartbeats in the background.  Scheduled partitions
+  // and crashes still cut heartbeats (they are not probabilistic).
+  bool spare_heartbeats = true;
+};
+
+// The fate decided for one wire message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  bool delay_spike = false;
+  Duration extra_delay{0};
+};
+
+// A scheduled action that fell due; the Network applies it.
+struct ScheduledAction {
+  enum class Kind : std::uint8_t { kPartition, kHeal, kCrash, kRestart };
+  Kind kind;
+  NodeId a;
+  NodeId b;  // partition/heal only
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  // Installs (or replaces) the plan and resets all stream counters and the
+  // schedule.  Time for windows and scheduled events restarts at zero.
+  void load(FaultPlan plan);
+
+  // True if any probabilistic fault or scheduled event is configured.
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  // Decides the fate of one message about to enter the wire on the
+  // (from -> to) stream for `kind`, at `now` microseconds since load().
+  FaultDecision decide(NodeId from, NodeId to, std::uint16_t kind,
+                       Duration now);
+
+  // Returns every scheduled action due at `now`; each fires exactly once.
+  std::vector<ScheduledAction> due(Duration now);
+
+  // Time of the earliest unfired scheduled event (Duration::max() if none).
+  [[nodiscard]] Duration next_event_at() const;
+
+ private:
+  struct TimedAction {
+    Duration at;
+    ScheduledAction action;
+    bool fired = false;
+  };
+
+  // Merges link_defaults with every window active for (from, to) at `now`.
+  [[nodiscard]] LinkFaults effective_faults(NodeId from, NodeId to,
+                                            Duration now) const;
+
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::vector<TimedAction> schedule_;  // sorted by `at`
+  // Per (link, kind) fault-stream sequence counters.  The link key is the
+  // ordered (from, to) pair: each direction is its own stream.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint16_t>,
+           std::uint64_t>
+      stream_seq_;
+};
+
+}  // namespace doct::net

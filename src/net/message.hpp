@@ -41,6 +41,8 @@ enum MessageKind : std::uint16_t {
   kDsmInvalidate = 0x0402,
   kDsmInvalidateAck = 0x0403,
   kDsmOwnershipTransfer = 0x0404,
+  // health / failure detection: 0x0500
+  kHeartbeat = 0x0500,
 };
 
 struct Message {

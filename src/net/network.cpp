@@ -14,6 +14,7 @@ std::pair<NodeId, NodeId> normalize(NodeId a, NodeId b) {
 
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed) {
+  fault_epoch_ = clock_.now();
   wire_thread_ = std::thread([this] { wire_loop(); });
 }
 
@@ -38,6 +39,14 @@ Network::~Network() {
   }
 }
 
+void Network::register_node_locked(NodeId node, MessageHandler handler) {
+  auto state = std::make_unique<NodeState>();
+  state->handler = std::move(handler);
+  NodeState* raw = state.get();
+  state->delivery_thread = std::thread([this, raw] { delivery_loop(*raw); });
+  nodes_.emplace(node, std::move(state));
+}
+
 Status Network::register_node(NodeId node, MessageHandler handler) {
   if (!node.valid() || !handler) {
     return {StatusCode::kInvalidArgument, "node id and handler required"};
@@ -46,11 +55,9 @@ Status Network::register_node(NodeId node, MessageHandler handler) {
   if (nodes_.contains(node)) {
     return {StatusCode::kAlreadyExists, node.to_string()};
   }
-  auto state = std::make_unique<NodeState>();
-  state->handler = std::move(handler);
-  NodeState* raw = state.get();
-  state->delivery_thread = std::thread([this, raw] { delivery_loop(*raw); });
-  nodes_.emplace(node, std::move(state));
+  // A fresh registration supersedes any crash-time handler kept for restart.
+  crashed_.erase(node);
+  register_node_locked(node, std::move(handler));
   return Status::ok();
 }
 
@@ -59,7 +66,13 @@ Status Network::unregister_node(NodeId node) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = nodes_.find(node);
-    if (it == nodes_.end()) return {StatusCode::kNoSuchNode, node.to_string()};
+    if (it == nodes_.end()) {
+      // A crashed node has no live state, but unregistering it must still
+      // succeed (and forget the remembered restart handler): a node runtime
+      // tears down the same way whether or not the network crashed it.
+      if (crashed_.erase(node) > 0) return Status::ok();
+      return {StatusCode::kNoSuchNode, node.to_string()};
+    }
     state = std::move(it->second);
     nodes_.erase(it);
   }
@@ -78,12 +91,37 @@ Duration Network::latency_for(const Message& message) const {
          config_.per_byte_latency * static_cast<long>(message.payload.size());
 }
 
-void Network::enqueue_wire(Message message) {
+void Network::enqueue_wire(Message message, Duration extra_delay) {
   // Caller holds mu_.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  wire_.push(WireItem{clock_.now() + latency_for(message), wire_sequence_++,
-                      std::move(message)});
+  wire_.push(WireItem{clock_.now() + latency_for(message) + extra_delay,
+                      wire_sequence_++, std::move(message)});
   wire_cv_.notify_one();
+}
+
+void Network::transmit_locked(Message message) {
+  if (!injector_.armed()) {
+    enqueue_wire(std::move(message), Duration{0});
+    return;
+  }
+  const FaultDecision decision = injector_.decide(
+      message.from, message.to, message.kind, clock_.now() - fault_epoch_);
+  if (decision.drop) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped++;
+    stats_.dropped_by_fault++;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    if (decision.duplicate) stats_.duplicated++;
+    if (decision.reorder) stats_.reordered++;
+    if (decision.delay_spike) stats_.delay_spikes++;
+  }
+  if (decision.duplicate) {
+    enqueue_wire(message, decision.extra_delay);
+  }
+  enqueue_wire(std::move(message), decision.extra_delay);
 }
 
 void Network::finish_in_flight() {
@@ -102,15 +140,24 @@ Status Network::send(Message message) {
     stats_.sent++;
     stats_.bytes += message.payload.size();
   }
+  // A crashed endpoint behaves like a dead host, not a config error: the
+  // datagram is silently lost so retry layers keep probing for the restart.
+  if (crashed_.contains(message.to) || crashed_.contains(message.from)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped++;
+    stats_.dropped_crashed++;
+    return Status::ok();
+  }
   if (!nodes_.contains(message.to)) {
     return {StatusCode::kNoSuchNode, message.to.to_string()};
   }
   if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.dropped++;
+    stats_.dropped_legacy++;
     return Status::ok();  // datagram semantics: loss is silent
   }
-  enqueue_wire(std::move(message));
+  transmit_locked(std::move(message));
   return Status::ok();
 }
 
@@ -119,6 +166,12 @@ Status Network::broadcast(Message message) {
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.broadcast_sends++;
+  }
+  if (crashed_.contains(message.from)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped++;
+    stats_.dropped_crashed++;
+    return Status::ok();
   }
   for (const auto& [id, state] : nodes_) {
     if (id == message.from) continue;
@@ -129,7 +182,9 @@ Status Network::broadcast(Message message) {
       stats_.fanout_messages++;
       stats_.bytes += copy.payload.size();
     }
-    enqueue_wire(std::move(copy));
+    // Each fan-out leg passes through the injector independently: one
+    // broadcast can reach some destinations and lose others.
+    transmit_locked(std::move(copy));
   }
   return Status::ok();
 }
@@ -172,6 +227,12 @@ Status Network::multicast(GroupId group, Message message) {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.multicast_sends++;
   }
+  if (crashed_.contains(message.from)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.dropped++;
+    stats_.dropped_crashed++;
+    return Status::ok();
+  }
   for (NodeId member : it->second) {
     if (member == message.from) continue;
     if (!nodes_.contains(member)) continue;
@@ -182,7 +243,7 @@ Status Network::multicast(GroupId group, Message message) {
       stats_.fanout_messages++;
       stats_.bytes += copy.payload.size();
     }
-    enqueue_wire(std::move(copy));
+    transmit_locked(std::move(copy));
   }
   return Status::ok();
 }
@@ -213,6 +274,59 @@ void Network::reconnect(NodeId node) {
 
 bool Network::pair_partitioned_locked(NodeId a, NodeId b) const {
   return partitions_.contains(normalize(a, b));
+}
+
+void Network::load_fault_plan(FaultPlan plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_.load(std::move(plan));
+    fault_epoch_ = clock_.now();
+  }
+  wire_cv_.notify_all();  // wire thread re-reads the schedule deadline
+}
+
+Status Network::crash_node(NodeId node) {
+  std::unique_ptr<NodeState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(node);
+    if (it == nodes_.end()) return {StatusCode::kNoSuchNode, node.to_string()};
+    crashed_[node] = it->second->handler;
+    state = std::move(it->second);
+    nodes_.erase(it);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.crashes++;
+  }
+  state->mailbox.close();
+  if (state->delivery_thread.joinable()) state->delivery_thread.join();
+  // Mailbox flush: queued messages die with the node; release their quiesce
+  // tokens so in-flight accounting stays balanced.
+  while (state->mailbox.try_pop()) {
+    finish_in_flight();
+  }
+  return Status::ok();
+}
+
+Status Network::restart_node(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = crashed_.find(node);
+    if (it == crashed_.end()) {
+      return {StatusCode::kNoSuchNode, "not crashed: " + node.to_string()};
+    }
+    MessageHandler handler = std::move(it->second);
+    crashed_.erase(it);
+    register_node_locked(node, std::move(handler));
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.restarts++;
+  }
+  wire_cv_.notify_all();
+  return Status::ok();
+}
+
+bool Network::is_crashed(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_.contains(node);
 }
 
 NetworkStats Network::stats() const {
@@ -252,16 +366,60 @@ void Network::wire_loop() {
       }
       return;
     }
+
+    // Apply fault-plan schedule actions that fell due.  Partition edits are
+    // cheap and happen inline; crash/restart joins a delivery thread, which
+    // may itself be blocked in send() needing mu_, so those run unlocked.
+    const Duration plan_now = clock_.now() - fault_epoch_;
+    std::vector<ScheduledAction> lifecycle;
+    for (const ScheduledAction& action : injector_.due(plan_now)) {
+      switch (action.kind) {
+        case ScheduledAction::Kind::kPartition:
+          partitions_.insert(normalize(action.a, action.b));
+          break;
+        case ScheduledAction::Kind::kHeal:
+          partitions_.erase(normalize(action.a, action.b));
+          break;
+        default:
+          lifecycle.push_back(action);
+      }
+    }
+    if (!lifecycle.empty()) {
+      lock.unlock();
+      for (const ScheduledAction& action : lifecycle) {
+        if (action.kind == ScheduledAction::Kind::kCrash) {
+          crash_node(action.a);
+        } else {
+          restart_node(action.a);
+        }
+      }
+      lock.lock();
+      continue;
+    }
+
+    const Duration next_plan_event = injector_.next_event_at();
+    const Duration next_sched = next_plan_event == Duration::max()
+                                    ? Duration::max()
+                                    : fault_epoch_ + next_plan_event;
     if (wire_.empty()) {
-      wire_cv_.wait(lock, [&] { return !wire_.empty() || shutting_down_; });
+      if (next_sched == Duration::max()) {
+        // Plain wait, then re-derive everything at the loop top: a
+        // predicate of "wire non-empty or shutdown" would eat the notify
+        // from load_fault_plan and sleep through the schedule it installed.
+        wire_cv_.wait(lock);
+      } else {
+        wire_cv_.wait_until(lock, TimePoint{} + next_sched);
+      }
       continue;
     }
     const Duration now = clock_.now();
-    if (wire_.top().deliver_at > now) {
-      const auto deadline = TimePoint{} + wire_.top().deliver_at;
-      wire_cv_.wait_until(lock, deadline);
+    const Duration next = std::min(wire_.top().deliver_at, next_sched);
+    if (next > now) {
+      wire_cv_.wait_until(lock, TimePoint{} + next);
       continue;
     }
+    if (wire_.top().deliver_at > now) continue;  // only the schedule was due
+
     Message message = std::move(const_cast<WireItem&>(wire_.top()).message);
     wire_.pop();
 
@@ -271,6 +429,13 @@ void Network::wire_loop() {
       {
         std::lock_guard<std::mutex> slock(stats_mu_);
         stats_.dropped++;
+        if (cut) {
+          stats_.dropped_by_partition++;
+        } else if (crashed_.contains(message.to)) {
+          stats_.dropped_crashed++;
+        } else {
+          stats_.dropped_no_route++;
+        }
       }
       finish_in_flight();
       continue;

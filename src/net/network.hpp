@@ -28,6 +28,7 @@
 #include "common/queue.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace doct::net {
@@ -35,20 +36,37 @@ namespace doct::net {
 struct NetworkConfig {
   Duration base_latency{0};        // one-way latency applied to every message
   Duration per_byte_latency{0};    // additional latency per payload byte
-  double drop_probability = 0.0;   // applied to point-to-point sends only
+  // LEGACY: applies to point-to-point sends ONLY; broadcast/multicast legs
+  // are never dropped by it.  New code should configure loss through
+  // FaultPlan::link_defaults (load_fault_plan), which makes every fan-out
+  // leg independently lossy and is replayable from the plan seed.
+  double drop_probability = 0.0;
   std::uint64_t seed = 0x5EED;
 };
 
 struct NetworkStats {
   std::uint64_t sent = 0;          // point-to-point sends attempted
   std::uint64_t delivered = 0;     // messages handed to a node handler
-  std::uint64_t dropped = 0;       // lost to injected loss or partitions
+  std::uint64_t dropped = 0;       // total losses, all causes below
   std::uint64_t broadcast_sends = 0;   // broadcast() calls
   std::uint64_t multicast_sends = 0;   // multicast() calls
   std::uint64_t bytes = 0;         // payload bytes sent
   // Total per-destination fan-out of broadcasts/multicasts (each counts as a
   // wire message for the location-cost benches).
   std::uint64_t fanout_messages = 0;
+  // Per-cause loss breakdown (each also counts into `dropped`).
+  std::uint64_t dropped_by_fault = 0;      // injector probabilistic drop
+  std::uint64_t dropped_by_partition = 0;  // partitioned pair at delivery
+  std::uint64_t dropped_legacy = 0;        // NetworkConfig::drop_probability
+  std::uint64_t dropped_crashed = 0;       // to or from a crashed node
+  std::uint64_t dropped_no_route = 0;      // destination vanished in transit
+  // Injected non-loss faults.
+  std::uint64_t duplicated = 0;    // extra copies put on the wire
+  std::uint64_t reordered = 0;     // messages delayed past later traffic
+  std::uint64_t delay_spikes = 0;  // latency spikes applied
+  // Node lifecycle faults.
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
 };
 
 class Network {
@@ -86,6 +104,23 @@ class Network {
   void isolate(NodeId node);    // partition `node` from everyone
   void reconnect(NodeId node);  // heal all partitions involving `node`
 
+  // Installs a deterministic fault plan (see net/fault.hpp).  Replaces any
+  // previous plan; window/schedule time restarts at zero.  Every run with
+  // the same plan and the same per-stream traffic sequence replays the same
+  // faults.
+  void load_fault_plan(FaultPlan plan);
+
+  // Fail-stop crash: unregisters the node, joins its delivery thread, and
+  // flushes its mailbox (queued messages are lost, like RAM on power-off).
+  // The handler is remembered so restart_node() can re-register it.  While
+  // crashed, traffic to and from the node is silently dropped — senders see
+  // datagram loss, not an error, so retry layers keep probing for the
+  // restart.  Join semantics: waits for the in-progress handler (if any) to
+  // return; handlers are short by design (long work runs on worker pools).
+  Status crash_node(NodeId node);
+  Status restart_node(NodeId node);
+  [[nodiscard]] bool is_crashed(NodeId node) const;
+
   [[nodiscard]] NetworkStats stats() const;
   void reset_stats();
 
@@ -120,7 +155,11 @@ class Network {
 
   void wire_loop();
   void delivery_loop(NodeState& state);
-  void enqueue_wire(Message message);
+  void enqueue_wire(Message message, Duration extra_delay);
+  // Applies the fault injector to one outbound message (a p2p send or one
+  // fan-out leg), then queues it (and a possible duplicate) on the wire.
+  void transmit_locked(Message message);
+  void register_node_locked(NodeId node, MessageHandler handler);
   void finish_in_flight();
   [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration latency_for(const Message& message) const;
@@ -137,6 +176,11 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   SplitMix64 rng_;
   bool shutting_down_ = false;
+
+  // Fault plan execution (guarded by mu_; schedule applied by wire_loop).
+  FaultInjector injector_;
+  Duration fault_epoch_{0};  // plan-relative time zero
+  std::unordered_map<NodeId, MessageHandler> crashed_;  // handler for restart
 
   // In-flight accounting for quiesce(): incremented when a message enters the
   // wire, decremented after the destination handler returns.

@@ -48,26 +48,49 @@ RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
       self_(self),
       ids_(ids),
       config_(config),
-      workers_(config.worker_threads) {
+      workers_(config.worker_threads),
+      retry_rng_(config.retry_seed ^ self.value()) {
   demux.route(net::kRpcRequest,
               [this](const net::Message& m) { on_request(m); });
   demux.route(net::kRpcResponse,
               [this](const net::Message& m) { on_response(m); });
+  retry_thread_ = std::thread([this] { retry_loop(); });
 }
 
 void RpcEndpoint::drain_workers() { workers_.shutdown(); }
 
 RpcEndpoint::~RpcEndpoint() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    retry_shutdown_ = true;
+  }
+  retry_cv_.notify_all();
+  retry_thread_.join();
   workers_.shutdown();
   // Fail any still-pending calls so blocked callers wake up.
-  std::unordered_map<CallId, std::shared_ptr<PendingCall::State>> pending;
+  std::unordered_map<CallId, PendingRecord> pending;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending.swap(pending_);
   }
-  for (auto& [id, state] : pending) {
-    fulfill(*state, Status{StatusCode::kAborted, "endpoint shut down"});
+  for (auto& [id, record] : pending) {
+    fulfill(*record.state, Status{StatusCode::kAborted, "endpoint shut down"});
   }
+}
+
+RpcStats RpcEndpoint::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void RpcEndpoint::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = RpcStats{};
+}
+
+void RpcEndpoint::bump(std::uint64_t RpcStats::* counter) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*counter += 1;
 }
 
 void RpcEndpoint::register_method(std::string name, Method method,
@@ -90,21 +113,46 @@ void RpcEndpoint::fulfill(PendingCall::State& state, Result<Payload> result) {
   state.cv.notify_all();
 }
 
+Duration RpcEndpoint::jittered(Duration backoff) {
+  // Uniform in [1-jitter, 1+jitter] times the backoff; caller holds
+  // pending_mu_ (retry_rng_ is guarded by it).
+  const double factor =
+      1.0 + config_.retry_jitter * (2.0 * retry_rng_.uniform() - 1.0);
+  return std::chrono::duration_cast<Duration>(backoff * factor);
+}
+
 CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
                                  Payload args,
-                                 std::shared_ptr<PendingCall::State> state) {
+                                 std::shared_ptr<PendingCall::State> state,
+                                 Duration timeout) {
   const CallId call = ids_.next<CallTag>();
   const bool oneway = (state == nullptr);
+  Payload encoded = encode_request(method, args, oneway);
   if (state) {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.emplace(call, std::move(state));
+    const Duration now = clock_.now();
+    PendingRecord record;
+    record.state = std::move(state);
+    record.target = target;
+    record.deadline = now + timeout;
+    record.backoff = config_.retry_base_delay;
+    if (config_.max_retries > 0) {
+      record.request = encoded;  // kept for retransmission
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      record.next_resend = now + jittered(record.backoff);
+      pending_.emplace(call, std::move(record));
+    } else {
+      record.next_resend = Duration::max();
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.emplace(call, std::move(record));
+    }
+    retry_cv_.notify_all();  // the retry thread re-reads its next deadline
   }
   const Status sent = network_.send(net::Message{
       .from = self_,
       .to = target,
       .kind = net::kRpcRequest,
       .call = call,
-      .payload = encode_request(method, args, oneway),
+      .payload = std::move(encoded),
   });
   if (!sent.is_ok()) {
     // Transport rejected the send outright (unknown node): fail fast rather
@@ -114,13 +162,70 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
       std::lock_guard<std::mutex> lock(pending_mu_);
       auto it = pending_.find(call);
       if (it != pending_.end()) {
-        failed = it->second;
+        failed = it->second.state;
         pending_.erase(it);
       }
     }
     if (failed) fulfill(*failed, sent);
   }
   return call;
+}
+
+void RpcEndpoint::retry_loop() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  while (!retry_shutdown_) {
+    const Duration now = clock_.now();
+    Duration next = Duration::max();
+    std::vector<std::shared_ptr<PendingCall::State>> expired;
+    std::vector<net::Message> resend;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      PendingRecord& record = it->second;
+      if (now >= record.deadline) {
+        expired.push_back(record.state);
+        it = pending_.erase(it);
+        continue;
+      }
+      if (record.next_resend != Duration::max() && now >= record.next_resend) {
+        if (record.attempts < 1 + config_.max_retries) {
+          resend.push_back(net::Message{
+              .from = self_,
+              .to = record.target,
+              .kind = net::kRpcRequest,
+              .call = it->first,
+              .payload = record.request,
+          });
+          record.attempts++;
+          record.backoff = std::min(record.backoff * 2, config_.retry_max_delay);
+          record.next_resend = now + jittered(record.backoff);
+        } else {
+          record.next_resend = Duration::max();  // out of retries: wait it out
+        }
+      }
+      next = std::min(next, std::min(record.deadline, record.next_resend));
+      ++it;
+    }
+    if (!expired.empty() || !resend.empty()) {
+      lock.unlock();
+      for (auto& state : expired) {
+        fulfill(*state, Status{StatusCode::kTimeout, "rpc deadline exceeded"});
+        bump(&RpcStats::deadline_timeouts);
+      }
+      for (auto& message : resend) {
+        // Failures here (node unregistered mid-flight) are deliberately
+        // ignored: the deadline converts them into a definite timeout.
+        network_.send(std::move(message));
+        bump(&RpcStats::retries_sent);
+      }
+      lock.lock();
+      continue;  // re-derive `next` after the unlocked window
+    }
+    if (retry_shutdown_) break;
+    if (next == Duration::max()) {
+      retry_cv_.wait(lock);
+    } else {
+      retry_cv_.wait_until(lock, TimePoint{} + next);
+    }
+  }
 }
 
 Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
@@ -131,7 +236,8 @@ Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
 Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
                                   Payload args, Duration timeout) {
   PendingCall pending;
-  const CallId id = send_request(target, method, std::move(args), pending.state_);
+  const CallId id =
+      send_request(target, method, std::move(args), pending.state_, timeout);
   auto result = pending.claim(timeout);
   if (!result.is_ok() && result.status().code() == StatusCode::kTimeout) {
     // Forget the correlation entry; a late response is dropped harmlessly.
@@ -144,17 +250,54 @@ Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
 PendingCall RpcEndpoint::call_async(NodeId target, const std::string& method,
                                     Payload args) {
   PendingCall pending;
-  send_request(target, method, std::move(args), pending.state_);
+  send_request(target, method, std::move(args), pending.state_,
+               config_.default_timeout);
   return pending;
 }
 
 Status RpcEndpoint::call_oneway(NodeId target, const std::string& method,
                                 Payload args) {
-  send_request(target, method, std::move(args), nullptr);
+  send_request(target, method, std::move(args), nullptr,
+               config_.default_timeout);
   return Status::ok();
 }
 
 void RpcEndpoint::on_request(const net::Message& message) {
+  // Duplicate suppression first: a retransmitted or network-duplicated
+  // request must not run the method twice.
+  if (config_.dedup_window.count() > 0 && message.call.valid()) {
+    Payload replay;
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(dedup_mu_);
+      const DedupKey key{message.from.value(), message.call.value()};
+      auto it = dedup_.find(key);
+      if (it != dedup_.end()) {
+        duplicate = true;
+        if (it->second.done && !it->second.oneway) {
+          replay = it->second.response;  // answer again without re-executing
+        }
+      } else {
+        dedup_.emplace(key, DedupEntry{});  // in-progress marker
+      }
+    }
+    if (duplicate) {
+      if (!replay.empty()) {
+        bump(&RpcStats::dedup_replays);
+        network_.send(net::Message{
+            .from = self_,
+            .to = message.from,
+            .kind = net::kRpcResponse,
+            .call = message.call,
+            .payload = std::move(replay),
+        });
+      } else {
+        bump(&RpcStats::duplicate_drops);
+      }
+      return;
+    }
+  }
+
   // Runs on the network delivery thread.  kFast methods execute inline here
   // (they are required not to block); kBlocking methods go to the pool.
   MethodClass method_class = MethodClass::kBlocking;
@@ -179,6 +322,28 @@ void RpcEndpoint::on_request(const net::Message& message) {
   }
 }
 
+void RpcEndpoint::record_dedup(const net::Message& message, bool oneway,
+                               const Payload& response) {
+  if (config_.dedup_window.count() == 0 || !message.call.valid()) return;
+  const Duration now = clock_.now();
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  const DedupKey key{message.from.value(), message.call.value()};
+  auto it = dedup_.find(key);
+  if (it == dedup_.end()) return;  // window disabled mid-flight; nothing held
+  it->second.done = true;
+  it->second.oneway = oneway;
+  it->second.response = response;
+  it->second.completed_at = now;
+  dedup_order_.emplace_back(now, key);
+  // Prune: expired entries and, beyond capacity, the oldest completions.
+  while (!dedup_order_.empty() &&
+         (dedup_order_.front().first + config_.dedup_window < now ||
+          dedup_order_.size() > config_.dedup_capacity)) {
+    dedup_.erase(dedup_order_.front().second);
+    dedup_order_.pop_front();
+  }
+}
+
 void RpcEndpoint::execute_request(const net::Message& message) {
   Reader r(message.payload);
   std::string method_name;
@@ -190,6 +355,9 @@ void RpcEndpoint::execute_request(const net::Message& message) {
     oneway = r.get_bool();
   } catch (const DeserializeError& e) {
     DOCT_LOG(kError) << "malformed rpc request: " << e.what();
+    // Complete the dedup entry (empty, oneway) so duplicates stay dropped
+    // and the in-progress marker does not linger forever.
+    record_dedup(message, /*oneway=*/true, Payload{});
     return;
   }
 
@@ -207,16 +375,23 @@ void RpcEndpoint::execute_request(const net::Message& message) {
       }()
              : Result<Payload>(Status{StatusCode::kInvalidArgument,
                                       "no such method: " + method_name});
-  if (oneway) return;
+  if (method) bump(&RpcStats::requests_executed);
+  if (oneway) {
+    record_dedup(message, /*oneway=*/true, Payload{});
+    return;
+  }
 
   const Status& status = result.status();
+  Payload response =
+      encode_response(status.code(), status.message(),
+                      result.is_ok() ? result.value() : Payload{});
+  record_dedup(message, /*oneway=*/false, response);
   network_.send(net::Message{
       .from = self_,
       .to = message.from,
       .kind = net::kRpcResponse,
       .call = message.call,
-      .payload = encode_response(status.code(), status.message(),
-                                 result.is_ok() ? result.value() : Payload{}),
+      .payload = std::move(response),
   });
 }
 
@@ -225,8 +400,10 @@ void RpcEndpoint::on_response(const net::Message& message) {
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     auto it = pending_.find(message.call);
-    if (it == pending_.end()) return;  // late response after timeout: drop
-    state = it->second;
+    // Late or duplicate responses (after timeout, or after a dedup replay
+    // raced the original response) find no record and are dropped.
+    if (it == pending_.end()) return;
+    state = it->second.state;
     pending_.erase(it);
   }
   try {

@@ -14,22 +14,36 @@
 //
 // Server methods run on a worker pool, never on the network delivery thread,
 // so nested and re-entrant calls (A→B→A) cannot deadlock the transport.
+//
+// Resilience (fault-injection PR): claimable calls are retried with
+// exponential backoff + seeded jitter until the overall deadline.  The
+// CallId doubles as the idempotency token — every retransmission reuses it,
+// and the server keeps a dedup window of recently executed (caller, call)
+// pairs: a duplicate of an in-progress request is dropped, a duplicate of a
+// completed request gets the cached response replayed without re-executing
+// the method.  Claimable calls therefore execute at-most-once even under
+// message duplication and retransmission.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
+#include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
 #include "net/demux.hpp"
@@ -53,6 +67,31 @@ enum class MethodClass : std::uint8_t { kBlocking = 0, kFast = 1 };
 struct RpcConfig {
   Duration default_timeout = std::chrono::seconds(5);
   std::size_t worker_threads = 4;
+
+  // --- retry / recovery ----------------------------------------------------
+  // Extra transmissions of a claimable request after the first (0 = off,
+  // the historical single-attempt behaviour).  Retries reuse the CallId, so
+  // the server's dedup window keeps execution at-most-once.  One-way calls
+  // are never retried: with no response there is no signal to stop on.
+  int max_retries = 0;
+  Duration retry_base_delay = std::chrono::milliseconds(25);
+  Duration retry_max_delay = std::chrono::milliseconds(400);
+  double retry_jitter = 0.2;         // +/- fraction applied to each backoff
+  std::uint64_t retry_seed = 0xB0FF; // jitter determinism (xored with node id)
+
+  // Server-side dedup window: how long, and how many entries at most, a
+  // completed (caller, call) execution is remembered for duplicate replay.
+  // Zero window disables dedup.
+  Duration dedup_window = std::chrono::seconds(5);
+  std::size_t dedup_capacity = 4096;
+};
+
+struct RpcStats {
+  std::uint64_t requests_executed = 0;  // method bodies actually run
+  std::uint64_t retries_sent = 0;       // retransmissions of pending calls
+  std::uint64_t deadline_timeouts = 0;  // pending calls failed at deadline
+  std::uint64_t dedup_replays = 0;      // duplicates answered from cache
+  std::uint64_t duplicate_drops = 0;    // duplicates dropped (in-progress)
 };
 
 // Ticket for a claimable async call.
@@ -105,18 +144,48 @@ class RpcEndpoint {
 
   [[nodiscard]] NodeId self() const { return self_; }
 
+  [[nodiscard]] RpcStats stats() const;
+  void reset_stats();
+
  private:
+  // Correlation + retry state for one claimable call in flight.
+  struct PendingRecord {
+    std::shared_ptr<PendingCall::State> state;
+    NodeId target;
+    Payload request;        // encoded request, kept only when retries are on
+    Duration deadline;      // absolute steady-clock time the call fails at
+    Duration next_resend;   // absolute; max() = no further retransmissions
+    Duration backoff;       // current backoff step
+    int attempts = 1;       // transmissions performed so far
+  };
+
+  // Server-side dedup entry for one (caller, call) pair.
+  struct DedupEntry {
+    Payload response;       // cached encoded response once done
+    bool done = false;      // false while the method is still executing
+    bool oneway = false;
+    Duration completed_at{0};
+  };
+  using DedupKey = std::pair<std::uint64_t, std::uint64_t>;  // (caller, call)
+
   void on_request(const net::Message& message);
   void on_response(const net::Message& message);
   CallId send_request(NodeId target, const std::string& method, Payload args,
-                      std::shared_ptr<PendingCall::State> state);
+                      std::shared_ptr<PendingCall::State> state,
+                      Duration timeout);
   static void fulfill(PendingCall::State& state, Result<Payload> result);
+  void retry_loop();
+  [[nodiscard]] Duration jittered(Duration backoff);  // holds pending_mu_
+  void record_dedup(const net::Message& message, bool oneway,
+                    const Payload& response);
+  void bump(std::uint64_t RpcStats::* counter);
 
   net::Network& network_;
   NodeId self_;
   IdGenerator& ids_;
   RpcConfig config_;
   ThreadPool workers_;
+  SteadyClock clock_;
 
   struct RegisteredMethod {
     Method method;
@@ -129,7 +198,19 @@ class RpcEndpoint {
   std::unordered_map<std::string, RegisteredMethod> methods_;
 
   std::mutex pending_mu_;
-  std::unordered_map<CallId, std::shared_ptr<PendingCall::State>> pending_;
+  std::unordered_map<CallId, PendingRecord> pending_;
+  std::condition_variable retry_cv_;
+  bool retry_shutdown_ = false;
+  SplitMix64 retry_rng_;  // guarded by pending_mu_
+
+  std::mutex dedup_mu_;
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::deque<std::pair<Duration, DedupKey>> dedup_order_;  // completion order
+
+  mutable std::mutex stats_mu_;
+  RpcStats stats_;
+
+  std::thread retry_thread_;
 };
 
 }  // namespace doct::rpc

@@ -14,17 +14,27 @@ NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
       events(kernel, objects, rpc, cluster.registry_, cluster.procedures_,
              config.events),
       network_(cluster.network_) {
+  if (config.health.enabled) {
+    health_ = std::make_unique<services::FailureDetector>(
+        cluster.network_, demux, events, id, config.health);
+    // Census fast-path: a confirmed-dead peer will never reply, so stop
+    // waiting on it.
+    health_->on_node_down([this](NodeId peer) { kernel.note_peer_down(peer); });
+  }
   // Register with the network last: every subsystem has routed its message
   // kinds into the demux by now.
   network_.register_node(id, demux.as_handler());
+  if (health_) health_->start();
 }
 
 NodeRuntime::~NodeRuntime() {
-  // Stop inbound traffic first so nothing new is queued, then drain the RPC
-  // worker pool so no in-flight method is still touching the kernel or the
-  // object manager when they destruct.  Members are then destroyed in
-  // reverse declaration order (events -> store -> objects -> kernel -> dsm
-  // -> rpc -> demux).
+  // Stop the detector before tearing anything down: its beat thread raises
+  // events and touches the kernel.  Then stop inbound traffic so nothing new
+  // is queued, and drain the RPC worker pool so no in-flight method is still
+  // touching the kernel or the object manager when they destruct.  Members
+  // are then destroyed in reverse declaration order (events -> store ->
+  // objects -> kernel -> dsm -> rpc -> demux).
+  if (health_) health_->stop();
   network_.unregister_node(id);
   kernel.terminate_all_local();  // unwind adopted bodies on RPC workers
   rpc.drain_workers();

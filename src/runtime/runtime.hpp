@@ -33,6 +33,7 @@
 #include "objects/manager.hpp"
 #include "objects/store.hpp"
 #include "rpc/rpc.hpp"
+#include "services/health/failure_detector.hpp"
 
 namespace doct::runtime {
 
@@ -41,6 +42,10 @@ struct NodeConfig {
   dsm::DsmConfig dsm;
   kernel::KernelConfig kernel;
   events::EventConfig events;
+  // Opt-in heartbeat failure detection (set health.enabled); when on, the
+  // runtime wires NODE_DOWN into the kernel's census fast-path and exposes
+  // the detector for services (lock cleanup) to subscribe to.
+  services::FailureDetectorConfig health;
 };
 
 class Cluster;
@@ -63,8 +68,12 @@ class NodeRuntime {
   objects::ObjectStore store;
   events::EventSystem events;
 
+  // Present iff NodeConfig::health.enabled; started by the constructor.
+  [[nodiscard]] services::FailureDetector* health() { return health_.get(); }
+
  private:
   net::Network& network_;
+  std::unique_ptr<services::FailureDetector> health_;
 };
 
 struct ClusterConfig {

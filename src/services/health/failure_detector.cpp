@@ -1,0 +1,143 @@
+#include "services/health/failure_detector.hpp"
+
+#include "common/serialize.hpp"
+#include "events/registry.hpp"
+
+namespace doct::services {
+
+FailureDetector::FailureDetector(net::Network& network, net::Demux& demux,
+                                 events::EventSystem& events, NodeId self,
+                                 FailureDetectorConfig config)
+    : network_(network), events_(events), self_(self), config_(config) {
+  demux.route(net::kHeartbeat,
+              [this](const net::Message& m) { on_heartbeat(m); });
+}
+
+FailureDetector::~FailureDetector() { stop(); }
+
+void FailureDetector::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || shutdown_) return;
+  running_ = true;
+  beat_thread_ = std::thread([this] { beat_loop(); });
+}
+
+void FailureDetector::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      shutdown_ = true;  // a later start() stays a no-op
+      return;
+    }
+    shutdown_ = true;
+  }
+  beat_cv_.notify_all();
+  beat_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void FailureDetector::subscribe(ObjectId object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.push_back(object);
+}
+
+void FailureDetector::on_node_down(std::function<void(NodeId)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_callbacks_.push_back(std::move(callback));
+}
+
+void FailureDetector::on_node_up(std::function<void(NodeId)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  up_callbacks_.push_back(std::move(callback));
+}
+
+bool FailureDetector::is_suspected(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suspected_.contains(peer);
+}
+
+std::vector<NodeId> FailureDetector::suspected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {suspected_.begin(), suspected_.end()};
+}
+
+FailureDetectorStats FailureDetector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FailureDetector::on_heartbeat(const net::Message& message) {
+  // Network delivery thread: record only; transitions are detected (and
+  // events raised) on the beat thread so this path never blocks.
+  std::lock_guard<std::mutex> lock(mu_);
+  last_heard_[message.from] = clock_.now();
+  stats_.heartbeats_received++;
+}
+
+void FailureDetector::raise_transition(EventId event, NodeId peer) {
+  std::vector<ObjectId> subscribers;
+  std::vector<std::function<void(NodeId)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscribers = subscribers_;
+    callbacks = event == events::sys::kNodeDown ? down_callbacks_
+                                                : up_callbacks_;
+    if (event == events::sys::kNodeDown) {
+      stats_.node_down_raised++;
+    } else {
+      stats_.node_up_raised++;
+    }
+  }
+  Writer w;
+  w.put(peer);
+  const rpc::Payload user_data = std::move(w).take();
+  for (ObjectId object : subscribers) {
+    events_.raise(event, object, user_data);
+  }
+  for (auto& callback : callbacks) callback(peer);
+}
+
+void FailureDetector::beat_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    lock.unlock();
+    network_.broadcast(net::Message{
+        .from = self_,
+        .to = NodeId{},
+        .kind = net::kHeartbeat,
+        .call = CallId{},
+        .payload = {},
+    });
+    lock.lock();
+    stats_.heartbeats_sent++;
+
+    // Edge-detect both transitions under the lock, raise outside it.
+    const Duration now = clock_.now();
+    std::vector<NodeId> went_down;
+    std::vector<NodeId> came_back;
+    for (const auto& [peer, heard] : last_heard_) {
+      const bool silent = now - heard > config_.suspect_after;
+      if (silent && !suspected_.contains(peer)) {
+        suspected_.insert(peer);
+        went_down.push_back(peer);
+      } else if (!silent && suspected_.contains(peer)) {
+        suspected_.erase(peer);
+        came_back.push_back(peer);
+      }
+    }
+    lock.unlock();
+    for (NodeId peer : went_down) {
+      raise_transition(events::sys::kNodeDown, peer);
+    }
+    for (NodeId peer : came_back) {
+      raise_transition(events::sys::kNodeUp, peer);
+    }
+    lock.lock();
+    if (shutdown_) break;
+    beat_cv_.wait_for(lock, config_.heartbeat_interval,
+                      [&] { return shutdown_; });
+  }
+}
+
+}  // namespace doct::services

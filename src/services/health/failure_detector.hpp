@@ -1,0 +1,106 @@
+// Heartbeat-based failure detector.
+//
+// The paper's machinery — TERMINATE chains (§4.2), dead-target tombstones and
+// the thread locators (§7.1) — exists because distributed nodes fail
+// mid-protocol, but nothing in the facility *notices* a failure; every layer
+// discovers it one timeout at a time.  This service closes that gap: each
+// participating node broadcasts a small heartbeat on an interval and watches
+// for silence from its peers.  A peer silent for longer than
+// `suspect_after` is suspected down; hearing from it again clears the
+// suspicion.
+//
+// Both transitions are raised through the event system as the predefined
+// system events NODE_DOWN / NODE_UP (object-based handling, §4.3): any
+// passive object subscribed via subscribe() gets its registered handler
+// entry run with the dead/recovered NodeId in the event block's user data.
+// The lock manager uses this for orphaned-lock cleanup (release every lock
+// whose holder lived on the crashed node); plain C++ callbacks are also
+// offered for kernel-level reactions (census fast-path).
+//
+// Detection is edge-triggered: one NODE_DOWN per crash, one NODE_UP per
+// recovery, raised from the detector's own beat thread (never from the
+// network delivery thread).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "events/event_system.hpp"
+#include "net/demux.hpp"
+#include "net/network.hpp"
+
+namespace doct::services {
+
+struct FailureDetectorConfig {
+  bool enabled = false;  // NodeRuntime constructs+starts the detector if set
+  Duration heartbeat_interval{std::chrono::milliseconds(20)};
+  // Silence threshold before a peer is suspected.  Keep this several
+  // multiples of heartbeat_interval: the simulated wire adds latency and the
+  // fault injector adds spikes.
+  Duration suspect_after{std::chrono::milliseconds(120)};
+};
+
+struct FailureDetectorStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t node_down_raised = 0;
+  std::uint64_t node_up_raised = 0;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(net::Network& network, net::Demux& demux,
+                  events::EventSystem& events, NodeId self,
+                  FailureDetectorConfig config = {});
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  void start();  // idempotent
+  void stop();   // idempotent; joins the beat thread
+
+  // Registers a passive object for NODE_DOWN / NODE_UP delivery.  The object
+  // must have define_handler("NODE_DOWN", ...) / ("NODE_UP", ...) entries;
+  // the affected NodeId is serialized in the block's user data.
+  void subscribe(ObjectId object);
+
+  // C++-level hooks, called on the beat thread after the events are raised.
+  void on_node_down(std::function<void(NodeId)> callback);
+  void on_node_up(std::function<void(NodeId)> callback);
+
+  [[nodiscard]] bool is_suspected(NodeId peer) const;
+  [[nodiscard]] std::vector<NodeId> suspected() const;
+  [[nodiscard]] FailureDetectorStats stats() const;
+
+ private:
+  void beat_loop();
+  void on_heartbeat(const net::Message& message);
+  void raise_transition(EventId event, NodeId peer);
+
+  net::Network& network_;
+  events::EventSystem& events_;
+  const NodeId self_;
+  const FailureDetectorConfig config_;
+  SteadyClock clock_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Duration> last_heard_;  // peers that ever heartbeated
+  std::set<NodeId> suspected_;
+  std::vector<ObjectId> subscribers_;
+  std::vector<std::function<void(NodeId)>> down_callbacks_;
+  std::vector<std::function<void(NodeId)>> up_callbacks_;
+  FailureDetectorStats stats_;
+  bool running_ = false;
+  bool shutdown_ = false;
+  std::condition_variable beat_cv_;
+  std::thread beat_thread_;
+};
+
+}  // namespace doct::services

@@ -13,6 +13,7 @@ kernel::Verdict parse_tid_and_unlock(LockServer::State& state,
   auto it = state.holders.find(name);
   if (it != state.holders.end() && it->second == tid) {
     state.holders.erase(it);
+    state.holder_nodes.erase(name);
   }
   // Unlock handlers always propagate: the TERMINATE must continue through
   // the rest of the chain (more unlocks, then the application's handler or
@@ -26,16 +27,21 @@ std::shared_ptr<objects::PassiveObject> LockServer::make() {
   auto object = std::make_shared<objects::PassiveObject>("lock_server");
   auto state = std::make_shared<State>();
 
-  // acquire(name, tid) -> bool granted.  Non-blocking try: clients poll via
-  // their kernel's interruptible wait so TERMINATE can reach them mid-wait.
+  // acquire(name, tid, node) -> bool granted.  Non-blocking try: clients
+  // poll via their kernel's interruptible wait so TERMINATE can reach them
+  // mid-wait.  `node` is where the holder lives, kept for NODE_DOWN cleanup.
   object->define_entry("acquire", [state](objects::CallCtx& ctx)
                                       -> Result<objects::Payload> {
     const auto name = ctx.args.get_string();
     const auto tid = ctx.args.get_id<ThreadTag>();
+    const auto node = ctx.args.get_id<NodeTag>();
     std::lock_guard<std::mutex> lock(state->mu);
     auto it = state->holders.find(name);
     const bool granted = it == state->holders.end() || it->second == tid;
-    if (granted) state->holders[name] = tid;
+    if (granted) {
+      state->holders[name] = tid;
+      state->holder_nodes[name] = node;
+    }
     Writer w;
     w.put(granted);
     return std::move(w).take();
@@ -52,6 +58,7 @@ std::shared_ptr<objects::PassiveObject> LockServer::make() {
                     "lock " + name + " not held by " + tid.to_string()};
     }
     state->holders.erase(it);
+    state->holder_nodes.erase(name);
     return objects::Payload{};
   });
 
@@ -93,6 +100,32 @@ std::shared_ptr<objects::PassiveObject> LockServer::make() {
       },
       objects::Visibility::kPrivate);
 
+  // Orphaned-lock cleanup (NODE_DOWN from the failure detector): a crashed
+  // node's threads can never run their TERMINATE chains, so every lock held
+  // from that node is released here instead.  Idempotent — a duplicate
+  // NODE_DOWN or a racing explicit release finds nothing left to free.
+  object->define_entry(
+      "on_node_down",
+      [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        Reader user = block.user_reader();
+        const NodeId down = user.get_id<NodeTag>();
+        std::lock_guard<std::mutex> lock(state->mu);
+        for (auto it = state->holder_nodes.begin();
+             it != state->holder_nodes.end();) {
+          if (it->second == down) {
+            state->holders.erase(it->first);
+            it = state->holder_nodes.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        return objects::Payload{
+            static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+      },
+      objects::Visibility::kPrivate);
+  object->define_handler("NODE_DOWN", "on_node_down");
+
   return object;
 }
 
@@ -111,6 +144,7 @@ Status LockClient::acquire(const std::string& name, Duration timeout) {
     Writer w;
     w.put(name);
     w.put(ctx->tid());
+    w.put(kernel.self());  // holder's node, for NODE_DOWN orphan cleanup
     auto reply = objects_.invoke(server_, "acquire", std::move(w).take());
     if (!reply.is_ok()) return reply.status();
     Reader r(std::move(reply).value());

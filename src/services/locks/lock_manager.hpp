@@ -13,6 +13,12 @@
 // the chain (ultimately reaching the default terminate action or the
 // application's own TERMINATE handler).  release() detaches the handler and
 // releases the lock.
+//
+// Crash recovery: the server records the node each holder lives on and
+// registers an object-based NODE_DOWN handler (subscribe the server object
+// to a services::FailureDetector).  When a holder's node crashes, its
+// TERMINATE chain can never run — the chain lives on the dead node — so the
+// NODE_DOWN handler releases every lock held from that node instead.
 #pragma once
 
 #include <map>
@@ -36,6 +42,7 @@ class LockServer {
   struct State {
     std::mutex mu;
     std::map<std::string, ThreadId> holders;          // lock -> holder
+    std::map<std::string, NodeId> holder_nodes;       // lock -> holder's node
     std::map<std::string, std::set<ThreadId>> queue;  // waiters (FIFO-ish)
   };
 };

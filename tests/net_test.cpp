@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/queue.hpp"
@@ -306,6 +307,233 @@ TEST_P(NetworkScaleTest, BroadcastFanoutIsNMinusOne) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, NetworkScaleTest,
                          ::testing::Values(2, 4, 8, 16, 32));
+
+// --- deterministic fault injection ------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.link_defaults.drop_probability = 0.3;
+  plan.link_defaults.duplicate_probability = 0.2;
+  plan.link_defaults.reorder_probability = 0.1;
+
+  FaultInjector x, y;
+  x.load(plan);
+  y.load(plan);
+  for (int i = 0; i < 500; ++i) {
+    const auto dx = x.decide(NodeId{1}, NodeId{2}, 7, Duration{0});
+    const auto dy = y.decide(NodeId{1}, NodeId{2}, 7, Duration{0});
+    EXPECT_EQ(dx.drop, dy.drop);
+    EXPECT_EQ(dx.duplicate, dy.duplicate);
+    EXPECT_EQ(dx.reorder, dy.reorder);
+  }
+}
+
+TEST(FaultInjector, StreamsAreIndependent) {
+  // Interleaving traffic on another link must not change the decisions a
+  // stream sees: each (link, kind) pair draws from its own counter.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.link_defaults.drop_probability = 0.5;
+
+  FaultInjector alone, interleaved;
+  alone.load(plan);
+  interleaved.load(plan);
+  std::vector<bool> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back(alone.decide(NodeId{1}, NodeId{2}, 7, Duration{0}).drop);
+  }
+  for (int i = 0; i < 200; ++i) {
+    // Noise on other links / kinds before each decision.
+    (void)interleaved.decide(NodeId{2}, NodeId{1}, 7, Duration{0});
+    (void)interleaved.decide(NodeId{1}, NodeId{3}, 7, Duration{0});
+    (void)interleaved.decide(NodeId{1}, NodeId{2}, 8, Duration{0});
+    EXPECT_EQ(interleaved.decide(NodeId{1}, NodeId{2}, 7, Duration{0}).drop,
+              expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Network, FaultPlanDropsDeterministically) {
+  // Two identical runs of the same sequential workload under the same plan
+  // must produce identical fault counts.
+  auto run = [](std::uint64_t seed) {
+    Network net;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.link_defaults.drop_probability = 0.25;
+    plan.link_defaults.duplicate_probability = 0.15;
+    net.load_fault_plan(plan);
+    std::atomic<int> received{0};
+    EXPECT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+    EXPECT_TRUE(
+        net.register_node(NodeId{2}, [&](const Message&) { received++; })
+            .is_ok());
+    for (int i = 0; i < 400; ++i) {
+      EXPECT_TRUE(net.send(make_message(NodeId{1}, NodeId{2}, 7)).is_ok());
+    }
+    net.quiesce();
+    const auto stats = net.stats();
+    EXPECT_EQ(received.load(),
+              400 - static_cast<int>(stats.dropped_by_fault) +
+                  static_cast<int>(stats.duplicated));
+    return std::make_pair(stats.dropped_by_fault, stats.duplicated);
+  };
+  const auto first = run(0xC0FFEE);
+  const auto second = run(0xC0FFEE);
+  EXPECT_GT(first.first, 0u);
+  EXPECT_GT(first.second, 0u);
+  EXPECT_EQ(first, second);
+
+  const auto other_seed = run(0xBEEF);
+  EXPECT_NE(first, other_seed);  // astronomically unlikely to collide
+}
+
+TEST(Network, DuplicateFaultDeliversTwice) {
+  Network net;
+  FaultPlan plan;
+  plan.link_defaults.duplicate_probability = 1.0;
+  net.load_fault_plan(plan);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(
+      net.register_node(NodeId{2}, [&](const Message&) { received++; })
+          .is_ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  }
+  net.quiesce();
+  EXPECT_EQ(received.load(), 20);
+  EXPECT_EQ(net.stats().duplicated, 10u);
+}
+
+TEST(Network, FaultWindowExpires) {
+  // A window covering only the first instant: faults stop once it closes.
+  Network net;
+  FaultPlan plan;
+  FaultWindow w;
+  w.start = Duration{0};
+  w.end = std::chrono::microseconds(1);
+  w.faults.drop_probability = 1.0;
+  plan.windows.push_back(w);
+  net.load_fault_plan(plan);
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(
+      net.register_node(NodeId{2}, [&](const Message&) { received++; })
+          .is_ok());
+  std::this_thread::sleep_for(5ms);  // let the window lapse
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(Network, CrashDropsSilentlyAndRestartRecovers) {
+  Network net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(
+      net.register_node(NodeId{2}, [&](const Message&) { received++; })
+          .is_ok());
+
+  ASSERT_TRUE(net.crash_node(NodeId{2}).is_ok());
+  EXPECT_TRUE(net.is_crashed(NodeId{2}));
+  // Datagram semantics: accepted, silently lost — NOT kNoSuchNode, so retry
+  // layers keep probing for the restart.
+  EXPECT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(received.load(), 0);
+
+  ASSERT_TRUE(net.restart_node(NodeId{2}).is_ok());
+  EXPECT_FALSE(net.is_crashed(NodeId{2}));
+  EXPECT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(received.load(), 1);
+
+  const auto stats = net.stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_GE(stats.dropped_crashed, 1u);
+}
+
+TEST(Network, ScheduledCrashAndRestartFire) {
+  Network net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(
+      net.register_node(NodeId{2}, [&](const Message&) { received++; })
+          .is_ok());
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{.node = NodeId{2},
+                                    .at = std::chrono::milliseconds(5),
+                                    .restart_at = std::chrono::milliseconds(30)});
+  net.load_fault_plan(plan);
+
+  // Poll the monotonic counters, not the transient is_crashed state: the
+  // 25ms crashed window can slip past a poll loop on a loaded machine.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (net.stats().restarts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto stats = net.stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_FALSE(net.is_crashed(NodeId{2}));
+
+  ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+  net.quiesce();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(Network, ScheduledPartitionHeals) {
+  Network net;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(net.register_node(NodeId{1}, [](const Message&) {}).is_ok());
+  ASSERT_TRUE(
+      net.register_node(NodeId{2}, [&](const Message&) { received++; })
+          .is_ok());
+  FaultPlan plan;
+  plan.partitions.push_back(
+      PartitionEvent{.a = NodeId{1},
+                     .b = NodeId{2},
+                     .at = Duration{0},
+                     .heal_at = std::chrono::milliseconds(20)});
+  net.load_fault_plan(plan);
+
+  // While partitioned, traffic is cut; after the scheduled heal it flows.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (received.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(net.send(make_message(NodeId{1}, NodeId{2})).is_ok());
+    std::this_thread::sleep_for(2ms);
+  }
+  net.quiesce();
+  EXPECT_GT(received.load(), 0);
+  EXPECT_GT(net.stats().dropped_by_partition, 0u);
+}
+
+TEST(Network, FanoutLegsIndependentlyLossy) {
+  // The legacy NetworkConfig::drop_probability only ever applied to
+  // point-to-point sends; the injector makes each broadcast leg lossy.
+  Network net;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.link_defaults.drop_probability = 0.5;
+  net.load_fault_plan(plan);
+  std::atomic<int> received{0};
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(
+        net.register_node(NodeId{i}, [&](const Message&) { received++; })
+            .is_ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(net.broadcast(make_message(NodeId{1}, NodeId{})).is_ok());
+  }
+  net.quiesce();
+  // 300 legs at p=0.5: some but not all must be dropped.
+  EXPECT_GT(net.stats().dropped_by_fault, 0u);
+  EXPECT_GT(received.load(), 0);
+  EXPECT_LT(received.load(), 300);
+}
 
 }  // namespace
 }  // namespace doct::net

@@ -210,5 +210,123 @@ TEST_F(RpcTest, EndpointShutdownFailsPendingCalls) {
   EXPECT_EQ(result.status().code(), StatusCode::kAborted);
 }
 
+// --- retry / recovery -------------------------------------------------------------
+
+// Standalone fixture with retries enabled and a lossy wire.
+class RpcRetryTest : public ::testing::Test {
+ protected:
+  void build(RpcConfig config, net::FaultPlan plan = {}) {
+    net_.load_fault_plan(plan);
+    EXPECT_TRUE(net_.register_node(n1_, demux1_.as_handler()).is_ok());
+    EXPECT_TRUE(net_.register_node(n2_, demux2_.as_handler()).is_ok());
+    client_ = std::make_unique<RpcEndpoint>(net_, demux1_, n1_, ids_, config);
+    server_ = std::make_unique<RpcEndpoint>(net_, demux2_, n2_, ids_, config);
+  }
+
+  ~RpcRetryTest() override {
+    if (net_.is_crashed(n2_)) EXPECT_TRUE(net_.restart_node(n2_).is_ok());
+    EXPECT_TRUE(net_.unregister_node(n1_).is_ok());
+    EXPECT_TRUE(net_.unregister_node(n2_).is_ok());
+  }
+
+  net::Network net_;
+  net::Demux demux1_, demux2_;
+  IdGenerator ids_;
+  NodeId n1_{1}, n2_{2};
+  std::unique_ptr<RpcEndpoint> client_, server_;
+};
+
+TEST_F(RpcRetryTest, RetriesSucceedUnderHeavyLoss) {
+  RpcConfig config;
+  // At 50% loss each way a round trip succeeds with p=0.25 per attempt, so
+  // the retry budget must be deep enough that 20 consecutive calls all land:
+  // 60 retries at a 50ms cap keeps retransmitting for ~3s of the 10s budget
+  // (P[a call fails] ~ 0.75^61, negligible for any seed).
+  config.max_retries = 60;
+  config.retry_base_delay = 5ms;
+  config.retry_max_delay = 50ms;
+  config.default_timeout = 10s;
+  net::FaultPlan plan;
+  plan.seed = 42;
+  plan.link_defaults.drop_probability = 0.5;
+  build(config, plan);
+
+  std::atomic<int> executions{0};
+  server_->register_method("inc", [&](NodeId, Reader&) -> Result<Payload> {
+    executions++;
+    return Payload{};
+  });
+  for (int i = 0; i < 20; ++i) {
+    auto result = client_->call(n2_, "inc", {});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  }
+  // Every call executed exactly once despite retransmissions: the reused
+  // CallId is the idempotency token the server dedups on.
+  EXPECT_EQ(executions.load(), 20);
+  EXPECT_GT(client_->stats().retries_sent, 0u);
+}
+
+TEST_F(RpcRetryTest, DuplicatedRequestsExecuteOnce) {
+  RpcConfig config;
+  net::FaultPlan plan;
+  plan.link_defaults.duplicate_probability = 1.0;  // every message twice
+  build(config, plan);
+
+  std::atomic<int> executions{0};
+  server_->register_method("inc", [&](NodeId, Reader&) -> Result<Payload> {
+    executions++;
+    return Payload{};
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->call(n2_, "inc", {}).is_ok());
+  }
+  net_.quiesce();
+  EXPECT_EQ(executions.load(), 10);
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.requests_executed, 10u);
+  EXPECT_EQ(stats.dedup_replays + stats.duplicate_drops, 10u);
+}
+
+TEST_F(RpcRetryTest, DeadlineTimeoutIsDefinite) {
+  RpcConfig config;
+  config.max_retries = 50;
+  config.retry_base_delay = 5ms;
+  build(config);
+
+  ASSERT_TRUE(net_.crash_node(n2_).is_ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client_->call(n2_, "anything", {}, 200ms);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(elapsed, 150ms);  // retried until the deadline, then gave up
+  EXPECT_LT(elapsed, 5s);
+  EXPECT_GE(client_->stats().deadline_timeouts, 1u);
+}
+
+TEST_F(RpcRetryTest, RetriesBridgeCrashRestart) {
+  RpcConfig config;
+  config.max_retries = 100;
+  config.retry_base_delay = 5ms;
+  config.retry_max_delay = 20ms;
+  config.default_timeout = 10s;
+  build(config);
+
+  std::atomic<int> executions{0};
+  server_->register_method("inc", [&](NodeId, Reader&) -> Result<Payload> {
+    executions++;
+    return Payload{};
+  });
+  ASSERT_TRUE(net_.crash_node(n2_).is_ok());
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(100ms);
+    ASSERT_TRUE(net_.restart_node(n2_).is_ok());
+  });
+  auto result = client_->call(n2_, "inc", {});
+  restarter.join();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_GT(client_->stats().retries_sent, 0u);
+}
+
 }  // namespace
 }  // namespace doct::rpc

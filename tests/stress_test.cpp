@@ -176,6 +176,12 @@ TEST(Stress, GroupTargetStormThenTerminate) {
       }
     });
   }
+  // Let at least one storm raise land before the TERMINATE joins the race:
+  // on a loaded single-core runner the TERMINATE can otherwise win outright
+  // and the handled>0 assertion below has nothing to observe.
+  for (int i = 0; i < 10000 && handled.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
   // TERMINATE the whole group while the storm is still raising at it: late
   // notices must hit tombstones / dead targets without leaking tokens.
   n0.events.raise(events::sys::kTerminate, group);
