@@ -10,15 +10,27 @@
 //     growing with n even though the thread is 3 hops away, while
 //     path-following and multicast costs are independent of cluster size.
 //
+// A third sweep ablates the kernel's thread-location cache: the strategy
+// rows run with the cache DISABLED (bare §7.1 costs); the Cached rows warm
+// the cache once and then every locate is a hit validated by a single probe
+// RPC — flat in both trail length and cluster size.
+//
 // Counters: msgs/locate (point-to-point + fan-out), probes/locate.
 #include "bench_util.hpp"
 
 namespace doct::bench {
 namespace {
 
+runtime::ClusterConfig chain_config(bool cache_enabled) {
+  runtime::ClusterConfig config;
+  config.node.kernel.location_cache.enabled = cache_enabled;
+  return config;
+}
+
 struct ChainWorld {
   // Chain over nodes 1..hops; the thread ends up at node index `hops`.
-  ChainWorld(int n, int hops) : cluster(static_cast<std::size_t>(n)) {
+  ChainWorld(int n, int hops, bool cache_enabled = false)
+      : cluster(static_cast<std::size_t>(n), chain_config(cache_enabled)) {
     last_index = hops;
     std::vector<ObjectId> ids(static_cast<std::size_t>(hops) + 1);
     for (int i = hops; i >= 1; --i) {
@@ -60,14 +72,25 @@ struct ChainWorld {
 };
 
 void run_locate_bench(benchmark::State& state, kernel::LocatorKind kind,
-                      int hops) {
+                      int hops, bool cached = false) {
   const int n = static_cast<int>(state.range(0));
-  ChainWorld world(n, hops);
+  ChainWorld world(n, hops, cached);
   auto& net = world.cluster.network();
   auto& kernel0 = world.cluster.node(0).kernel;
   const NodeId expect =
       world.cluster.node(static_cast<std::size_t>(world.last_index)).id;
 
+  if (cached) {
+    // Warm the cache: the first locate pays the full strategy, every timed
+    // one below is a hit.
+    auto warm = kernel0.locate(world.traveller, kind);
+    if (!warm.is_ok()) {
+      state.SkipWithError(
+          ("warm locate failed: " + warm.status().to_string()).c_str());
+      return;
+    }
+    kernel0.location_cache().reset_stats();
+  }
   net.reset_stats();
   kernel0.reset_stats();
   long located = 0;
@@ -88,6 +111,11 @@ void run_locate_bench(benchmark::State& state, kernel::LocatorKind kind,
     state.counters["probes/locate"] = benchmark::Counter(
         static_cast<double>(kernel0.stats().locate_probes_sent) /
         static_cast<double>(located));
+    if (cached) {
+      state.counters["cache_hits/locate"] = benchmark::Counter(
+          static_cast<double>(kernel0.location_cache().stats().hits) /
+          static_cast<double>(located));
+    }
   }
 }
 
@@ -135,6 +163,28 @@ BENCHMARK(BM_Locate_PathFollow_FixedTrail)
     ->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
 BENCHMARK(BM_Locate_Multicast_FixedTrail)
+    ->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+
+// --- cached locator (ablation): warm hint + one probe RTT ---------------------
+//
+// The fallback strategy is path-following, but after the warm-up it never
+// runs: each timed locate is a cache hit validated by a single probe RPC, so
+// latency stays flat across both sweeps.
+
+void BM_Locate_Cached_DeepTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kPathFollow,
+                   static_cast<int>(state.range(0)) - 1, /*cached=*/true);
+}
+void BM_Locate_Cached_FixedTrail(benchmark::State& state) {
+  run_locate_bench(state, kernel::LocatorKind::kPathFollow, 3,
+                   /*cached=*/true);
+}
+
+BENCHMARK(BM_Locate_Cached_DeepTrail)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
+BENCHMARK(BM_Locate_Cached_FixedTrail)
     ->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMicrosecond)->MinTime(0.05);
 

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Bench-regression guard: diff a google-benchmark JSON run against a baseline.
 
-Matches benchmarks by name and compares per-iteration latency (real_time).
+Matches benchmarks by name and compares per-iteration latency (real_time),
+where LOWER is better, plus any ``*_per_sec`` user counters (rates such as
+``msgs_per_sec``), where HIGHER is better: a throughput row regresses when
+the current value drops below baseline * (1 - threshold).
+
 Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
 without blocking (runner noise makes hard gates on shared runners flaky).
@@ -14,9 +18,18 @@ import argparse
 import json
 import sys
 
+# Keys in a benchmark entry that are never user counters.
+_RESERVED = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "error_occurred", "error_message", "label",
+}
+
 
 def load_benchmarks(path):
-    """Returns {name: (time, unit)} for non-aggregate benchmark entries."""
+    """Returns {name: {"time": float, "unit": str, "rates": {counter: float}}}
+    for non-aggregate benchmark entries."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -29,7 +42,22 @@ def load_benchmarks(path):
         time = bench.get("real_time", bench.get("cpu_time"))
         if name is None or time is None:
             continue
-        out[name] = (float(time), bench.get("time_unit", "ns"))
+        # User counters are inlined as extra numeric fields; only the
+        # *_per_sec ones have a direction we can reason about (throughput,
+        # higher is better) — everything else (ratios like msgs/locate) is
+        # informational and skipped.
+        rates = {
+            key: float(value)
+            for key, value in bench.items()
+            if key not in _RESERVED
+            and key.endswith("_per_sec")
+            and isinstance(value, (int, float))
+        }
+        out[name] = {
+            "time": float(time),
+            "unit": bench.get("time_unit", "ns"),
+            "rates": rates,
+        }
     return out
 
 
@@ -41,7 +69,8 @@ def main():
         "--threshold",
         type=float,
         default=0.25,
-        help="relative latency increase that counts as a regression",
+        help="relative change that counts as a regression (latency increase "
+        "or throughput decrease)",
     )
     parser.add_argument(
         "--fail",
@@ -54,31 +83,58 @@ def main():
     current = load_benchmarks(args.current)
 
     regressions = []
-    width = max((len(n) for n in current), default=4)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    rows = []  # (label, baseline_str, current_str, delta, is_regression)
+
     for name in sorted(current):
-        cur_time, unit = current[name]
+        cur = current[name]
+        unit = cur["unit"]
         if name not in baseline:
-            print(f"{name:<{width}}  {'--':>12}  {cur_time:>10.1f}{unit}  (new)")
+            rows.append((name, "--", f"{cur['time']:.1f}{unit}", None, False))
             continue
-        base_time, _ = baseline[name]
+        base = baseline[name]
+        base_time, cur_time = base["time"], cur["time"]
         delta = (cur_time - base_time) / base_time if base_time > 0 else 0.0
-        flag = ""
-        if delta > args.threshold:
-            flag = "  <-- REGRESSION"
-            regressions.append((name, base_time, cur_time, delta, unit))
-        print(
-            f"{name:<{width}}  {base_time:>10.1f}{unit}  {cur_time:>10.1f}{unit}"
-            f"  {delta:+7.1%}{flag}"
+        slow = delta > args.threshold
+        if slow:
+            regressions.append(
+                (name, f"{base_time:.1f}{unit}", f"{cur_time:.1f}{unit}", delta)
+            )
+        rows.append(
+            (name, f"{base_time:.1f}{unit}", f"{cur_time:.1f}{unit}", delta, slow)
         )
+        # Throughput counters: higher is better, so the sign flips.
+        for counter, cur_rate in sorted(cur["rates"].items()):
+            base_rate = base["rates"].get(counter)
+            label = f"{name} [{counter}]"
+            if base_rate is None:
+                rows.append((label, "--", f"{cur_rate:,.0f}", None, False))
+                continue
+            rate_delta = (
+                (cur_rate - base_rate) / base_rate if base_rate > 0 else 0.0
+            )
+            drop = rate_delta < -args.threshold
+            if drop:
+                regressions.append(
+                    (label, f"{base_rate:,.0f}", f"{cur_rate:,.0f}", rate_delta)
+                )
+            rows.append(
+                (label, f"{base_rate:,.0f}", f"{cur_rate:,.0f}", rate_delta, drop)
+            )
+
+    width = max((len(r[0]) for r in rows), default=9)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'current':>14}  delta")
+    for label, base_str, cur_str, delta, flagged in rows:
+        delta_str = "(new)" if delta is None else f"{delta:+7.1%}"
+        flag = "  <-- REGRESSION" if flagged else ""
+        print(f"{label:<{width}}  {base_str:>14}  {cur_str:>14}  {delta_str}{flag}")
     for name in sorted(set(baseline) - set(current)):
         print(f"{name:<{width}}  (missing from current run)")
 
     if regressions:
-        for name, base_time, cur_time, delta, unit in regressions:
+        for label, base_str, cur_str, delta in regressions:
             print(
-                f"::warning title=bench regression::{name}: "
-                f"{base_time:.1f}{unit} -> {cur_time:.1f}{unit} ({delta:+.1%}, "
+                f"::warning title=bench regression::{label}: "
+                f"{base_str} -> {cur_str} ({delta:+.1%}, "
                 f"threshold {args.threshold:.0%})"
             )
         if args.fail:

@@ -50,6 +50,18 @@ class BlockingQueue {
     return item;
   }
 
+  // Batched drain: blocks like pop(), then takes EVERYTHING queued in one
+  // lock round-trip.  A burst of N messages costs one mutex acquisition for
+  // the whole batch instead of N.  An empty deque means closed-and-drained:
+  // the consumer should exit.
+  std::deque<T> pop_all() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    std::deque<T> batch;
+    batch.swap(items_);
+    return batch;
+  }
+
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;

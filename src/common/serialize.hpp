@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -70,14 +71,22 @@ class DeserializeError : public std::runtime_error {
 
 class Reader {
  public:
-  explicit Reader(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  explicit Reader(std::vector<std::uint8_t> bytes)
+      : owned_(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(bytes))),
+        bytes_(owned_.get()) {}
+
+  // Zero-copy parse: pins a shared buffer (e.g. net::SharedPayload::share())
+  // for the Reader's lifetime instead of copying it.  Null means empty.
+  explicit Reader(std::shared_ptr<const std::vector<std::uint8_t>> bytes)
+      : owned_(std::move(bytes)), bytes_(owned_ ? owned_.get() : empty()) {}
 
   template <typename T>
     requires std::is_arithmetic_v<T> || std::is_enum_v<T>
   [[nodiscard]] T get() {
     require(sizeof(T));
     T value;
-    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    std::memcpy(&value, bytes_->data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return value;
   }
@@ -90,7 +99,7 @@ class Reader {
   [[nodiscard]] std::string get_string() {
     const auto size = get<std::uint32_t>();
     require(size);
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    std::string s(reinterpret_cast<const char*>(bytes_->data() + pos_), size);
     pos_ += size;
     return s;
   }
@@ -98,8 +107,9 @@ class Reader {
   [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
     const auto size = get<std::uint32_t>();
     require(size);
-    std::vector<std::uint8_t> v(bytes_.begin() + static_cast<long>(pos_),
-                                bytes_.begin() + static_cast<long>(pos_ + size));
+    std::vector<std::uint8_t> v(
+        bytes_->begin() + static_cast<long>(pos_),
+        bytes_->begin() + static_cast<long>(pos_ + size));
     pos_ += size;
     return v;
   }
@@ -116,18 +126,25 @@ class Reader {
     return m;
   }
 
-  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_->size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_->size() - pos_; }
 
  private:
+  static const std::vector<std::uint8_t>* empty() {
+    static const std::vector<std::uint8_t> kEmpty;
+    return &kEmpty;
+  }
+
   void require(std::size_t n) const {
-    if (pos_ + n > bytes_.size()) {
+    if (pos_ + n > bytes_->size()) {
       throw DeserializeError("buffer underrun: need " + std::to_string(n) +
-                             " bytes, have " + std::to_string(bytes_.size() - pos_));
+                             " bytes, have " +
+                             std::to_string(bytes_->size() - pos_));
     }
   }
 
-  std::vector<std::uint8_t> bytes_;
+  std::shared_ptr<const std::vector<std::uint8_t>> owned_;
+  const std::vector<std::uint8_t>* bytes_;  // never null
   std::size_t pos_ = 0;
 };
 

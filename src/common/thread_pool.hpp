@@ -17,9 +17,24 @@ class ThreadPool {
   explicit ThreadPool(std::size_t num_threads) {
     threads_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this] {
-        while (auto task = tasks_.pop()) (*task)();
-      });
+      if (num_threads == 1) {
+        // A single-worker pool (the per-node master handler thread, §7) is
+        // a serial executor: batch-drain the queue so a burst of N events
+        // costs one lock round-trip instead of N.  Multi-worker pools keep
+        // popping one task at a time — a batch grabbed by one worker would
+        // serialize work the other workers should be stealing.
+        threads_.emplace_back([this] {
+          while (true) {
+            auto batch = tasks_.pop_all();
+            if (batch.empty()) return;
+            for (auto& task : batch) task();
+          }
+        });
+      } else {
+        threads_.emplace_back([this] {
+          while (auto task = tasks_.pop()) (*task)();
+        });
+      }
     }
   }
 

@@ -77,19 +77,38 @@ EventSystem::~EventSystem() {
   }
 }
 
-void EventSystem::bump(std::uint64_t EventStats::* counter) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.*counter += 1;
+void EventSystem::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
+  (stats_.*counter).fetch_add(1, std::memory_order_relaxed);
 }
 
 EventStats EventSystem::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  EventStats out;
+  out.raises_async = stats_.raises_async.load(std::memory_order_relaxed);
+  out.raises_sync = stats_.raises_sync.load(std::memory_order_relaxed);
+  out.thread_handlers_run =
+      stats_.thread_handlers_run.load(std::memory_order_relaxed);
+  out.object_handlers_run =
+      stats_.object_handlers_run.load(std::memory_order_relaxed);
+  out.per_thread_procs_run =
+      stats_.per_thread_procs_run.load(std::memory_order_relaxed);
+  out.defaults_applied = stats_.defaults_applied.load(std::memory_order_relaxed);
+  out.propagations = stats_.propagations.load(std::memory_order_relaxed);
+  out.surrogate_runs = stats_.surrogate_runs.load(std::memory_order_relaxed);
+  out.dead_target_raises =
+      stats_.dead_target_raises.load(std::memory_order_relaxed);
+  return out;
 }
 
 void EventSystem::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = EventStats{};
+  stats_.raises_async.store(0, std::memory_order_relaxed);
+  stats_.raises_sync.store(0, std::memory_order_relaxed);
+  stats_.thread_handlers_run.store(0, std::memory_order_relaxed);
+  stats_.object_handlers_run.store(0, std::memory_order_relaxed);
+  stats_.per_thread_procs_run.store(0, std::memory_order_relaxed);
+  stats_.defaults_applied.store(0, std::memory_order_relaxed);
+  stats_.propagations.store(0, std::memory_order_relaxed);
+  stats_.surrogate_runs.store(0, std::memory_order_relaxed);
+  stats_.dead_target_raises.store(0, std::memory_order_relaxed);
 }
 
 void EventSystem::set_activation_hook(std::function<Status(ObjectId)> hook) {
@@ -191,7 +210,7 @@ Status EventSystem::raise(EventId event, ThreadId target,
   if (!registry_.info(event).is_ok()) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
-  bump(&EventStats::raises_async);
+  bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_thread = target;
   trace_.record(TraceStage::kRaised, event, notice.event_name, target,
@@ -201,7 +220,7 @@ Status EventSystem::raise(EventId event, ThreadId target,
   if (delivered.code() == StatusCode::kDeadTarget) {
     trace_.record(TraceStage::kDeadTarget, event, notice.event_name, target,
                   ObjectId{});
-    bump(&EventStats::dead_target_raises);
+    bump(&AtomicStats::dead_target_raises);
     // §7: "When a notification is posted to a thread and the thread has been
     // destroyed, the sender of the event (if it is an asynchronous event)
     // needs to be notified."  Beyond the status we return, a logical-thread
@@ -228,7 +247,7 @@ Status EventSystem::raise(EventId event, GroupId target,
   if (!registry_.info(event).is_ok()) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
-  bump(&EventStats::raises_async);
+  bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_group = target;
   trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
@@ -241,7 +260,7 @@ Status EventSystem::raise(EventId event, ObjectId target,
   if (!registry_.info(event).is_ok()) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
-  bump(&EventStats::raises_async);
+  bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_object = target;
   trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
@@ -261,7 +280,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
     return raise_exception(event, "raise_and_wait(self)",
                            std::move(user_data));
   }
-  bump(&EventStats::raises_sync);
+  bump(&AtomicStats::raises_sync);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_thread = target;
   notice.wait_token = kernel_.new_wait_token();
@@ -270,7 +289,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
       kernel_.deliver_remote(notice, registry_.is_control(event));
   if (!delivered.is_ok()) {
     if (delivered.code() == StatusCode::kDeadTarget) {
-      bump(&EventStats::dead_target_raises);
+      bump(&AtomicStats::dead_target_raises);
     }
     return delivered;
   }
@@ -283,7 +302,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
   if (!registry_.info(event).is_ok()) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
-  bump(&EventStats::raises_sync);
+  bump(&AtomicStats::raises_sync);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_group = target;
   notice.wait_token = kernel_.new_wait_token();
@@ -302,7 +321,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
   if (!registry_.info(event).is_ok()) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
-  bump(&EventStats::raises_sync);
+  bump(&AtomicStats::raises_sync);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_object = target;
   notice.wait_token = kernel_.new_wait_token();
@@ -319,8 +338,8 @@ Result<kernel::Verdict> EventSystem::raise_exception(
     return Status{StatusCode::kInvalidArgument,
                   "raise_exception requires a logical thread"};
   }
-  bump(&EventStats::raises_sync);
-  bump(&EventStats::surrogate_runs);
+  bump(&AtomicStats::raises_sync);
+  bump(&AtomicStats::surrogate_runs);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_thread = ctx->tid();
   notice.system_info = system_info;
@@ -380,7 +399,7 @@ kernel::Verdict EventSystem::execute_chain(kernel::ThreadContext& ctx,
     auto [ran, verdict] = run_handler(ctx, *it, notice);
     if (!ran) continue;
     if (verdict == kernel::Verdict::kPropagate) {
-      bump(&EventStats::propagations);
+      bump(&AtomicStats::propagations);
       continue;
     }
     return verdict;
@@ -398,7 +417,7 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
         DOCT_LOG(kWarn) << "per-thread procedure missing: " << record.entry;
         return {false, kernel::Verdict::kResume};
       }
-      bump(&EventStats::per_thread_procs_run);
+      bump(&AtomicStats::per_thread_procs_run);
       trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
                     ctx.tid(), ObjectId{}, record.entry);
       const EventBlock block{notice};
@@ -407,7 +426,7 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
     }
     case kernel::HandlerKind::kObjectEntry:
     case kernel::HandlerKind::kBuddy: {
-      bump(&EventStats::thread_handlers_run);
+      bump(&AtomicStats::thread_handlers_run);
       trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
                     ctx.tid(), record.object, record.entry);
       const EventBlock block{notice};
@@ -437,7 +456,7 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
 }
 
 kernel::Verdict EventSystem::apply_default(const kernel::EventNotice& notice) {
-  bump(&EventStats::defaults_applied);
+  bump(&AtomicStats::defaults_applied);
   trace_.record(TraceStage::kDefaultApplied, notice.event, notice.event_name,
                 notice.target_thread, notice.target_object);
   return registry_.default_action(notice.event) == DefaultAction::kTerminate
@@ -582,7 +601,7 @@ kernel::Verdict EventSystem::run_object_handler_now(
     return kernel::Verdict::kPropagate;
   }
 
-  bump(&EventStats::object_handlers_run);
+  bump(&AtomicStats::object_handlers_run);
   const EventBlock block{notice};
   auto result = manager_.invoke_handler_entry(notice.target_object, entry,
                                               block.to_payload(), nullptr);

@@ -168,7 +168,21 @@ class EventSystem {
   Result<rpc::Payload> rpc_object_notify(NodeId caller, Reader& args);
   Result<rpc::Payload> rpc_run_handler(NodeId caller, Reader& args);
 
-  void bump(std::uint64_t EventStats::* counter);
+  // EventStats with relaxed atomic counters: the raise path bumps without a
+  // lock (the old stats_mu_ serialized every concurrent raiser); stats()
+  // snapshots.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> raises_async{0};
+    std::atomic<std::uint64_t> raises_sync{0};
+    std::atomic<std::uint64_t> thread_handlers_run{0};
+    std::atomic<std::uint64_t> object_handlers_run{0};
+    std::atomic<std::uint64_t> per_thread_procs_run{0};
+    std::atomic<std::uint64_t> defaults_applied{0};
+    std::atomic<std::uint64_t> propagations{0};
+    std::atomic<std::uint64_t> surrogate_runs{0};
+    std::atomic<std::uint64_t> dead_target_raises{0};
+  };
+  void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
 
   kernel::Kernel& kernel_;
   objects::ObjectManager& manager_;
@@ -196,8 +210,7 @@ class EventSystem {
 
   EventTrace trace_;
 
-  mutable std::mutex stats_mu_;
-  EventStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace doct::events

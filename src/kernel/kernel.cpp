@@ -33,7 +33,12 @@ enum class HopState : std::uint8_t {
 
 Kernel::Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
                NodeId self, IdGenerator& ids, KernelConfig config)
-    : network_(network), rpc_(rpc), self_(self), ids_(ids), config_(config) {
+    : network_(network),
+      rpc_(rpc),
+      self_(self),
+      ids_(ids),
+      config_(config),
+      location_cache_(config_.location_cache) {
   // All three kernel RPC methods are non-blocking (they enqueue or read local
   // state), so they run inline on the delivery thread (kFast): delivery makes
   // progress even when every RPC worker is parked in a blocked invocation.
@@ -62,7 +67,7 @@ Kernel::Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
               [this](const net::Message& m) { on_group_census_reply(m); });
   demux.route(net::kEventNotify, [this](const net::Message& m) {
     try {
-      Reader r(m.payload);
+      Reader r(m.payload.share());
       EventNotice notice = EventNotice::deserialize(r);
       const bool urgent = r.get_bool();
       deliver_group_local(notice, urgent);
@@ -150,10 +155,7 @@ ThreadId Kernel::spawn(ThreadBody body, SpawnOptions options) {
   register_context(ctx);
   multicast_join(tid);
   start_timers_for(*ctx);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.threads_spawned++;
-  }
+  bump(&AtomicStats::threads_spawned);
 
   std::lock_guard<std::mutex> lock(mu_);
   RootThread& root = root_threads_[tid];
@@ -179,10 +181,7 @@ void Kernel::run_thread_body(std::shared_ptr<ThreadContext> ctx,
   stop_timers_for(ctx->tid());
   multicast_leave(ctx->tid());
   unregister_context(ctx->tid(), /*tombstone=*/true);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.threads_terminated++;
-  }
+  bump(&AtomicStats::threads_terminated);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = root_threads_.find(ctx->tid());
@@ -218,6 +217,9 @@ void Kernel::register_context(std::shared_ptr<ThreadContext> ctx) {
 }
 
 void Kernel::unregister_context(ThreadId tid, bool tombstone) {
+  // The thread is no longer addressable here: any hint we hold for it is
+  // dead weight (it exited) or wrong (it migrated away).
+  location_cache_.invalidate(tid);
   std::lock_guard<std::mutex> lock(mu_);
   contexts_.erase(tid);
   if (tombstone) {
@@ -317,7 +319,7 @@ void Kernel::on_group_census(const net::Message& message) {
   std::uint64_t token = 0;
   GroupId group;
   try {
-    Reader r(message.payload);
+    Reader r(message.payload.share());
     token = r.get<std::uint64_t>();
     group = r.get_id<GroupTag>();
   } catch (const DeserializeError& e) {
@@ -342,7 +344,7 @@ void Kernel::on_group_census_reply(const net::Message& message) {
   std::uint64_t token = 0;
   std::vector<ThreadId> members;
   try {
-    Reader r(message.payload);
+    Reader r(message.payload.share());
     token = r.get<std::uint64_t>();
     const auto count = r.get<std::uint32_t>();
     members.reserve(count);
@@ -370,7 +372,9 @@ void Kernel::on_group_census_reply(const net::Message& message) {
 }
 
 void Kernel::note_peer_down(NodeId peer) {
-  (void)peer;
+  // Every cached hint pointing at the dead peer would cost a full RPC
+  // timeout to disprove; drop them all now.
+  location_cache_.invalidate_node(peer);
   std::vector<std::shared_ptr<CensusPending>> waiting;
   {
     std::lock_guard<std::mutex> lock(census_mu_);
@@ -382,8 +386,7 @@ void Kernel::note_peer_down(NodeId peer) {
       pending->replies++;  // the dead peer can contribute no members
     }
     pending->cv.notify_all();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.census_peer_down_skips++;
+    bump(&AtomicStats::census_peer_down_skips);
   }
 }
 
@@ -459,8 +462,7 @@ Status Kernel::deliver_local(const EventNotice& notice, bool urgent) {
   auto ctx = find_context(notice.target_thread);
   if (ctx == nullptr || !ctx->here()) {
     if (is_tombstoned(notice.target_thread)) {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.notices_dead_target++;
+      bump(&AtomicStats::notices_dead_target);
       return {StatusCode::kDeadTarget, notice.target_thread.to_string()};
     }
     return {StatusCode::kNoSuchThread, notice.target_thread.to_string()};
@@ -469,10 +471,7 @@ Status Kernel::deliver_local(const EventNotice& notice, bool urgent) {
     return {StatusCode::kDeadTarget, notice.target_thread.to_string()};
   }
   ctx->enqueue(notice, urgent);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.notices_delivered++;
-  }
+  bump(&AtomicStats::notices_delivered);
   return Status::ok();
 }
 
@@ -492,8 +491,38 @@ Status Kernel::deliver_remote(const EventNotice& notice, bool urgent) {
   Status local = deliver_local(notice, urgent);
   if (local.is_ok() || local.code() == StatusCode::kDeadTarget) return local;
 
+  // Marshal once: the cached attempt, the located attempt, and the move-race
+  // retry all reuse this buffer.
+  Writer w;
+  notice.serialize(w);
+  w.put(urgent);
+  const rpc::Payload wire = std::move(w).take();
+
+  // Cached fast path: skip the locate entirely and let the delivery RPC
+  // itself validate the hint — a kNoSuchThread reply means it was stale.
+  if (auto hint = location_cache_.lookup(notice.target_thread);
+      hint.has_value()) {
+    if (*hint == self_) {
+      // deliver_local above already proved it is not here.
+      location_cache_.note_stale(notice.target_thread);
+    } else {
+      auto reply = rpc_.call(*hint, kDeliverMethod, wire);
+      if (reply.is_ok()) {
+        bump(&AtomicStats::cached_deliveries);
+        return Status::ok();
+      }
+      if (reply.status().code() == StatusCode::kDeadTarget) {
+        location_cache_.invalidate(notice.target_thread);
+        return reply.status();
+      }
+      // Moved, crashed host, or timeout: drop the hint and fall back to the
+      // configured locator.
+      location_cache_.note_stale(notice.target_thread);
+    }
+  }
+
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto located = locate(notice.target_thread);
+    auto located = locate_fresh(notice.target_thread, config_.locator);
     if (!located.is_ok()) return located.status();
     if (located.value() == self_) {
       local = deliver_local(notice, urgent);
@@ -502,15 +531,13 @@ Status Kernel::deliver_remote(const EventNotice& notice, bool urgent) {
       }
       continue;  // moved while we looked: re-locate
     }
-    Writer w;
-    notice.serialize(w);
-    w.put(urgent);
-    auto reply = rpc_.call(located.value(), kDeliverMethod, std::move(w).take());
+    auto reply = rpc_.call(located.value(), kDeliverMethod, wire);
     if (reply.is_ok()) return Status::ok();
     if (reply.status().code() != StatusCode::kNoSuchThread) {
       return reply.status();
     }
     // The thread moved between locate and deliver; retry once.
+    location_cache_.note_stale(notice.target_thread);
   }
   return {StatusCode::kNoSuchThread, notice.target_thread.to_string()};
 }
@@ -658,15 +685,56 @@ Result<NodeId> Kernel::locate(ThreadId tid, LocatorKind kind) {
   if (is_tombstoned(tid)) {
     return Status{StatusCode::kDeadTarget, tid.to_string()};
   }
-  switch (kind) {
-    case LocatorKind::kBroadcast:
-      return locate_broadcast(tid);
-    case LocatorKind::kPathFollow:
-      return locate_path_follow(tid);
-    case LocatorKind::kMulticast:
-      return locate_multicast(tid);
+
+  // Cache consult: a hit short-circuits the O(n)-message / O(hops)-RTT
+  // strategy to a single probe at the hinted node.  The probe keeps locate()
+  // authoritative — a stale hint costs one bounded RTT, never a wrong answer.
+  if (auto hint = location_cache_.lookup(tid);
+      hint.has_value() && *hint != self_) {
+    Writer w;
+    w.put(tid);
+    auto reply = rpc_.call(*hint, kProbeHopMethod, std::move(w).take(),
+                           config_.locate_timeout);
+    if (reply.is_ok()) {
+      try {
+        Reader r(std::move(reply).value());
+        const auto state = r.get<HopState>();
+        (void)r.get_id<NodeTag>();
+        if (state == HopState::kHere) return *hint;
+        if (state == HopState::kDead) {
+          location_cache_.note_stale(tid);
+          return Status{StatusCode::kDeadTarget, tid.to_string()};
+        }
+      } catch (const DeserializeError& e) {
+        DOCT_LOG(kError) << "malformed probe reply: " << e.what();
+      }
+    }
+    location_cache_.note_stale(tid);
   }
-  return Status{StatusCode::kInvalidArgument, "unknown locator"};
+  return locate_fresh(tid, kind);
+}
+
+Result<NodeId> Kernel::locate_fresh(ThreadId tid, LocatorKind kind) {
+  auto ctx = find_context(tid);
+  if (ctx != nullptr && ctx->here()) return self_;
+  if (is_tombstoned(tid)) {
+    return Status{StatusCode::kDeadTarget, tid.to_string()};
+  }
+  Result<NodeId> found = [&]() -> Result<NodeId> {
+    switch (kind) {
+      case LocatorKind::kBroadcast:
+        return locate_broadcast(tid);
+      case LocatorKind::kPathFollow:
+        return locate_path_follow(tid);
+      case LocatorKind::kMulticast:
+        return locate_multicast(tid);
+    }
+    return Status{StatusCode::kInvalidArgument, "unknown locator"};
+  }();
+  if (found.is_ok() && found.value() != self_) {
+    location_cache_.note(tid, found.value());
+  }
+  return found;
 }
 
 Result<NodeId> Kernel::locate_broadcast(ThreadId tid) {
@@ -724,10 +792,7 @@ Result<NodeId> Kernel::locate_path_follow(ThreadId tid) {
     }
     Writer w;
     w.put(tid);
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.locate_probes_sent++;
-    }
+    bump(&AtomicStats::locate_probes_sent);
     auto reply = rpc_.call(node, kProbeHopMethod, std::move(w).take(),
                            config_.locate_timeout);
     if (!reply.is_ok()) return reply.status();
@@ -800,7 +865,7 @@ void Kernel::on_locate_probe(const net::Message& message) {
   std::uint64_t token = 0;
   ThreadId tid;
   try {
-    Reader r(message.payload);
+    Reader r(message.payload.share());
     token = r.get<std::uint64_t>();
     tid = r.get_id<ThreadTag>();
   } catch (const DeserializeError& e) {
@@ -831,7 +896,7 @@ void Kernel::on_locate_reply(const net::Message& message) {
   bool dead = false;
   NodeId node;
   try {
-    Reader r(message.payload);
+    Reader r(message.payload.share());
     token = r.get<std::uint64_t>();
     present = r.get_bool();
     dead = r.get_bool();
@@ -882,14 +947,16 @@ Result<rpc::Payload> Kernel::travel(
   const rpc::Payload core = serialize_context_core(*ctx);
   stop_timers_for(ctx->tid());
   ctx->depart(dest);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.migrations_out++;
-  }
+  // We know exactly where the thread is going: seed the cache so raises at
+  // it from this node skip the locate while it is away.
+  location_cache_.note(ctx->tid(), dest);
+  bump(&AtomicStats::migrations_out);
 
   auto result = call(core);
 
   ctx->arrive_back();
+  // Back home: the hint now points away from the thread's true location.
+  location_cache_.invalidate(ctx->tid());
   if (result.is_ok()) {
     // Reply layout: [ctx_core_out][user payload...]; we consume the core and
     // hand the rest to the caller.
@@ -946,10 +1013,7 @@ Result<rpc::Payload> Kernel::adopt_and_run(
   register_context(ctx);
   multicast_join(tid);
   start_timers_for(*ctx);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.migrations_in++;
-  }
+  bump(&AtomicStats::migrations_in);
 
   // Bind this OS thread (an RPC worker) to the adopted logical thread,
   // preserving any outer binding (re-entrant A->B->A invocations).
@@ -1082,21 +1146,48 @@ void Kernel::timer_loop() {
           });
         });
       }
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.timer_events++;
+      bump(&AtomicStats::timer_events);
     }
     lock.lock();
   }
 }
 
+void Kernel::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
+  (stats_.*counter).fetch_add(1, std::memory_order_relaxed);
+}
+
 KernelStats Kernel::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  KernelStats out;
+  out.threads_spawned = stats_.threads_spawned.load(std::memory_order_relaxed);
+  out.threads_terminated =
+      stats_.threads_terminated.load(std::memory_order_relaxed);
+  out.notices_delivered =
+      stats_.notices_delivered.load(std::memory_order_relaxed);
+  out.notices_dead_target =
+      stats_.notices_dead_target.load(std::memory_order_relaxed);
+  out.locate_probes_sent =
+      stats_.locate_probes_sent.load(std::memory_order_relaxed);
+  out.migrations_in = stats_.migrations_in.load(std::memory_order_relaxed);
+  out.migrations_out = stats_.migrations_out.load(std::memory_order_relaxed);
+  out.timer_events = stats_.timer_events.load(std::memory_order_relaxed);
+  out.census_peer_down_skips =
+      stats_.census_peer_down_skips.load(std::memory_order_relaxed);
+  out.cached_deliveries =
+      stats_.cached_deliveries.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Kernel::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = KernelStats{};
+  stats_.threads_spawned.store(0, std::memory_order_relaxed);
+  stats_.threads_terminated.store(0, std::memory_order_relaxed);
+  stats_.notices_delivered.store(0, std::memory_order_relaxed);
+  stats_.notices_dead_target.store(0, std::memory_order_relaxed);
+  stats_.locate_probes_sent.store(0, std::memory_order_relaxed);
+  stats_.migrations_in.store(0, std::memory_order_relaxed);
+  stats_.migrations_out.store(0, std::memory_order_relaxed);
+  stats_.timer_events.store(0, std::memory_order_relaxed);
+  stats_.census_peer_down_skips.store(0, std::memory_order_relaxed);
+  stats_.cached_deliveries.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace doct::kernel

@@ -22,6 +22,7 @@
 // node and how to stop/resume carriers.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
+#include "kernel/location_cache.hpp"
 #include "kernel/thread_context.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
@@ -55,6 +57,9 @@ struct KernelConfig {
   Duration locate_timeout = std::chrono::seconds(2);
   Duration tombstone_ttl = std::chrono::seconds(30);
   bool maintain_multicast_groups = true;  // cost of kMulticast readiness
+  // Thread-location cache: consulted before running the configured locator.
+  // Disable (enabled=false) to measure the bare §7.1 strategies (bench E1).
+  LocationCacheConfig location_cache;
 };
 
 struct KernelStats {
@@ -67,6 +72,7 @@ struct KernelStats {
   std::uint64_t migrations_out = 0;
   std::uint64_t timer_events = 0;
   std::uint64_t census_peer_down_skips = 0;  // note_peer_down fast-paths
+  std::uint64_t cached_deliveries = 0;  // remote raises sent via a cache hit
 };
 
 // Verdict a handler renders for the stopped thread (§3: after the handler
@@ -182,9 +188,18 @@ class Kernel {
 
   // --- location (§7.1) -----------------------------------------------------
 
-  // Finds the node where `tid` currently executes.
+  // Finds the node where `tid` currently executes.  Consults the location
+  // cache after the local checks; a cached answer is a HINT (the thread may
+  // have moved since) — callers that act on it must be prepared for
+  // kNoSuchThread and fall back to locate_fresh().
   Result<NodeId> locate(ThreadId tid) { return locate(tid, config_.locator); }
   Result<NodeId> locate(ThreadId tid, LocatorKind kind);
+
+  // Runs the locate strategy unconditionally (skipping the cache) and notes
+  // the fresh answer into the cache.  Used after a cached hint proves stale.
+  Result<NodeId> locate_fresh(ThreadId tid, LocatorKind kind);
+
+  [[nodiscard]] LocationCache& location_cache() { return location_cache_; }
 
   // --- migration primitives (objects layer) -------------------------------
 
@@ -347,8 +362,24 @@ class Kernel {
   bool timers_shutdown_ = false;
   std::thread timer_thread_;
 
-  mutable std::mutex stats_mu_;
-  KernelStats stats_;
+  LocationCache location_cache_;
+
+  // KernelStats with relaxed atomic counters: spawn/deliver/locate hot paths
+  // bump without a lock; stats() snapshots.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> threads_spawned{0};
+    std::atomic<std::uint64_t> threads_terminated{0};
+    std::atomic<std::uint64_t> notices_delivered{0};
+    std::atomic<std::uint64_t> notices_dead_target{0};
+    std::atomic<std::uint64_t> locate_probes_sent{0};
+    std::atomic<std::uint64_t> migrations_in{0};
+    std::atomic<std::uint64_t> migrations_out{0};
+    std::atomic<std::uint64_t> timer_events{0};
+    std::atomic<std::uint64_t> census_peer_down_skips{0};
+    std::atomic<std::uint64_t> cached_deliveries{0};
+  };
+  void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
+  AtomicStats stats_;
 };
 
 }  // namespace doct::kernel

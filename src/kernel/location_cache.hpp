@@ -1,0 +1,186 @@
+// Per-node thread-location cache (tid -> last-known hosting node).
+//
+// §7.1's locators are authoritative but expensive: a broadcast probe is O(n)
+// messages, path-following is up to O(hops) RTTs.  The cache remembers where
+// a locate (or a successful remote delivery) last found a thread so the next
+// raise can skip the locate entirely.  Entries are HINTS, not truth:
+//
+//   * a lookup hit may be stale — the thread moved or died since.  The
+//     deliver path validates by simply delivering: a kNoSuchThread reply
+//     means the hint was wrong, the entry is dropped (note_stale) and the
+//     configured locator runs as the fallback.
+//   * thread exits and migrations invalidate the local entry eagerly
+//     (unregister_context / travel), and a confirmed-down peer drops every
+//     entry pointing at it (note_peer_down -> invalidate_node), so cached
+//     entries for crashed nodes cannot wedge delivery behind RPC timeouts.
+//
+// This is the mechanism trade-off studied in "Design and Evaluation of
+// Mechanisms for a Multicomputer Object Store" (PAPERS.md): cheap optimistic
+// hints plus invalidation-on-move beat an authoritative lookup per use.
+//
+// Internally sharded: lookups on different threads never contend, and no
+// shard lock is held across any I/O.  Counters are relaxed atomics.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+
+namespace doct::kernel {
+
+struct LocationCacheConfig {
+  bool enabled = true;
+  std::size_t capacity = 4096;  // total entries across all shards
+};
+
+struct LocationCacheStats {
+  std::uint64_t hits = 0;           // lookups that returned a hint
+  std::uint64_t misses = 0;         // lookups with no entry
+  std::uint64_t stale = 0;          // hints that proved wrong at delivery
+  std::uint64_t invalidations = 0;  // eager drops (exit/migrate/node-down)
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;      // capacity pressure drops
+};
+
+class LocationCache {
+ public:
+  explicit LocationCache(LocationCacheConfig config = {}) : config_(config) {}
+
+  LocationCache(const LocationCache&) = delete;
+  LocationCache& operator=(const LocationCache&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+
+  // Returns the cached hint for `tid`, if any.  Counts a hit or a miss.
+  std::optional<NodeId> lookup(ThreadId tid) {
+    if (!config_.enabled) return std::nullopt;
+    Shard& shard = shard_for(tid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(tid);
+    if (it == shard.entries.end()) {
+      bump(misses_);
+      return std::nullopt;
+    }
+    bump(hits_);
+    return it->second;
+  }
+
+  // Records (or refreshes) where a locate / successful delivery found `tid`.
+  void note(ThreadId tid, NodeId node) {
+    if (!config_.enabled || !node.valid()) return;
+    Shard& shard = shard_for(tid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(tid);
+    if (it != shard.entries.end()) {
+      it->second = node;
+      return;
+    }
+    if (shard.entries.size() >= std::max<std::size_t>(
+                                    1, config_.capacity / kShards)) {
+      // Capacity pressure: drop an arbitrary resident.  Hints are cheap to
+      // re-learn, so plain displacement beats LRU bookkeeping on this path.
+      shard.entries.erase(shard.entries.begin());
+      bump(evictions_);
+    }
+    shard.entries.emplace(tid, node);
+    bump(inserts_);
+  }
+
+  // The hint for `tid` was consulted and proved wrong: drop it.
+  void note_stale(ThreadId tid) {
+    if (!config_.enabled) return;
+    if (erase(tid)) bump(stale_);
+  }
+
+  // Eager drop on a move/exit the local kernel observed directly.
+  void invalidate(ThreadId tid) {
+    if (!config_.enabled) return;
+    if (erase(tid)) bump(invalidations_);
+  }
+
+  // A peer is confirmed down: every hint pointing at it is now useless (and
+  // worse than useless — each one costs a full RPC timeout to disprove).
+  void invalidate_node(NodeId node) {
+    if (!config_.enabled) return;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+        if (it->second == node) {
+          it = shard.entries.erase(it);
+          bump(invalidations_);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.entries.clear();
+    }
+  }
+
+  [[nodiscard]] LocationCacheStats stats() const {
+    LocationCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.stale = stale_.load(std::memory_order_relaxed);
+    out.invalidations = invalidations_.load(std::memory_order_relaxed);
+    out.inserts = inserts_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void reset_stats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    stale_.store(0, std::memory_order_relaxed);
+    invalidations_.store(0, std::memory_order_relaxed);
+    inserts_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<ThreadId, NodeId> entries;
+  };
+
+  Shard& shard_for(ThreadId tid) {
+    // Thread ids are sequential per node; fold the high (root-node) bits in
+    // so one spawner's threads still spread across shards.
+    const std::uint64_t v = tid.value() * 0x9E3779B97F4A7C15ULL;
+    return shards_[(v >> 32) % kShards];
+  }
+
+  bool erase(ThreadId tid) {
+    Shard& shard = shard_for(tid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.entries.erase(tid) > 0;
+  }
+
+  static void bump(std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  LocationCacheConfig config_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace doct::kernel

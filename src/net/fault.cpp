@@ -29,8 +29,13 @@ double combine(double p1, double p2) { return 1.0 - (1.0 - p1) * (1.0 - p2); }
 }  // namespace
 
 void FaultInjector::load(FaultPlan plan) {
+  std::unique_lock<std::shared_mutex> plan_lock(plan_mu_);
+  std::lock_guard<std::mutex> sched_lock(sched_mu_);
   plan_ = std::move(plan);
-  stream_seq_.clear();
+  for (StreamShard& shard : streams_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.seq.clear();
+  }
   schedule_.clear();
   for (const PartitionEvent& p : plan_.partitions) {
     schedule_.push_back({p.at,
@@ -54,8 +59,19 @@ void FaultInjector::load(FaultPlan plan) {
                    [](const TimedAction& x, const TimedAction& y) {
                      return x.at < y.at;
                    });
-  armed_ = plan_.link_defaults.any() || !plan_.windows.empty() ||
-           !schedule_.empty();
+  armed_.store(plan_.link_defaults.any() || !plan_.windows.empty() ||
+                   !schedule_.empty(),
+               std::memory_order_release);
+}
+
+FaultInjector::StreamShard& FaultInjector::shard_for(const StreamKey& key) {
+  // Cheap stream hash; only has to spread distinct (from, to, kind) triples
+  // across shards, not be collision-proof.
+  const std::uint64_t h = std::get<0>(key) * 0x9E3779B97F4A7C15ULL ^
+                          std::get<1>(key) * 0xC2B2AE3D27D4EB4FULL ^
+                          static_cast<std::uint64_t>(std::get<2>(key)) *
+                              0x165667B19E3779F9ULL;
+  return streams_[(h >> 32) % kStreamShards];
 }
 
 LinkFaults FaultInjector::effective_faults(NodeId from, NodeId to,
@@ -86,14 +102,21 @@ LinkFaults FaultInjector::effective_faults(NodeId from, NodeId to,
 FaultDecision FaultInjector::decide(NodeId from, NodeId to, std::uint16_t kind,
                                     Duration now) {
   FaultDecision decision;
-  if (!armed_) return decision;
+  if (!armed()) return decision;
+
+  std::shared_lock<std::shared_mutex> plan_lock(plan_mu_);
   if (plan_.spare_heartbeats && kind == kHeartbeat) return decision;
 
   const LinkFaults faults = effective_faults(from, to, now);
   if (!faults.any()) return decision;
 
   const auto key = std::make_tuple(from.value(), to.value(), kind);
-  const std::uint64_t seq = stream_seq_[key]++;
+  std::uint64_t seq;
+  {
+    StreamShard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    seq = shard.seq[key]++;
+  }
   SplitMix64 rng(mix(plan_.seed, from.value(), to.value(), kind, seq));
 
   // Fixed draw order: drop, duplicate, reorder, spike, spike magnitude.
@@ -116,6 +139,7 @@ FaultDecision FaultInjector::decide(NodeId from, NodeId to, std::uint16_t kind,
 }
 
 std::vector<ScheduledAction> FaultInjector::due(Duration now) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
   std::vector<ScheduledAction> out;
   for (TimedAction& timed : schedule_) {
     if (timed.fired) continue;
@@ -127,6 +151,7 @@ std::vector<ScheduledAction> FaultInjector::due(Duration now) {
 }
 
 Duration FaultInjector::next_event_at() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
   for (const TimedAction& timed : schedule_) {
     if (!timed.fired) return timed.at;
   }

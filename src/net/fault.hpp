@@ -15,13 +15,22 @@
 // a stream therefore sees the identical fault sequence on every run with
 // the same seed, regardless of thread interleaving elsewhere.
 //
-// The injector is NOT internally synchronized: Network calls it with its
-// own mutex held.
+// The injector is internally synchronized so the Network's sharded send
+// paths can consult it concurrently without a global lock: the plan is
+// read-mostly (shared_mutex), the schedule has its own mutex (wire thread
+// only, plus load()), and the per-stream sequence counters are sharded by
+// stream hash.  Determinism is unaffected by the sharding: a stream's
+// sequence numbers are still handed out under one lock in arrival order,
+// and arrival order within a stream is the sender's program order.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -115,7 +124,9 @@ class FaultInjector {
   void load(FaultPlan plan);
 
   // True if any probabilistic fault or scheduled event is configured.
-  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_acquire);
+  }
 
   // Decides the fate of one message about to enter the wire on the
   // (from -> to) stream for `kind`, at `now` microseconds since load().
@@ -136,17 +147,31 @@ class FaultInjector {
   };
 
   // Merges link_defaults with every window active for (from, to) at `now`.
+  // Caller holds plan_mu_ (shared suffices).
   [[nodiscard]] LinkFaults effective_faults(NodeId from, NodeId to,
                                             Duration now) const;
 
+  using StreamKey = std::tuple<std::uint64_t, std::uint64_t, std::uint16_t>;
+
+  // Per (link, kind) fault-stream sequence counters, sharded by stream hash
+  // so concurrent senders on different streams never contend.  The link key
+  // is the ordered (from, to) pair: each direction is its own stream.
+  struct StreamShard {
+    std::mutex mu;
+    std::map<StreamKey, std::uint64_t> seq;
+  };
+  static constexpr std::size_t kStreamShards = 16;
+
+  [[nodiscard]] StreamShard& shard_for(const StreamKey& key);
+
+  mutable std::shared_mutex plan_mu_;  // plan_ (read-mostly)
   FaultPlan plan_;
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
+
+  mutable std::mutex sched_mu_;  // schedule_ (wire thread + load())
   std::vector<TimedAction> schedule_;  // sorted by `at`
-  // Per (link, kind) fault-stream sequence counters.  The link key is the
-  // ordered (from, to) pair: each direction is its own stream.
-  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint16_t>,
-           std::uint64_t>
-      stream_seq_;
+
+  std::array<StreamShard, kStreamShards> streams_;
 };
 
 }  // namespace doct::net

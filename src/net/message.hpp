@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -45,12 +48,61 @@ enum MessageKind : std::uint16_t {
   kHeartbeat = 0x0500,
 };
 
+// Immutable, reference-counted message body.  Marshalling produces one byte
+// vector; every copy of the Message — broadcast/multicast fan-out legs,
+// injected wire duplicates, RPC retransmissions — shares that one buffer
+// instead of reallocating it per destination.  The buffer must never be
+// mutated after construction: anyone who needs a different body builds a new
+// SharedPayload.
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+
+  // Implicit by design: marshalling sites keep writing
+  // `.payload = std::move(w).take()` and the vector is adopted, not copied.
+  SharedPayload(std::vector<std::uint8_t> bytes)
+      : bytes_(bytes.empty()
+                   ? nullptr
+                   : std::make_shared<const std::vector<std::uint8_t>>(
+                         std::move(bytes))) {}
+  SharedPayload(std::initializer_list<std::uint8_t> bytes)
+      : SharedPayload(std::vector<std::uint8_t>(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return bytes_ ? bytes_->data() : nullptr;
+  }
+
+  // The shared buffer itself — hand this to Reader so parsing pins the one
+  // allocation instead of copying it.  Null when the payload is empty.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> share() const {
+    return bytes_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    static const std::vector<std::uint8_t> kEmpty;
+    return bytes_ ? *bytes_ : kEmpty;
+  }
+
+  friend bool operator==(const SharedPayload& a, const SharedPayload& b) {
+    return a.bytes() == b.bytes();
+  }
+  friend bool operator==(const SharedPayload& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a.bytes() == b;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes_;
+};
+
 struct Message {
   NodeId from;
   NodeId to;
   std::uint16_t kind = 0;
   CallId call;  // correlation id; invalid for one-way messages
-  std::vector<std::uint8_t> payload;
+  SharedPayload payload;
 };
 
 using MessageHandler = std::function<void(const Message&)>;

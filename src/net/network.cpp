@@ -10,17 +10,21 @@ namespace {
 std::pair<NodeId, NodeId> normalize(NodeId a, NodeId b) {
   return a < b ? std::pair{a, b} : std::pair{b, a};
 }
+
+void inc(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
 }  // namespace
 
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed) {
-  fault_epoch_ = clock_.now();
+  fault_epoch_rep_.store(clock_.now().count(), std::memory_order_release);
   wire_thread_ = std::thread([this] { wire_loop(); });
 }
 
 Network::~Network() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(wire_mu_);
     shutting_down_ = true;
   }
   wire_cv_.notify_all();
@@ -29,7 +33,7 @@ Network::~Network() {
   // Close every mailbox, then join every delivery thread.
   std::vector<std::unique_ptr<NodeState>> states;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(topo_mu_);
     for (auto& [id, state] : nodes_) states.push_back(std::move(state));
     nodes_.clear();
   }
@@ -51,7 +55,7 @@ Status Network::register_node(NodeId node, MessageHandler handler) {
   if (!node.valid() || !handler) {
     return {StatusCode::kInvalidArgument, "node id and handler required"};
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   if (nodes_.contains(node)) {
     return {StatusCode::kAlreadyExists, node.to_string()};
   }
@@ -64,7 +68,7 @@ Status Network::register_node(NodeId node, MessageHandler handler) {
 Status Network::unregister_node(NodeId node) {
   std::unique_ptr<NodeState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(topo_mu_);
     auto it = nodes_.find(node);
     if (it == nodes_.end()) {
       // A crashed node has no live state, but unregistering it must still
@@ -91,37 +95,68 @@ Duration Network::latency_for(const Message& message) const {
          config_.per_byte_latency * static_cast<long>(message.payload.size());
 }
 
-void Network::enqueue_wire(Message message, Duration extra_delay) {
-  // Caller holds mu_.
+void Network::drop(std::atomic<std::uint64_t> AtomicStats::* cause) {
+  inc(stats_.dropped);
+  inc(stats_.*cause);
+}
+
+void Network::enqueue_wire(Message message, Duration delay) {
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  wire_.push(WireItem{clock_.now() + latency_for(message) + extra_delay,
-                      wire_sequence_++, std::move(message)});
+  inc(stats_.wire_queued);
+  {
+    std::lock_guard<std::mutex> lock(wire_mu_);
+    wire_.push(
+        WireItem{clock_.now() + delay, wire_sequence_++, std::move(message)});
+  }
   wire_cv_.notify_one();
 }
 
-void Network::transmit_locked(Message message) {
+void Network::deliver_direct(NodeState& target, Message message) {
+  // Send time IS delivery time on the zero-delay path, so the partition
+  // check the wire thread would have done at delivery happens right here.
+  if (pair_partitioned_locked(message.from, message.to)) {
+    drop(&AtomicStats::dropped_by_partition);
+    return;
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!target.mailbox.push(std::move(message))) {
+    finish_in_flight();
+  }
+}
+
+void Network::transmit(NodeState& target, Message message) {
+  const Duration base = latency_for(message);
   if (!injector_.armed()) {
-    enqueue_wire(std::move(message), Duration{0});
+    if (base == Duration{0}) {
+      deliver_direct(target, std::move(message));
+    } else {
+      enqueue_wire(std::move(message), base);
+    }
     return;
   }
   const FaultDecision decision = injector_.decide(
-      message.from, message.to, message.kind, clock_.now() - fault_epoch_);
+      message.from, message.to, message.kind, clock_.now() - fault_epoch());
   if (decision.drop) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.dropped++;
-    stats_.dropped_by_fault++;
+    drop(&AtomicStats::dropped_by_fault);
     return;
   }
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    if (decision.duplicate) stats_.duplicated++;
-    if (decision.reorder) stats_.reordered++;
-    if (decision.delay_spike) stats_.delay_spikes++;
-  }
+  if (decision.duplicate) inc(stats_.duplicated);
+  if (decision.reorder) inc(stats_.reordered);
+  if (decision.delay_spike) inc(stats_.delay_spikes);
+  const Duration delay = base + decision.extra_delay;
   if (decision.duplicate) {
-    enqueue_wire(message, decision.extra_delay);
+    // The duplicate shares the original's payload buffer (SharedPayload).
+    if (delay == Duration{0}) {
+      deliver_direct(target, message);
+    } else {
+      enqueue_wire(message, delay);
+    }
   }
-  enqueue_wire(std::move(message), decision.extra_delay);
+  if (delay == Duration{0}) {
+    deliver_direct(target, std::move(message));
+  } else {
+    enqueue_wire(std::move(message), delay);
+  }
 }
 
 void Network::finish_in_flight() {
@@ -134,63 +169,58 @@ void Network::finish_in_flight() {
 }
 
 Status Network::send(Message message) {
-  std::lock_guard<std::mutex> lock(mu_);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.sent++;
-    stats_.bytes += message.payload.size();
-  }
+  inc(stats_.sent);
+  inc(stats_.bytes, message.payload.size());
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
   // A crashed endpoint behaves like a dead host, not a config error: the
   // datagram is silently lost so retry layers keep probing for the restart.
   if (crashed_.contains(message.to) || crashed_.contains(message.from)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.dropped++;
-    stats_.dropped_crashed++;
+    drop(&AtomicStats::dropped_crashed);
     return Status::ok();
   }
-  if (!nodes_.contains(message.to)) {
+  auto it = nodes_.find(message.to);
+  if (it == nodes_.end()) {
     return {StatusCode::kNoSuchNode, message.to.to_string()};
   }
-  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.dropped++;
-    stats_.dropped_legacy++;
-    return Status::ok();  // datagram semantics: loss is silent
+  if (config_.drop_probability > 0.0) {
+    bool lost;
+    {
+      std::lock_guard<std::mutex> rng_lock(rng_mu_);
+      lost = rng_.chance(config_.drop_probability);
+    }
+    if (lost) {
+      drop(&AtomicStats::dropped_legacy);
+      return Status::ok();  // datagram semantics: loss is silent
+    }
   }
-  transmit_locked(std::move(message));
+  transmit(*it->second, std::move(message));
   return Status::ok();
 }
 
 Status Network::broadcast(Message message) {
-  std::lock_guard<std::mutex> lock(mu_);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.broadcast_sends++;
-  }
+  inc(stats_.broadcast_sends);
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
   if (crashed_.contains(message.from)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.dropped++;
-    stats_.dropped_crashed++;
+    drop(&AtomicStats::dropped_crashed);
     return Status::ok();
   }
   for (const auto& [id, state] : nodes_) {
     if (id == message.from) continue;
+    // The copy shares the payload buffer: broadcast marshals once, every
+    // leg carries the same bytes.
     Message copy = message;
     copy.to = id;
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.fanout_messages++;
-      stats_.bytes += copy.payload.size();
-    }
+    inc(stats_.fanout_messages);
+    inc(stats_.bytes, copy.payload.size());
     // Each fan-out leg passes through the injector independently: one
     // broadcast can reach some destinations and lose others.
-    transmit_locked(std::move(copy));
+    transmit(*state, std::move(copy));
   }
   return Status::ok();
 }
 
 Status Network::create_multicast_group(GroupId group) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   auto [it, inserted] = multicast_groups_.try_emplace(group);
   (void)it;
   if (!inserted) return {StatusCode::kAlreadyExists, group.to_string()};
@@ -198,7 +228,7 @@ Status Network::create_multicast_group(GroupId group) {
 }
 
 Status Network::join(GroupId group, NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   auto it = multicast_groups_.find(group);
   if (it == multicast_groups_.end()) {
     return {StatusCode::kNoSuchGroup, group.to_string()};
@@ -208,7 +238,7 @@ Status Network::join(GroupId group, NodeId node) {
 }
 
 Status Network::leave(GroupId group, NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   auto it = multicast_groups_.find(group);
   if (it == multicast_groups_.end()) {
     return {StatusCode::kNoSuchGroup, group.to_string()};
@@ -218,55 +248,48 @@ Status Network::leave(GroupId group, NodeId node) {
 }
 
 Status Network::multicast(GroupId group, Message message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
   auto it = multicast_groups_.find(group);
   if (it == multicast_groups_.end()) {
     return {StatusCode::kNoSuchGroup, group.to_string()};
   }
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.multicast_sends++;
-  }
+  inc(stats_.multicast_sends);
   if (crashed_.contains(message.from)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.dropped++;
-    stats_.dropped_crashed++;
+    drop(&AtomicStats::dropped_crashed);
     return Status::ok();
   }
   for (NodeId member : it->second) {
     if (member == message.from) continue;
-    if (!nodes_.contains(member)) continue;
+    auto node_it = nodes_.find(member);
+    if (node_it == nodes_.end()) continue;
     Message copy = message;
     copy.to = member;
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.fanout_messages++;
-      stats_.bytes += copy.payload.size();
-    }
-    transmit_locked(std::move(copy));
+    inc(stats_.fanout_messages);
+    inc(stats_.bytes, copy.payload.size());
+    transmit(*node_it->second, std::move(copy));
   }
   return Status::ok();
 }
 
 void Network::partition(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   partitions_.insert(normalize(a, b));
 }
 
 void Network::heal(NodeId a, NodeId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   partitions_.erase(normalize(a, b));
 }
 
 void Network::isolate(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   for (const auto& [id, state] : nodes_) {
     if (id != node) partitions_.insert(normalize(node, id));
   }
 }
 
 void Network::reconnect(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(topo_mu_);
   std::erase_if(partitions_, [node](const auto& pair) {
     return pair.first == node || pair.second == node;
   });
@@ -277,25 +300,25 @@ bool Network::pair_partitioned_locked(NodeId a, NodeId b) const {
 }
 
 void Network::load_fault_plan(FaultPlan plan) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    injector_.load(std::move(plan));
-    fault_epoch_ = clock_.now();
-  }
+  injector_.load(std::move(plan));
+  fault_epoch_rep_.store(clock_.now().count(), std::memory_order_release);
+  // Events scheduled at (or before) the epoch apply before this returns: a
+  // zero-latency direct-push send issued right after load_fault_plan must
+  // not race the wire thread past a t=0 partition or crash.
+  apply_schedule(injector_.due(Duration{0}));
   wire_cv_.notify_all();  // wire thread re-reads the schedule deadline
 }
 
 Status Network::crash_node(NodeId node) {
   std::unique_ptr<NodeState> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(topo_mu_);
     auto it = nodes_.find(node);
     if (it == nodes_.end()) return {StatusCode::kNoSuchNode, node.to_string()};
     crashed_[node] = it->second->handler;
     state = std::move(it->second);
     nodes_.erase(it);
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.crashes++;
+    inc(stats_.crashes);
   }
   state->mailbox.close();
   if (state->delivery_thread.joinable()) state->delivery_thread.join();
@@ -309,7 +332,7 @@ Status Network::crash_node(NodeId node) {
 
 Status Network::restart_node(NodeId node) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(topo_mu_);
     auto it = crashed_.find(node);
     if (it == crashed_.end()) {
       return {StatusCode::kNoSuchNode, "not crashed: " + node.to_string()};
@@ -317,30 +340,66 @@ Status Network::restart_node(NodeId node) {
     MessageHandler handler = std::move(it->second);
     crashed_.erase(it);
     register_node_locked(node, std::move(handler));
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.restarts++;
+    inc(stats_.restarts);
   }
   wire_cv_.notify_all();
   return Status::ok();
 }
 
 bool Network::is_crashed(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
   return crashed_.contains(node);
 }
 
 NetworkStats Network::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  NetworkStats out;
+  out.sent = stats_.sent.load(std::memory_order_relaxed);
+  out.delivered = stats_.delivered.load(std::memory_order_relaxed);
+  out.dropped = stats_.dropped.load(std::memory_order_relaxed);
+  out.broadcast_sends = stats_.broadcast_sends.load(std::memory_order_relaxed);
+  out.multicast_sends = stats_.multicast_sends.load(std::memory_order_relaxed);
+  out.bytes = stats_.bytes.load(std::memory_order_relaxed);
+  out.fanout_messages = stats_.fanout_messages.load(std::memory_order_relaxed);
+  out.wire_queued = stats_.wire_queued.load(std::memory_order_relaxed);
+  out.dropped_by_fault =
+      stats_.dropped_by_fault.load(std::memory_order_relaxed);
+  out.dropped_by_partition =
+      stats_.dropped_by_partition.load(std::memory_order_relaxed);
+  out.dropped_legacy = stats_.dropped_legacy.load(std::memory_order_relaxed);
+  out.dropped_crashed = stats_.dropped_crashed.load(std::memory_order_relaxed);
+  out.dropped_no_route =
+      stats_.dropped_no_route.load(std::memory_order_relaxed);
+  out.duplicated = stats_.duplicated.load(std::memory_order_relaxed);
+  out.reordered = stats_.reordered.load(std::memory_order_relaxed);
+  out.delay_spikes = stats_.delay_spikes.load(std::memory_order_relaxed);
+  out.crashes = stats_.crashes.load(std::memory_order_relaxed);
+  out.restarts = stats_.restarts.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Network::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = NetworkStats{};
+  stats_.sent.store(0, std::memory_order_relaxed);
+  stats_.delivered.store(0, std::memory_order_relaxed);
+  stats_.dropped.store(0, std::memory_order_relaxed);
+  stats_.broadcast_sends.store(0, std::memory_order_relaxed);
+  stats_.multicast_sends.store(0, std::memory_order_relaxed);
+  stats_.bytes.store(0, std::memory_order_relaxed);
+  stats_.fanout_messages.store(0, std::memory_order_relaxed);
+  stats_.wire_queued.store(0, std::memory_order_relaxed);
+  stats_.dropped_by_fault.store(0, std::memory_order_relaxed);
+  stats_.dropped_by_partition.store(0, std::memory_order_relaxed);
+  stats_.dropped_legacy.store(0, std::memory_order_relaxed);
+  stats_.dropped_crashed.store(0, std::memory_order_relaxed);
+  stats_.dropped_no_route.store(0, std::memory_order_relaxed);
+  stats_.duplicated.store(0, std::memory_order_relaxed);
+  stats_.reordered.store(0, std::memory_order_relaxed);
+  stats_.delay_spikes.store(0, std::memory_order_relaxed);
+  stats_.crashes.store(0, std::memory_order_relaxed);
+  stats_.restarts.store(0, std::memory_order_relaxed);
 }
 
 std::vector<NodeId> Network::nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
   for (const auto& [id, state] : nodes_) out.push_back(id);
@@ -355,8 +414,49 @@ void Network::quiesce() {
   });
 }
 
+void Network::apply_schedule(const std::vector<ScheduledAction>& actions) {
+  for (const ScheduledAction& action : actions) {
+    switch (action.kind) {
+      case ScheduledAction::Kind::kPartition:
+        partition(action.a, action.b);
+        break;
+      case ScheduledAction::Kind::kHeal:
+        heal(action.a, action.b);
+        break;
+      case ScheduledAction::Kind::kCrash:
+        crash_node(action.a);
+        break;
+      case ScheduledAction::Kind::kRestart:
+        restart_node(action.a);
+        break;
+    }
+  }
+}
+
+void Network::deliver_from_wire(Message message) {
+  std::shared_lock<std::shared_mutex> lock(topo_mu_);
+  const bool cut = pair_partitioned_locked(message.from, message.to);
+  auto it = nodes_.find(message.to);
+  if (cut || it == nodes_.end()) {
+    if (cut) {
+      drop(&AtomicStats::dropped_by_partition);
+    } else if (crashed_.contains(message.to)) {
+      drop(&AtomicStats::dropped_crashed);
+    } else {
+      drop(&AtomicStats::dropped_no_route);
+    }
+    finish_in_flight();
+    return;
+  }
+  // Holding topo_mu_ shared across the push keeps the node-exists check and
+  // the push atomic with respect to unregister_node / crash_node.
+  if (!it->second->mailbox.push(std::move(message))) {
+    finish_in_flight();
+  }
+}
+
 void Network::wire_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(wire_mu_);
   while (true) {
     if (shutting_down_) {
       // Drop everything still on the wire and release quiesce tokens.
@@ -367,32 +467,15 @@ void Network::wire_loop() {
       return;
     }
 
-    // Apply fault-plan schedule actions that fell due.  Partition edits are
-    // cheap and happen inline; crash/restart joins a delivery thread, which
-    // may itself be blocked in send() needing mu_, so those run unlocked.
-    const Duration plan_now = clock_.now() - fault_epoch_;
-    std::vector<ScheduledAction> lifecycle;
-    for (const ScheduledAction& action : injector_.due(plan_now)) {
-      switch (action.kind) {
-        case ScheduledAction::Kind::kPartition:
-          partitions_.insert(normalize(action.a, action.b));
-          break;
-        case ScheduledAction::Kind::kHeal:
-          partitions_.erase(normalize(action.a, action.b));
-          break;
-        default:
-          lifecycle.push_back(action);
-      }
-    }
-    if (!lifecycle.empty()) {
+    // Apply fault-plan schedule actions that fell due.  They take topo_mu_
+    // unique (partitions) or join delivery threads (crash/restart), which
+    // may block on traffic needing the wire queue — so run them with
+    // wire_mu_ released.
+    const Duration plan_now = clock_.now() - fault_epoch();
+    std::vector<ScheduledAction> due = injector_.due(plan_now);
+    if (!due.empty()) {
       lock.unlock();
-      for (const ScheduledAction& action : lifecycle) {
-        if (action.kind == ScheduledAction::Kind::kCrash) {
-          crash_node(action.a);
-        } else {
-          restart_node(action.a);
-        }
-      }
+      apply_schedule(due);
       lock.lock();
       continue;
     }
@@ -400,7 +483,7 @@ void Network::wire_loop() {
     const Duration next_plan_event = injector_.next_event_at();
     const Duration next_sched = next_plan_event == Duration::max()
                                     ? Duration::max()
-                                    : fault_epoch_ + next_plan_event;
+                                    : fault_epoch() + next_plan_event;
     if (wire_.empty()) {
       if (next_sched == Duration::max()) {
         // Plain wait, then re-derive everything at the loop top: a
@@ -420,42 +503,32 @@ void Network::wire_loop() {
     }
     if (wire_.top().deliver_at > now) continue;  // only the schedule was due
 
-    Message message = std::move(const_cast<WireItem&>(wire_.top()).message);
-    wire_.pop();
-
-    const bool cut = pair_partitioned_locked(message.from, message.to);
-    auto it = nodes_.find(message.to);
-    if (cut || it == nodes_.end()) {
-      {
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        stats_.dropped++;
-        if (cut) {
-          stats_.dropped_by_partition++;
-        } else if (crashed_.contains(message.to)) {
-          stats_.dropped_crashed++;
-        } else {
-          stats_.dropped_no_route++;
-        }
-      }
-      finish_in_flight();
-      continue;
+    // Batch-drain everything already due, then route it without holding the
+    // queue lock: concurrent senders keep enqueueing while we deliver.
+    std::vector<Message> batch;
+    while (!wire_.empty() && wire_.top().deliver_at <= now) {
+      batch.push_back(std::move(const_cast<WireItem&>(wire_.top()).message));
+      wire_.pop();
     }
-    // Mailbox push is cheap; keeping mu_ held here keeps the node-exists
-    // check and the push atomic with respect to unregister_node.
-    if (!it->second->mailbox.push(std::move(message))) {
-      finish_in_flight();
+    lock.unlock();
+    for (Message& message : batch) {
+      deliver_from_wire(std::move(message));
     }
+    lock.lock();
   }
 }
 
 void Network::delivery_loop(NodeState& state) {
-  while (auto message = state.mailbox.pop()) {
-    state.handler(*message);  // runs unlocked (CP.22)
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.delivered++;
+  // Batched drain: a burst of queued messages costs one mailbox lock
+  // round-trip.  An empty batch means closed-and-drained.
+  while (true) {
+    std::deque<Message> batch = state.mailbox.pop_all();
+    if (batch.empty()) return;
+    for (Message& message : batch) {
+      state.handler(message);  // runs unlocked (CP.22)
+      inc(stats_.delivered);
+      finish_in_flight();
     }
-    finish_in_flight();
   }
 }
 

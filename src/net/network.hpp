@@ -3,7 +3,17 @@
 // Topology is a full mesh.  Each registered node gets an inbound FIFO mailbox
 // drained by its own delivery thread, so message handling is concurrent and
 // asynchronous exactly as on a real cluster.  A central "wire" thread applies
-// configurable per-message latency and loss, and honours partitions.
+// configurable per-message latency; zero-latency traffic bypasses it entirely
+// and is pushed straight into the destination mailbox by the sender.
+//
+// Locking is sharded so concurrent senders on different nodes do not
+// serialize on one global mutex (see DESIGN.md "Performance model"):
+//
+//   topo_mu_ (shared_mutex)  nodes/groups/partitions/crashed — senders take
+//                            it shared, topology changes take it unique
+//   wire_mu_                 the timing queue, delayed traffic only
+//   FaultInjector            internally synchronized (sharded per-stream)
+//   stats_                   per-cause relaxed atomics, no lock at all
 //
 // Supports the three primitives §7.1 of the paper needs from the transport:
 // point-to-point send, broadcast (the "simple solution" locator), and
@@ -18,6 +28,7 @@
 #include <mutex>
 #include <queue>
 #include <set>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -54,6 +65,10 @@ struct NetworkStats {
   // Total per-destination fan-out of broadcasts/multicasts (each counts as a
   // wire message for the location-cost benches).
   std::uint64_t fanout_messages = 0;
+  // Messages that went through the wire thread's timing queue (latency or
+  // injected delay > 0).  Zero-latency traffic is pushed directly into the
+  // destination mailbox and never counts here.
+  std::uint64_t wire_queued = 0;
   // Per-cause loss breakdown (each also counts into `dropped`).
   std::uint64_t dropped_by_fault = 0;      // injector probabilistic drop
   std::uint64_t dropped_by_partition = 0;  // partitioned pair at delivery
@@ -89,7 +104,9 @@ class Network {
   // asynchronous and may still be dropped (datagram semantics).
   Status send(Message message);
 
-  // Delivers to every registered node except the sender.
+  // Delivers to every registered node except the sender.  All fan-out legs
+  // share the sender's payload buffer (SharedPayload): one marshal per
+  // broadcast, not one per destination.
   Status broadcast(Message message);
 
   // Multicast groups.
@@ -153,34 +170,83 @@ class Network {
     }
   };
 
+  // NetworkStats with every counter a relaxed atomic: hot paths bump without
+  // a lock, stats() takes a snapshot.  Counts are monotonic event tallies,
+  // so relaxed ordering is enough — readers only need eventual totals, not
+  // cross-counter consistency at an instant.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> broadcast_sends{0};
+    std::atomic<std::uint64_t> multicast_sends{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> fanout_messages{0};
+    std::atomic<std::uint64_t> wire_queued{0};
+    std::atomic<std::uint64_t> dropped_by_fault{0};
+    std::atomic<std::uint64_t> dropped_by_partition{0};
+    std::atomic<std::uint64_t> dropped_legacy{0};
+    std::atomic<std::uint64_t> dropped_crashed{0};
+    std::atomic<std::uint64_t> dropped_no_route{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};
+    std::atomic<std::uint64_t> delay_spikes{0};
+    std::atomic<std::uint64_t> crashes{0};
+    std::atomic<std::uint64_t> restarts{0};
+  };
+
   void wire_loop();
   void delivery_loop(NodeState& state);
-  void enqueue_wire(Message message, Duration extra_delay);
+  // Applies scheduled fault-plan actions; runs with NO lock held.
+  void apply_schedule(const std::vector<ScheduledAction>& actions);
+  // Queues one message on the wire thread's timing queue (locks wire_mu_).
+  void enqueue_wire(Message message, Duration delay);
+  // Routes one wire-queue message that fell due (takes topo_mu_ shared).
+  void deliver_from_wire(Message message);
   // Applies the fault injector to one outbound message (a p2p send or one
-  // fan-out leg), then queues it (and a possible duplicate) on the wire.
-  void transmit_locked(Message message);
+  // fan-out leg), then either pushes it straight into `target`'s mailbox
+  // (zero total delay) or queues it on the wire.  Caller holds topo_mu_
+  // (shared suffices).
+  void transmit(NodeState& target, Message message);
+  // The zero-delay fast path: partition check + direct mailbox push.
+  // Caller holds topo_mu_ (shared suffices).
+  void deliver_direct(NodeState& target, Message message);
   void register_node_locked(NodeId node, MessageHandler handler);
   void finish_in_flight();
+  void drop(std::atomic<std::uint64_t> AtomicStats::* cause);
+  // Caller holds topo_mu_ (shared suffices).
   [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration latency_for(const Message& message) const;
+  [[nodiscard]] Duration fault_epoch() const {
+    return Duration{fault_epoch_rep_.load(std::memory_order_acquire)};
+  }
 
   NetworkConfig config_;
   SteadyClock clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wire_cv_;
-  std::priority_queue<WireItem, std::vector<WireItem>, std::greater<>> wire_;
-  std::uint64_t wire_sequence_ = 0;
+  // Topology: read-mostly routing state.  Senders take it shared; node
+  // lifecycle and partition edits take it unique.
+  mutable std::shared_mutex topo_mu_;
   std::unordered_map<NodeId, std::unique_ptr<NodeState>> nodes_;
   std::map<GroupId, std::set<NodeId>> multicast_groups_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
-  SplitMix64 rng_;
+  std::unordered_map<NodeId, MessageHandler> crashed_;  // handler for restart
+
+  // Timing wheel: only traffic with a non-zero delivery delay lives here.
+  mutable std::mutex wire_mu_;
+  std::condition_variable wire_cv_;
+  std::priority_queue<WireItem, std::vector<WireItem>, std::greater<>> wire_;
+  std::uint64_t wire_sequence_ = 0;
   bool shutting_down_ = false;
 
-  // Fault plan execution (guarded by mu_; schedule applied by wire_loop).
+  // LEGACY drop_probability draws (p2p only, off by default).
+  std::mutex rng_mu_;
+  SplitMix64 rng_;
+
+  // Fault plan execution (injector is internally synchronized; the schedule
+  // is applied by the wire thread).
   FaultInjector injector_;
-  Duration fault_epoch_{0};  // plan-relative time zero
-  std::unordered_map<NodeId, MessageHandler> crashed_;  // handler for restart
+  std::atomic<Duration::rep> fault_epoch_rep_{0};  // plan-relative time zero
 
   // In-flight accounting for quiesce(): incremented when a message enters the
   // wire, decremented after the destination handler returns.
@@ -188,8 +254,7 @@ class Network {
   std::condition_variable quiesce_cv_;
   mutable std::mutex quiesce_mu_;
 
-  mutable std::mutex stats_mu_;
-  NetworkStats stats_;
+  AtomicStats stats_;
 
   std::thread wire_thread_;
 };

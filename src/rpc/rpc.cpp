@@ -79,18 +79,27 @@ RpcEndpoint::~RpcEndpoint() {
 }
 
 RpcStats RpcEndpoint::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  RpcStats out;
+  out.requests_executed =
+      stats_.requests_executed.load(std::memory_order_relaxed);
+  out.retries_sent = stats_.retries_sent.load(std::memory_order_relaxed);
+  out.deadline_timeouts =
+      stats_.deadline_timeouts.load(std::memory_order_relaxed);
+  out.dedup_replays = stats_.dedup_replays.load(std::memory_order_relaxed);
+  out.duplicate_drops = stats_.duplicate_drops.load(std::memory_order_relaxed);
+  return out;
 }
 
 void RpcEndpoint::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = RpcStats{};
+  stats_.requests_executed.store(0, std::memory_order_relaxed);
+  stats_.retries_sent.store(0, std::memory_order_relaxed);
+  stats_.deadline_timeouts.store(0, std::memory_order_relaxed);
+  stats_.dedup_replays.store(0, std::memory_order_relaxed);
+  stats_.duplicate_drops.store(0, std::memory_order_relaxed);
 }
 
-void RpcEndpoint::bump(std::uint64_t RpcStats::* counter) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.*counter += 1;
+void RpcEndpoint::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
+  (stats_.*counter).fetch_add(1, std::memory_order_relaxed);
 }
 
 void RpcEndpoint::register_method(std::string name, Method method,
@@ -127,7 +136,9 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
                                  Duration timeout) {
   const CallId call = ids_.next<CallTag>();
   const bool oneway = (state == nullptr);
-  Payload encoded = encode_request(method, args, oneway);
+  // Marshal exactly once; the pending record and every (re)transmission
+  // share this one buffer.
+  net::SharedPayload encoded(encode_request(method, args, oneway));
   if (state) {
     const Duration now = clock_.now();
     PendingRecord record;
@@ -208,13 +219,13 @@ void RpcEndpoint::retry_loop() {
       lock.unlock();
       for (auto& state : expired) {
         fulfill(*state, Status{StatusCode::kTimeout, "rpc deadline exceeded"});
-        bump(&RpcStats::deadline_timeouts);
+        bump(&AtomicStats::deadline_timeouts);
       }
       for (auto& message : resend) {
         // Failures here (node unregistered mid-flight) are deliberately
         // ignored: the deadline converts them into a definite timeout.
         network_.send(std::move(message));
-        bump(&RpcStats::retries_sent);
+        bump(&AtomicStats::retries_sent);
       }
       lock.lock();
       continue;  // re-derive `next` after the unlocked window
@@ -241,8 +252,15 @@ Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
   auto result = pending.claim(timeout);
   if (!result.is_ok() && result.status().code() == StatusCode::kTimeout) {
     // Forget the correlation entry; a late response is dropped harmlessly.
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.erase(id);
+    // If the record is still pending, the claimer's clock beat the retry
+    // thread to the shared deadline — account the timeout here so the
+    // counter does not depend on which side wakes first.
+    bool was_pending = false;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      was_pending = pending_.erase(id) > 0;
+    }
+    if (was_pending) bump(&AtomicStats::deadline_timeouts);
   }
   return result;
 }
@@ -283,7 +301,7 @@ void RpcEndpoint::on_request(const net::Message& message) {
     }
     if (duplicate) {
       if (!replay.empty()) {
-        bump(&RpcStats::dedup_replays);
+        bump(&AtomicStats::dedup_replays);
         network_.send(net::Message{
             .from = self_,
             .to = message.from,
@@ -292,7 +310,7 @@ void RpcEndpoint::on_request(const net::Message& message) {
             .payload = std::move(replay),
         });
       } else {
-        bump(&RpcStats::duplicate_drops);
+        bump(&AtomicStats::duplicate_drops);
       }
       return;
     }
@@ -302,7 +320,7 @@ void RpcEndpoint::on_request(const net::Message& message) {
   // (they are required not to block); kBlocking methods go to the pool.
   MethodClass method_class = MethodClass::kBlocking;
   try {
-    Reader peek(message.payload);
+    Reader peek(message.payload.share());
     const std::string method_name = peek.get_string();
     std::lock_guard<std::mutex> lock(methods_mu_);
     auto it = methods_.find(method_name);
@@ -345,7 +363,7 @@ void RpcEndpoint::record_dedup(const net::Message& message, bool oneway,
 }
 
 void RpcEndpoint::execute_request(const net::Message& message) {
-  Reader r(message.payload);
+  Reader r(message.payload.share());
   std::string method_name;
   Payload args;
   bool oneway = false;
@@ -375,7 +393,7 @@ void RpcEndpoint::execute_request(const net::Message& message) {
       }()
              : Result<Payload>(Status{StatusCode::kInvalidArgument,
                                       "no such method: " + method_name});
-  if (method) bump(&RpcStats::requests_executed);
+  if (method) bump(&AtomicStats::requests_executed);
   if (oneway) {
     record_dedup(message, /*oneway=*/true, Payload{});
     return;
@@ -407,7 +425,7 @@ void RpcEndpoint::on_response(const net::Message& message) {
     pending_.erase(it);
   }
   try {
-    Reader r(message.payload);
+    Reader r(message.payload.share());
     const auto code = r.get<StatusCode>();
     auto status_message = r.get_string();
     auto result = r.get_bytes();

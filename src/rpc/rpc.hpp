@@ -25,6 +25,7 @@
 // message duplication and retransmission.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -152,7 +153,10 @@ class RpcEndpoint {
   struct PendingRecord {
     std::shared_ptr<PendingCall::State> state;
     NodeId target;
-    Payload request;        // encoded request, kept only when retries are on
+    // Encoded request, kept only when retries are on.  Shares the original
+    // transmission's buffer: a retransmission costs no re-marshal and no
+    // copy, just another reference.
+    net::SharedPayload request;
     Duration deadline;      // absolute steady-clock time the call fails at
     Duration next_resend;   // absolute; max() = no further retransmissions
     Duration backoff;       // current backoff step
@@ -178,7 +182,17 @@ class RpcEndpoint {
   [[nodiscard]] Duration jittered(Duration backoff);  // holds pending_mu_
   void record_dedup(const net::Message& message, bool oneway,
                     const Payload& response);
-  void bump(std::uint64_t RpcStats::* counter);
+
+  // RpcStats with relaxed atomic counters: the request/response hot paths
+  // bump without a lock; stats() snapshots.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> requests_executed{0};
+    std::atomic<std::uint64_t> retries_sent{0};
+    std::atomic<std::uint64_t> deadline_timeouts{0};
+    std::atomic<std::uint64_t> dedup_replays{0};
+    std::atomic<std::uint64_t> duplicate_drops{0};
+  };
+  void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
 
   net::Network& network_;
   NodeId self_;
@@ -207,8 +221,7 @@ class RpcEndpoint {
   std::map<DedupKey, DedupEntry> dedup_;
   std::deque<std::pair<Duration, DedupKey>> dedup_order_;  // completion order
 
-  mutable std::mutex stats_mu_;
-  RpcStats stats_;
+  AtomicStats stats_;
 
   std::thread retry_thread_;
 };

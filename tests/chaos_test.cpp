@@ -258,6 +258,81 @@ TEST(Chaos, SameSeedIdenticalFaultCounts) {
   EXPECT_GT(std::get<3>(first), 0u);
 }
 
+// --- 2b. cached delivery under seeded faults ---------------------------------
+//
+// The thread-location cache rides the same raise path the chaos lane beats
+// on: hinted deliveries must survive seeded drops/duplicates (RPC retries
+// disprove stale hints, the fallback locator recovers), and the fault
+// determinism guarantee must hold with the cache in play.
+
+TEST(Chaos, CachedDeliverySurvivesSeededFaults) {
+  const std::uint64_t seed = chaos_seed();
+  ClusterConfig config;
+  config.node.rpc.default_timeout = 2s;
+  config.node.rpc.max_retries = 4;
+  config.node.rpc.retry_base_delay = 10ms;
+  config.node.kernel.locate_timeout = 1s;
+  Cluster cluster(3, config);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  auto& n2 = cluster.node(2);
+
+  std::atomic<bool> release{false};
+  auto parked = [&release](runtime::NodeRuntime& node) {
+    return [&release, &node] {
+      while (!release.load()) {
+        if (!node.kernel.sleep_for(1ms).is_ok()) return;
+      }
+    };
+  };
+  const ThreadId on_n1 = n1.kernel.spawn(parked(n1));
+  const ThreadId on_n2 = n2.kernel.spawn(parked(n2));
+
+  // Warm n0's cache before the faults arm.
+  ASSERT_EQ(n0.kernel.locate(on_n1).value(), n1.id);
+  ASSERT_EQ(n0.kernel.locate(on_n2).value(), n2.id);
+  EXPECT_GE(n0.kernel.location_cache().stats().inserts, 2u);
+
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.link_defaults.drop_probability = 0.15;
+  plan.link_defaults.duplicate_probability = 0.10;
+  plan.link_defaults.delay_spike_probability = 0.10;
+  plan.link_defaults.delay_spike_min = 100us;
+  plan.link_defaults.delay_spike_max = 1ms;
+  cluster.network().load_fault_plan(plan);
+
+  // Terminate both parked threads through the lossy fabric.  Each raise may
+  // ride the hint or re-locate after a refused retry; either way it must
+  // land within the deadline.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  for (const auto& [tid, home] :
+       {std::pair{on_n1, &n1}, std::pair{on_n2, &n2}}) {
+    Status status{StatusCode::kInternal, "unsent"};
+    while (std::chrono::steady_clock::now() < deadline) {
+      status = n0.events.raise(events::sys::kTerminate, tid);
+      if (status.is_ok() && home->kernel.join_thread(tid, 2s).is_ok()) break;
+    }
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+  release = true;
+
+  // The two raises alone are too little traffic to guarantee a seeded drop
+  // under every seed; pump enough datagrams that the armed plan must bite.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(cluster.network()
+                    .send(net::Message{.from = n0.id,
+                                       .to = n1.id,
+                                       .kind = 0x7E57,
+                                       .call = CallId{},
+                                       .payload = {}})
+                    .is_ok());
+  }
+  EXPECT_GT(cluster.network().stats().dropped_by_fault, 0u);
+  cluster.network().quiesce();
+  EXPECT_EQ(cluster.network().in_flight(), 0);
+}
+
 // --- 3. orphaned-lock cleanup on holder crash --------------------------------
 //
 // The holder's TERMINATE chain lives on the crashed node and can never run;

@@ -349,7 +349,8 @@ TEST(Stress, NetworkNodeChurnWithInFlightTraffic) {
         m.from = self;
         m.to = NodeId{1 + rng.below(kNodes)};
         m.kind = 0x7E57;
-        m.payload.assign(rng.below(64), static_cast<std::uint8_t>(i));
+        m.payload = std::vector<std::uint8_t>(rng.below(64),
+                                              static_cast<std::uint8_t>(i));
         switch (rng.below(3)) {
           case 0:
             network.send(std::move(m));
