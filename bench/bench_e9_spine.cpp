@@ -16,7 +16,11 @@
 //     every leg takes the direct-push fast path (no wire-thread hop) and all
 //     legs of one broadcast share a single payload buffer.
 //
-// Counters: msgs_per_sec (storm), cached/raise + locates/raise (raise rows).
+// Counters: msgs_per_sec (storm), cached/raise + locates/raise (raise rows),
+// plus per-operation latency percentiles (*_p50_us/.../_max_us) on the p2p
+// and raise rows so tail regressions show up even when the mean stays flat.
+// Observability stays OFF here — the row doubles as the obs-disabled
+// regression guard in CI (compare_benches.py vs bench/baseline/).
 #include "bench_util.hpp"
 
 #include "events/registry.hpp"
@@ -35,14 +39,18 @@ void BM_E9_P2P_RoundTrip(benchmark::State& state) {
         return rpc::Payload{};
       });
   const rpc::Payload args(32, 0x42);
+  LatencyPercentiles lat;
   for (auto _ : state) {
+    const std::int64_t t0 = lat.begin();
     auto reply = n0.rpc.call(n1.id, "bench.noop", args);
     if (!reply.is_ok()) {
       state.SkipWithError(
           ("p2p call failed: " + reply.status().to_string()).c_str());
       break;
     }
+    lat.end(t0);
   }
+  lat.flush(state, "call");
 }
 
 BENCHMARK(BM_E9_P2P_RoundTrip)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
@@ -74,14 +82,18 @@ void run_remote_raise(benchmark::State& state, bool cached) {
   n0.kernel.location_cache().reset_stats();
   cluster.network().reset_stats();
   long raised = 0;
+  LatencyPercentiles lat;
   for (auto _ : state) {
+    const std::int64_t t0 = lat.begin();
     auto status = n0.events.raise(events::sys::kTimer, tid);
     if (!status.is_ok()) {
       state.SkipWithError(("raise failed: " + status.to_string()).c_str());
       break;
     }
+    lat.end(t0);
     raised++;
   }
+  lat.flush(state, "raise");
   if (raised > 0) {
     const auto stats = n0.kernel.stats();
     state.counters["cached/raise"] = benchmark::Counter(

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 
 namespace doct::bench {
@@ -68,5 +69,38 @@ inline std::shared_ptr<objects::PassiveObject> make_counting_object(
 inline void spin_until(const std::atomic<long>& counter, long target) {
   while (counter.load() < target) std::this_thread::yield();
 }
+
+// Per-operation latency distribution for a bench loop, backed by the obs
+// log-bucketed histogram (so benches and production sites share one bucket
+// scheme).  Usage:
+//
+//   LatencyPercentiles lat;
+//   for (auto _ : state) { auto t0 = lat.begin(); op(); lat.end(t0); }
+//   lat.flush(state, "op");   // -> op_p50_us / op_p90_us / op_p99_us /
+//                             //    op_max_us user counters
+//
+// flush() only emits when samples were recorded, and the counters use the
+// latency suffixes compare_benches.py treats as lower-is-better.
+class LatencyPercentiles {
+ public:
+  [[nodiscard]] std::int64_t begin() const { return obs::now_us(); }
+
+  void end(std::int64_t t0) { hist_.record_us(obs::now_us() - t0); }
+
+  void record_us(std::int64_t us) { hist_.record_us(us); }
+
+  void flush(benchmark::State& state, const std::string& prefix) {
+    const obs::HistogramSnapshot snap = hist_.snapshot();
+    if (snap.count == 0) return;
+    state.counters[prefix + "_p50_us"] = snap.p50;
+    state.counters[prefix + "_p90_us"] = snap.p90;
+    state.counters[prefix + "_p99_us"] = snap.p99;
+    state.counters[prefix + "_max_us"] = static_cast<double>(snap.max);
+    hist_.reset();
+  }
+
+ private:
+  obs::Histogram hist_;
+};
 
 }  // namespace doct::bench

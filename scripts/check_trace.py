@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event export from the obs layer.
+
+Checks that the file is valid JSON in the ``{"traceEvents": [...]}`` shape,
+that it contains complete ("X") spans, and — unless --allow-local is given —
+that at least one trace id has spans on two or more nodes (pids), i.e. the
+causal context actually crossed the wire.
+
+Usage:
+  check_trace.py TRACE.json [--allow-local]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--allow-local",
+        action="store_true",
+        help="don't require a cross-node trace (single-node scenarios)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        print(f"::error title=empty trace::{args.trace} has no spans")
+        return 1
+
+    nodes_by_trace = defaultdict(set)
+    for span in spans:
+        nodes_by_trace[span["args"]["trace_id"]].add(span["pid"])
+    cross = sum(1 for nodes in nodes_by_trace.values() if len(nodes) >= 2)
+    names = sorted({span["name"] for span in spans})
+    print(
+        f"{args.trace}: {len(spans)} spans, {len(nodes_by_trace)} traces, "
+        f"{cross} cross-node, span names: {', '.join(names)}"
+    )
+    if cross == 0 and not args.allow_local:
+        print(
+            f"::error title=no cross-node trace::{args.trace} has no trace "
+            "spanning two nodes"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

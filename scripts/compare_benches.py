@@ -2,9 +2,15 @@
 """Bench-regression guard: diff a google-benchmark JSON run against a baseline.
 
 Matches benchmarks by name and compares per-iteration latency (real_time),
-where LOWER is better, plus any ``*_per_sec`` user counters (rates such as
-``msgs_per_sec``), where HIGHER is better: a throughput row regresses when
-the current value drops below baseline * (1 - threshold).
+where LOWER is better, plus two families of user counters:
+
+* ``*_per_sec`` rates (such as ``msgs_per_sec``): HIGHER is better — a row
+  regresses when the current value drops below baseline * (1 - threshold).
+* ``*_p50_us`` / ``*_p90_us`` / ``*_p99_us`` latency percentiles (from the
+  obs histogram layer): LOWER is better — a row regresses when the current
+  value rises above baseline * (1 + threshold).  ``*_max_us`` is shown for
+  context but never flagged: a single scheduler hiccup moves it by orders of
+  magnitude.
 
 Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
@@ -27,9 +33,16 @@ _RESERVED = {
 }
 
 
+# User-counter suffixes with a defined direction.
+_RATE_SUFFIXES = ("_per_sec",)
+_LATENCY_SUFFIXES = ("_p50_us", "_p90_us", "_p99_us", "_max_us")
+# Shown but never flagged (single outliers dominate the max).
+_UNFLAGGED_SUFFIXES = ("_max_us",)
+
+
 def load_benchmarks(path):
-    """Returns {name: {"time": float, "unit": str, "rates": {counter: float}}}
-    for non-aggregate benchmark entries."""
+    """Returns {name: {"time": float, "unit": str, "rates": {...},
+    "latencies": {...}}} for non-aggregate benchmark entries."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -42,21 +55,25 @@ def load_benchmarks(path):
         time = bench.get("real_time", bench.get("cpu_time"))
         if name is None or time is None:
             continue
-        # User counters are inlined as extra numeric fields; only the
-        # *_per_sec ones have a direction we can reason about (throughput,
-        # higher is better) — everything else (ratios like msgs/locate) is
+        # User counters are inlined as extra numeric fields; only the ones
+        # with a known suffix have a direction we can reason about
+        # (throughput: higher is better; latency percentiles: lower is
+        # better) — everything else (ratios like msgs/locate) is
         # informational and skipped.
-        rates = {
-            key: float(value)
-            for key, value in bench.items()
-            if key not in _RESERVED
-            and key.endswith("_per_sec")
-            and isinstance(value, (int, float))
-        }
+        rates = {}
+        latencies = {}
+        for key, value in bench.items():
+            if key in _RESERVED or not isinstance(value, (int, float)):
+                continue
+            if key.endswith(_RATE_SUFFIXES):
+                rates[key] = float(value)
+            elif key.endswith(_LATENCY_SUFFIXES):
+                latencies[key] = float(value)
         out[name] = {
             "time": float(time),
             "unit": bench.get("time_unit", "ns"),
             "rates": rates,
+            "latencies": latencies,
         }
     return out
 
@@ -119,6 +136,24 @@ def main():
                 )
             rows.append(
                 (label, f"{base_rate:,.0f}", f"{cur_rate:,.0f}", rate_delta, drop)
+            )
+        # Latency percentile counters: lower is better, same sign as time.
+        for counter, cur_lat in sorted(cur["latencies"].items()):
+            base_lat = base["latencies"].get(counter)
+            label = f"{name} [{counter}]"
+            if base_lat is None:
+                rows.append((label, "--", f"{cur_lat:,.1f}us", None, False))
+                continue
+            lat_delta = (cur_lat - base_lat) / base_lat if base_lat > 0 else 0.0
+            worse = (lat_delta > args.threshold
+                     and not counter.endswith(_UNFLAGGED_SUFFIXES))
+            if worse:
+                regressions.append(
+                    (label, f"{base_lat:,.1f}us", f"{cur_lat:,.1f}us", lat_delta)
+                )
+            rows.append(
+                (label, f"{base_lat:,.1f}us", f"{cur_lat:,.1f}us", lat_delta,
+                 worse)
             )
 
     width = max((len(r[0]) for r in rows), default=9)

@@ -56,6 +56,24 @@ EventSystem::EventSystem(kernel::Kernel& kernel,
   rpc_.register_method(kRunHandlerMethod, [this](NodeId caller, Reader& args) {
     return rpc_run_handler(caller, args);
   });
+
+  sync_wait_us_ = &obs::metrics().histogram("events.sync_wait_us");
+  handle_us_ = &obs::metrics().histogram("events.handle_us");
+  metrics_source_ = obs::metrics().register_source(
+      "node" + std::to_string(kernel_.self().value()) + ".events", [this] {
+        const EventStats s = stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"raises_async", s.raises_async},
+            {"raises_sync", s.raises_sync},
+            {"thread_handlers_run", s.thread_handlers_run},
+            {"object_handlers_run", s.object_handlers_run},
+            {"per_thread_procs_run", s.per_thread_procs_run},
+            {"defaults_applied", s.defaults_applied},
+            {"propagations", s.propagations},
+            {"surrogate_runs", s.surrogate_runs},
+            {"dead_target_raises", s.dead_target_raises},
+        };
+      });
 }
 
 EventSystem::~EventSystem() {
@@ -213,13 +231,19 @@ Status EventSystem::raise(EventId event, ThreadId target,
   bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_thread = target;
+  // Root (or join) the causal trace here: everything downstream — route,
+  // wire, deliver, handle — hangs off this span.
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
   trace_.record(TraceStage::kRaised, event, notice.event_name, target,
-                ObjectId{});
+                ObjectId{}, {}, notice.trace_id);
   const Status delivered =
       kernel_.deliver_remote(notice, registry_.is_control(event));
   if (delivered.code() == StatusCode::kDeadTarget) {
     trace_.record(TraceStage::kDeadTarget, event, notice.event_name, target,
-                  ObjectId{});
+                  ObjectId{}, {}, notice.trace_id);
     bump(&AtomicStats::dead_target_raises);
     // §7: "When a notification is posted to a thread and the thread has been
     // destroyed, the sender of the event (if it is an asynchronous event)
@@ -250,8 +274,12 @@ Status EventSystem::raise(EventId event, GroupId target,
   bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_group = target;
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
   trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
-                ObjectId{}, "group " + target.to_string());
+                ObjectId{}, "group " + target.to_string(), notice.trace_id);
   return kernel_.deliver_group(notice, registry_.is_control(event));
 }
 
@@ -263,8 +291,12 @@ Status EventSystem::raise(EventId event, ObjectId target,
   bump(&AtomicStats::raises_async);
   kernel::EventNotice notice = make_notice(event, std::move(user_data), false);
   notice.target_object = target;
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
   trace_.record(TraceStage::kRaised, event, notice.event_name, ThreadId{},
-                target);
+                target, {}, notice.trace_id);
   return dispatch_to_object(notice);
 }
 
@@ -284,6 +316,13 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_thread = target;
   notice.wait_token = kernel_.new_wait_token();
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
+  trace_.record(TraceStage::kRaised, event, notice.event_name, target,
+                ObjectId{}, "sync", notice.trace_id);
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   kernel_.prepare_wait(notice.wait_token);
   const Status delivered =
       kernel_.deliver_remote(notice, registry_.is_control(event));
@@ -293,7 +332,9 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
     }
     return delivered;
   }
-  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  auto verdict = kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  if (t0 != 0) sync_wait_us_->record_us(obs::now_us() - t0);
+  return verdict;
 }
 
 Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
@@ -306,13 +347,20 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_group = target;
   notice.wait_token = kernel_.new_wait_token();
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   kernel_.prepare_wait(notice.wait_token);
   const Status delivered =
       kernel_.deliver_group(notice, registry_.is_control(event));
   if (!delivered.is_ok()) return delivered;
   // The raiser is resumed by the FIRST member that completes handling;
   // later resumes for the same token are dropped.
-  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  auto verdict = kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  if (t0 != 0) sync_wait_us_->record_us(obs::now_us() - t0);
+  return verdict;
 }
 
 Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
@@ -325,10 +373,17 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
   kernel::EventNotice notice = make_notice(event, std::move(user_data), true);
   notice.target_object = target;
   notice.wait_token = kernel_.new_wait_token();
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   kernel_.prepare_wait(notice.wait_token);
   const Status delivered = dispatch_to_object(notice);
   if (!delivered.is_ok()) return delivered;
-  return kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  auto verdict = kernel_.await_resume(notice.wait_token, config_.sync_timeout);
+  if (t0 != 0) sync_wait_us_->record_us(obs::now_us() - t0);
+  return verdict;
 }
 
 Result<kernel::Verdict> EventSystem::raise_exception(
@@ -344,6 +399,10 @@ Result<kernel::Verdict> EventSystem::raise_exception(
   notice.target_thread = ctx->tid();
   notice.system_info = system_info;
   notice.wait_token = kernel_.new_wait_token();
+  obs::SpanGuard span("raise", kernel_.self().value(), obs::kMintTrace,
+                      notice.event_name);
+  notice.trace_id = span.context().trace_id;
+  notice.parent_span = span.context().span_id;
   kernel_.prepare_wait(notice.wait_token);
 
   // Run the chain on a surrogate thread that adopts the suspended thread's
@@ -357,6 +416,10 @@ Result<kernel::Verdict> EventSystem::raise_exception(
   }
   const bool submitted =
       surrogates_.submit([this, shared = std::move(shared), notice] {
+        obs::SpanGuard handle_span(
+            "handle", kernel_.self().value(),
+            obs::TraceContext{notice.trace_id, notice.parent_span},
+            notice.event_name);
         const kernel::Verdict verdict = execute_chain(*shared, notice);
         kernel_.resume_waiter(notice.wait_token, verdict);
       });
@@ -374,9 +437,16 @@ Result<kernel::Verdict> EventSystem::raise_exception(
 
 kernel::Verdict EventSystem::on_deliver(kernel::ThreadContext& ctx,
                                         const kernel::EventNotice& notice) {
+  // Joins the raiser's trace on the handling node; covers the chain run AND
+  // the resume send, so the resume RPC stays causally linked.
+  obs::SpanGuard span("handle", kernel_.self().value(),
+                      obs::TraceContext{notice.trace_id, notice.parent_span},
+                      notice.event_name);
   trace_.record(TraceStage::kDelivered, notice.event, notice.event_name,
-                ctx.tid(), ObjectId{});
+                ctx.tid(), ObjectId{}, {}, notice.trace_id);
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   const kernel::Verdict verdict = execute_chain(ctx, notice);
+  if (t0 != 0) handle_us_->record_us(obs::now_us() - t0);
   if (notice.synchronous) send_resume(notice, verdict);
   return verdict;
 }
@@ -419,7 +489,7 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
       }
       bump(&AtomicStats::per_thread_procs_run);
       trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
-                    ctx.tid(), ObjectId{}, record.entry);
+                    ctx.tid(), ObjectId{}, record.entry, notice.trace_id);
       const EventBlock block{notice};
       PerThreadCallCtx pctx{ctx, block, manager_, ctx.current_object()};
       return {true, proc.value()(pctx)};
@@ -428,7 +498,7 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
     case kernel::HandlerKind::kBuddy: {
       bump(&AtomicStats::thread_handlers_run);
       trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
-                    ctx.tid(), record.object, record.entry);
+                    ctx.tid(), record.object, record.entry, notice.trace_id);
       const EventBlock block{notice};
       const NodeId home = objects::ObjectManager::object_node(record.object);
       Result<rpc::Payload> result{rpc::Payload{}};
@@ -458,7 +528,8 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
 kernel::Verdict EventSystem::apply_default(const kernel::EventNotice& notice) {
   bump(&AtomicStats::defaults_applied);
   trace_.record(TraceStage::kDefaultApplied, notice.event, notice.event_name,
-                notice.target_thread, notice.target_object);
+                notice.target_thread, notice.target_object, {},
+                notice.trace_id);
   return registry_.default_action(notice.event) == DefaultAction::kTerminate
              ? kernel::Verdict::kTerminate
              : kernel::Verdict::kResume;
@@ -470,7 +541,8 @@ void EventSystem::send_resume(const kernel::EventNotice& notice,
   trace_.record(TraceStage::kResumeSent, notice.event, notice.event_name,
                 notice.raiser, ObjectId{},
                 verdict == kernel::Verdict::kTerminate ? "terminate"
-                                                       : "resume");
+                                                       : "resume",
+                notice.trace_id);
   if (notice.raiser_node == kernel_.self()) {
     kernel_.resume_waiter(notice.wait_token, verdict);
     return;
@@ -518,11 +590,16 @@ Result<rpc::Payload> EventSystem::rpc_run_handler(NodeId, Reader& args) {
 
 void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
   trace_.record(TraceStage::kObjectDispatched, notice.event, notice.event_name,
-                ThreadId{}, notice.target_object);
+                ThreadId{}, notice.target_object, {}, notice.trace_id);
   if (config_.dispatch_mode == ObjectDispatchMode::kMasterThread) {
     // §7: a master handler thread serves all events on behalf of passive
     // objects, eliminating per-event thread creation.
     if (!master_.submit([this, notice] {
+          // Thread hop: rejoin the notice's trace on the master thread.
+          obs::SpanGuard span(
+              "handle", kernel_.self().value(),
+              obs::TraceContext{notice.trace_id, notice.parent_span},
+              notice.event_name);
           const kernel::Verdict verdict = run_object_handler_now(notice);
           if (notice.synchronous) send_resume(notice, verdict);
         })) {
@@ -557,6 +634,10 @@ void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
       per_event_threads_.erase(per_event_threads_.begin());
     }
     per_event_threads_.emplace_back([this, notice] {
+      obs::SpanGuard span(
+          "handle", kernel_.self().value(),
+          obs::TraceContext{notice.trace_id, notice.parent_span},
+          notice.event_name);
       const kernel::Verdict verdict = run_object_handler_now(notice);
       if (notice.synchronous) send_resume(notice, verdict);
       std::lock_guard<std::mutex> done_lock(per_event_mu_);
@@ -603,8 +684,10 @@ kernel::Verdict EventSystem::run_object_handler_now(
 
   bump(&AtomicStats::object_handlers_run);
   const EventBlock block{notice};
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   auto result = manager_.invoke_handler_entry(notice.target_object, entry,
                                               block.to_payload(), nullptr);
+  if (t0 != 0) handle_us_->record_us(obs::now_us() - t0);
   if (!result.is_ok()) {
     DOCT_LOG(kWarn) << "object handler " << entry << " failed: "
                     << result.status().to_string();

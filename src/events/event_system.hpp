@@ -45,6 +45,8 @@
 #include "events/trace.hpp"
 #include "kernel/kernel.hpp"
 #include "objects/manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 
 namespace doct::events {
@@ -211,6 +213,12 @@ class EventSystem {
   EventTrace trace_;
 
   AtomicStats stats_;
+
+  // Resolved once at construction; hot paths record without a lookup.
+  obs::Histogram* sync_wait_us_ = nullptr;  // raise_and_wait round trips
+  obs::Histogram* handle_us_ = nullptr;     // handler chain executions
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::events

@@ -8,6 +8,7 @@
 // for it); enable by setting EventConfig::trace_capacity > 0.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -40,6 +41,10 @@ struct TraceRecord {
   ThreadId thread;   // target thread if any
   ObjectId object;   // target/handler object if any
   std::string detail;
+  // Cross-node causal trace id (obs layer); correlates this node-local
+  // record with the distributed spans exported by obs::Tracer.  0 when the
+  // notice carried no trace.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -51,11 +56,13 @@ class EventTrace {
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
 
   void record(TraceStage stage, EventId event, const std::string& event_name,
-              ThreadId thread, ObjectId object, std::string detail = {}) {
+              ThreadId thread, ObjectId object, std::string detail = {},
+              std::uint64_t trace_id = 0) {
     if (!enabled()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    // Build the entry — clock read, string copies — before taking the lock,
+    // so concurrent recorders only serialize on the deque push itself.
     TraceRecord entry;
-    entry.sequence = ++sequence_;
+    entry.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
     entry.at_us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now().time_since_epoch())
                       .count();
@@ -65,6 +72,8 @@ class EventTrace {
     entry.thread = thread;
     entry.object = object;
     entry.detail = std::move(detail);
+    entry.trace_id = trace_id;
+    std::lock_guard<std::mutex> lock(mu_);
     records_.push_back(std::move(entry));
     while (records_.size() > capacity_) records_.pop_front();
   }
@@ -84,6 +93,19 @@ class EventTrace {
     return out;
   }
 
+  // Records belonging to one cross-node trace: the node-local view of a
+  // causal chain whose other halves live in obs::Tracer (possibly on other
+  // nodes).
+  [[nodiscard]] std::vector<TraceRecord> for_trace(
+      std::uint64_t trace_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceRecord> out;
+    for (const auto& record : records_) {
+      if (record.trace_id == trace_id && trace_id != 0) out.push_back(record);
+    }
+    return out;
+  }
+
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
@@ -92,7 +114,7 @@ class EventTrace {
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::uint64_t sequence_ = 0;
+  std::atomic<std::uint64_t> sequence_{0};  // allocated outside mu_
   std::deque<TraceRecord> records_;
 };
 

@@ -15,6 +15,8 @@ void EventNotice::serialize(Writer& w) const {
   w.put(raised_in);
   w.put(system_info);
   w.put(user_data);
+  w.put(trace_id);
+  w.put(parent_span);
 }
 
 EventNotice EventNotice::deserialize(Reader& r) {
@@ -31,6 +33,8 @@ EventNotice EventNotice::deserialize(Reader& r) {
   notice.raised_in = r.get_id<ObjectTag>();
   notice.system_info = r.get_string();
   notice.user_data = r.get_bytes();
+  notice.trace_id = r.get<std::uint64_t>();
+  notice.parent_span = r.get<std::uint64_t>();
   return notice;
 }
 

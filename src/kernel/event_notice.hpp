@@ -39,6 +39,12 @@ struct EventNotice {
   std::string system_info;   // simulated machine state (pc, fault address...)
   std::vector<std::uint8_t> user_data;
 
+  // Causal trace identity (obs layer): the trace minted at the raise point
+  // and the span that emitted this notice.  0/0 when tracing is off; carried
+  // on the wire so a remote handler joins the raiser's trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
   void serialize(Writer& w) const;
   static EventNotice deserialize(Reader& r);
   [[nodiscard]] bool operator==(const EventNotice&) const = default;

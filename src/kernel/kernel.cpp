@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace doct::kernel {
 
@@ -77,6 +78,36 @@ Kernel::Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
   });
 
   timer_thread_ = std::thread([this] { timer_loop(); });
+
+  deliver_us_ = &obs::metrics().histogram("kernel.deliver_us");
+  const std::string prefix = "node" + std::to_string(self_.value());
+  metrics_source_ = obs::metrics().register_source(prefix + ".kernel", [this] {
+    const KernelStats s = stats();
+    return std::vector<std::pair<std::string, std::uint64_t>>{
+        {"threads_spawned", s.threads_spawned},
+        {"threads_terminated", s.threads_terminated},
+        {"notices_delivered", s.notices_delivered},
+        {"notices_dead_target", s.notices_dead_target},
+        {"locate_probes_sent", s.locate_probes_sent},
+        {"migrations_in", s.migrations_in},
+        {"migrations_out", s.migrations_out},
+        {"timer_events", s.timer_events},
+        {"census_peer_down_skips", s.census_peer_down_skips},
+        {"cached_deliveries", s.cached_deliveries},
+    };
+  });
+  cache_metrics_source_ = obs::metrics().register_source(
+      prefix + ".location_cache", [this] {
+        const LocationCacheStats s = location_cache_.stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"hits", s.hits},
+            {"misses", s.misses},
+            {"stale", s.stale},
+            {"invalidations", s.invalidations},
+            {"inserts", s.inserts},
+            {"evictions", s.evictions},
+        };
+      });
 }
 
 Kernel::~Kernel() {
@@ -470,7 +501,15 @@ Status Kernel::deliver_local(const EventNotice& notice, bool urgent) {
   if (ctx->terminated()) {
     return {StatusCode::kDeadTarget, notice.target_thread.to_string()};
   }
-  ctx->enqueue(notice, urgent);
+  {
+    // Joins the raiser's trace via the notice headers: this span marks the
+    // moment the notice reached the hosting node's kernel queue.
+    obs::SpanGuard span(
+        "deliver", self_.value(),
+        obs::TraceContext{notice.trace_id, notice.parent_span},
+        notice.event_name);
+    ctx->enqueue(notice, urgent);
+  }
   bump(&AtomicStats::notices_delivered);
   return Status::ok();
 }
@@ -487,9 +526,18 @@ std::size_t Kernel::deliver_group_local(const EventNotice& notice,
 }
 
 Status Kernel::deliver_remote(const EventNotice& notice, bool urgent) {
+  // Child of the raise span: covers locate + delivery RPC (the "route" leg).
+  obs::SpanGuard span("route", self_.value(),
+                      obs::TraceContext{notice.trace_id, notice.parent_span},
+                      notice.event_name);
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
+
   // Fast path: the thread is here.
   Status local = deliver_local(notice, urgent);
-  if (local.is_ok() || local.code() == StatusCode::kDeadTarget) return local;
+  if (local.is_ok() || local.code() == StatusCode::kDeadTarget) {
+    if (t0 != 0) deliver_us_->record_us(obs::now_us() - t0);
+    return local;
+  }
 
   // Marshal once: the cached attempt, the located attempt, and the move-race
   // retry all reuse this buffer.
@@ -509,6 +557,7 @@ Status Kernel::deliver_remote(const EventNotice& notice, bool urgent) {
       auto reply = rpc_.call(*hint, kDeliverMethod, wire);
       if (reply.is_ok()) {
         bump(&AtomicStats::cached_deliveries);
+        if (t0 != 0) deliver_us_->record_us(obs::now_us() - t0);
         return Status::ok();
       }
       if (reply.status().code() == StatusCode::kDeadTarget) {
@@ -527,12 +576,16 @@ Status Kernel::deliver_remote(const EventNotice& notice, bool urgent) {
     if (located.value() == self_) {
       local = deliver_local(notice, urgent);
       if (local.is_ok() || local.code() == StatusCode::kDeadTarget) {
+        if (t0 != 0) deliver_us_->record_us(obs::now_us() - t0);
         return local;
       }
       continue;  // moved while we looked: re-locate
     }
     auto reply = rpc_.call(located.value(), kDeliverMethod, wire);
-    if (reply.is_ok()) return Status::ok();
+    if (reply.is_ok()) {
+      if (t0 != 0) deliver_us_->record_us(obs::now_us() - t0);
+      return Status::ok();
+    }
     if (reply.status().code() != StatusCode::kNoSuchThread) {
       return reply.status();
     }
@@ -547,12 +600,15 @@ Status Kernel::deliver_group(const EventNotice& notice, bool urgent) {
   Writer w;
   notice.serialize(w);
   w.put(urgent);
+  // Group raises bypass RPC, so the trace rides the raw broadcast headers.
   return network_.broadcast(net::Message{
       .from = self_,
       .to = NodeId{},
       .kind = net::kEventNotify,
       .call = CallId{},
       .payload = std::move(w).take(),
+      .trace_id = notice.trace_id,
+      .span_id = notice.parent_span,
   });
 }
 
@@ -612,6 +668,9 @@ Result<Verdict> Kernel::await_resume(std::uint64_t wait_token,
 }
 
 Status Kernel::resume_waiter(std::uint64_t wait_token, Verdict verdict) {
+  // Child of whatever got us here: the handler's span for a local resume,
+  // the rpc.serve span when the handler node RPCed kernel.resume.
+  obs::SpanGuard span("resume", self_.value());
   std::shared_ptr<Waiter> waiter;
   {
     std::lock_guard<std::mutex> lock(waiters_mu_);

@@ -41,6 +41,7 @@
 #include "kernel/thread_context.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 
 namespace doct::kernel {
@@ -380,6 +381,12 @@ class Kernel {
   };
   void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
   AtomicStats stats_;
+
+  // Resolved once at construction; deliver_remote records routing latency.
+  obs::Histogram* deliver_us_ = nullptr;
+  // Last members: unregister before the stats/cache they read are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
+  obs::MetricsRegistry::SourceHandle cache_metrics_source_;
 };
 
 }  // namespace doct::kernel

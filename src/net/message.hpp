@@ -103,6 +103,14 @@ struct Message {
   std::uint16_t kind = 0;
   CallId call;  // correlation id; invalid for one-way messages
   SharedPayload payload;
+  // Observability headers (obs layer): the causal trace this message belongs
+  // to and the span that sent it.  0/0 when tracing is off — the net layer
+  // carries them opaquely, like a real transport's trace header.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  // Stamped by Network::send/broadcast/multicast when observability is on so
+  // the receiver can attribute wire-transit time; 0 otherwise.
+  std::int64_t sent_at_us = 0;
 };
 
 using MessageHandler = std::function<void(const Message&)>;

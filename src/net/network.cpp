@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace doct::net {
 
@@ -19,7 +20,28 @@ void inc(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed) {
   fault_epoch_rep_.store(clock_.now().count(), std::memory_order_release);
+  transit_us_ = &obs::metrics().histogram("net.transit_us");
   wire_thread_ = std::thread([this] { wire_loop(); });
+  metrics_source_ = obs::metrics().register_source("net", [this] {
+    const NetworkStats s = stats();
+    return std::vector<std::pair<std::string, std::uint64_t>>{
+        {"sent", s.sent},
+        {"delivered", s.delivered},
+        {"dropped", s.dropped},
+        {"broadcast_sends", s.broadcast_sends},
+        {"multicast_sends", s.multicast_sends},
+        {"bytes", s.bytes},
+        {"fanout_messages", s.fanout_messages},
+        {"wire_queued", s.wire_queued},
+        {"dropped_by_fault", s.dropped_by_fault},
+        {"dropped_by_partition", s.dropped_by_partition},
+        {"duplicated", s.duplicated},
+        {"reordered", s.reordered},
+        {"delay_spikes", s.delay_spikes},
+        {"crashes", s.crashes},
+        {"restarts", s.restarts},
+    };
+  });
 }
 
 Network::~Network() {
@@ -171,6 +193,9 @@ void Network::finish_in_flight() {
 Status Network::send(Message message) {
   inc(stats_.sent);
   inc(stats_.bytes, message.payload.size());
+  if (obs::tracing_enabled() || obs::metrics_enabled()) {
+    message.sent_at_us = obs::now_us();
+  }
   std::shared_lock<std::shared_mutex> lock(topo_mu_);
   // A crashed endpoint behaves like a dead host, not a config error: the
   // datagram is silently lost so retry layers keep probing for the restart.
@@ -199,6 +224,9 @@ Status Network::send(Message message) {
 
 Status Network::broadcast(Message message) {
   inc(stats_.broadcast_sends);
+  if (obs::tracing_enabled() || obs::metrics_enabled()) {
+    message.sent_at_us = obs::now_us();  // one stamp shared by all legs
+  }
   std::shared_lock<std::shared_mutex> lock(topo_mu_);
   if (crashed_.contains(message.from)) {
     drop(&AtomicStats::dropped_crashed);
@@ -254,6 +282,9 @@ Status Network::multicast(GroupId group, Message message) {
     return {StatusCode::kNoSuchGroup, group.to_string()};
   }
   inc(stats_.multicast_sends);
+  if (obs::tracing_enabled() || obs::metrics_enabled()) {
+    message.sent_at_us = obs::now_us();
+  }
   if (crashed_.contains(message.from)) {
     drop(&AtomicStats::dropped_crashed);
     return Status::ok();
@@ -518,6 +549,31 @@ void Network::wire_loop() {
   }
 }
 
+void Network::note_transit(const Message& message) {
+  // Observability hook on the receive side: the sender stamped sent_at_us,
+  // so transit time is measurable here without any extra wire bytes.
+  if (message.sent_at_us == 0) return;
+  const std::int64_t now = obs::now_us();
+  const std::int64_t transit = now > message.sent_at_us
+                                   ? now - message.sent_at_us
+                                   : 0;
+  if (obs::metrics_enabled()) {
+    transit_us_->record_us(transit);
+  }
+  if (obs::tracing_enabled() && message.trace_id != 0) {
+    obs::Span span;
+    span.trace_id = message.trace_id;
+    span.span_id = obs::tracer().new_id();
+    span.parent_span = message.span_id;
+    span.node = message.to.value();
+    span.track = 0;  // dedicated wire track per node
+    span.name = "wire";
+    span.start_us = message.sent_at_us;
+    span.dur_us = transit;
+    obs::tracer().record(std::move(span));
+  }
+}
+
 void Network::delivery_loop(NodeState& state) {
   // Batched drain: a burst of queued messages costs one mailbox lock
   // round-trip.  An empty batch means closed-and-drained.
@@ -525,6 +581,7 @@ void Network::delivery_loop(NodeState& state) {
     std::deque<Message> batch = state.mailbox.pop_all();
     if (batch.empty()) return;
     for (Message& message : batch) {
+      note_transit(message);
       state.handler(message);  // runs unlocked (CP.22)
       inc(stats_.delivered);
       finish_in_flight();

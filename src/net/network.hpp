@@ -41,6 +41,7 @@
 #include "common/rng.hpp"
 #include "net/fault.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace doct::net {
 
@@ -213,6 +214,9 @@ class Network {
   void deliver_direct(NodeState& target, Message message);
   void register_node_locked(NodeId node, MessageHandler handler);
   void finish_in_flight();
+  // Records the wire-transit span + histogram for one received message
+  // (no-op unless observability is on and the sender stamped the message).
+  void note_transit(const Message& message);
   void drop(std::atomic<std::uint64_t> AtomicStats::* cause);
   // Caller holds topo_mu_ (shared suffices).
   [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
@@ -256,7 +260,15 @@ class Network {
 
   AtomicStats stats_;
 
+  // Resolved once at construction (registry instruments have stable
+  // addresses), so delivery threads record without a registry lookup.
+  obs::Histogram* transit_us_ = nullptr;
+
   std::thread wire_thread_;
+
+  // Declared after everything it reads (stats_) so the source unregisters
+  // from the global registry before this Network's state is destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::net

@@ -63,6 +63,19 @@ ObjectManager::ObjectManager(kernel::Kernel& kernel, rpc::RpcEndpoint& rpc)
         return rpc_invoke_complete(caller, args);
       },
       rpc::MethodClass::kFast);
+
+  metrics_source_ = obs::metrics().register_source(
+      "node" + std::to_string(kernel_.self().value()) + ".objects", [this] {
+        const ObjectManagerStats s = stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"invocations_local", s.invocations_local},
+            {"invocations_remote", s.invocations_remote},
+            {"invocations_dsm", s.invocations_dsm},
+            {"async_spawns", s.async_spawns},
+            {"oneway_spawns", s.oneway_spawns},
+            {"handler_invocations", s.handler_invocations},
+        };
+      });
 }
 
 ObjectManager::~ObjectManager() {

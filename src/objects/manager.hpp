@@ -40,6 +40,7 @@
 #include "common/result.hpp"
 #include "kernel/kernel.hpp"
 #include "objects/object.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 
 namespace doct::objects {
@@ -151,6 +152,9 @@ class ObjectManager {
 
   mutable std::mutex stats_mu_;
   ObjectManagerStats stats_;
+
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::objects

@@ -1,0 +1,280 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace doct::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Compact double formatting for JSON: integral values print without a
+// fractional part, everything else with two decimals.
+void append_number(std::ostringstream& out, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    out << static_cast<std::int64_t>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t ShardedCounter::shard() {
+  // Thread-id hash computed once per thread; threads spread across cells so
+  // concurrent add()s rarely share a cache line.
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return slot;
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < (std::uint64_t{1} << kSubBits)) {
+    return static_cast<std::size_t>(value);
+  }
+  const std::uint32_t exp = 63 - static_cast<std::uint32_t>(
+                                     std::countl_zero(value));
+  const std::uint64_t sub = (value >> (exp - kSubBits)) &
+                            ((std::uint64_t{1} << kSubBits) - 1);
+  return ((static_cast<std::size_t>(exp) - kSubBits + 1) << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < (std::size_t{1} << kSubBits)) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const std::uint64_t octave =
+      (index >> kSubBits) + kSubBits - 1;  // inverse of bucket_index's exp
+  const std::uint64_t sub = index & ((std::uint64_t{1} << kSubBits) - 1);
+  return (std::uint64_t{1} << octave) |
+         (sub << (octave - kSubBits));
+}
+
+double Histogram::percentile_locked(const std::uint64_t* counts,
+                                    std::uint64_t total, double q) const {
+  if (total == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket between its lower bound and the lower
+      // bound of the next bucket.
+      const double lo = static_cast<double>(bucket_lower_bound(i));
+      const double hi =
+          i + 1 < kBuckets ? static_cast<double>(bucket_lower_bound(i + 1))
+                           : lo;
+      const double frac =
+          counts[i] == 0
+              ? 0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  // Consistent-enough copy: buckets are sampled once; concurrent writers can
+  // make count/sum drift by a few records, which is fine for monitoring.
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  HistogramSnapshot snap;
+  snap.count = total;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = total == 0
+                  ? 0
+                  : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(total);
+  snap.p50 = percentile_locked(counts, total, 0.50);
+  snap.p90 = percentile_locked(counts, total, 0.90);
+  snap.p99 = percentile_locked(counts, total, 0.99);
+  if (snap.max != 0) {
+    snap.p50 = std::min(snap.p50, static_cast<double>(snap.max));
+    snap.p90 = std::min(snap.p90, static_cast<double>(snap.max));
+    snap.p99 = std::min(snap.p99, static_cast<double>(snap.max));
+  }
+  return snap;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::SourceHandle& MetricsRegistry::SourceHandle::operator=(
+    SourceHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    owner_ = other.owner_;
+    id_ = other.id_;
+    other.owner_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::SourceHandle::release() {
+  if (owner_ != nullptr) {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    owner_->sources_.erase(id_);
+    owner_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+ShardedCounter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::SourceHandle MetricsRegistry::register_source(
+    std::string prefix, Source source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_source_++;
+  sources_.emplace(id, std::make_pair(std::move(prefix), std::move(source)));
+  return SourceHandle(this, id);
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  // Pull every source.  Runs UNDER mu_ so a SourceHandle being released
+  // (subsystem destruction) blocks until the snapshot is done — a source is
+  // never invoked after its owner died.  The corollary: sources must not
+  // call back into the registry (they only read their own stats structs).
+  // Duplicate keys sum so two subsystems sharing a prefix aggregate.
+  std::map<std::string, std::uint64_t> pulled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : sources_) {
+      for (const auto& [name, value] : entry.second()) {
+        pulled[entry.first + "." + name] += value;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << counter->value();
+    }
+  }
+  for (const auto& [name, value] : pulled) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, gauge] : gauges_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":" << gauge->value();
+    }
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, histogram] : histograms_) {
+      if (!first) out << ",";
+      first = false;
+      const HistogramSnapshot snap = histogram->snapshot();
+      out << "\"" << name << "\":{\"count\":" << snap.count
+          << ",\"mean\":";
+      append_number(out, snap.mean);
+      out << ",\"p50\":";
+      append_number(out, snap.p50);
+      out << ",\"p90\":";
+      append_number(out, snap.p90);
+      out << ",\"p99\":";
+      append_number(out, snap.p99);
+      out << ",\"max\":" << snap.max << "}";
+    }
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace doct::obs

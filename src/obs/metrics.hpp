@@ -1,0 +1,207 @@
+// Unified metrics layer — process-wide named counters, gauges, and
+// log-bucketed latency histograms, plus pull-sources that fold the existing
+// per-subsystem *Stats structs into one cluster snapshot.
+//
+// The paper's monitoring application (§6.2) needs a system-wide answer to
+// "what is the cluster doing"; before this layer every subsystem kept its own
+// disconnected stats struct with no latency distributions.  Here:
+//
+//   * ShardedCounter — lock-free (per-shard relaxed atomics, cache-line
+//     padded) so concurrent hot paths never serialize on one counter.
+//   * Histogram — log-bucketed (8 sub-buckets per power of two), fixed
+//     memory, relaxed-atomic buckets; snapshots interpolate p50/p90/p99/max.
+//   * MetricsRegistry — name → instrument, created on demand with stable
+//     addresses, plus register_source(): a subsystem hands over a closure
+//     that reports its *Stats fields, and snapshot_json() folds every
+//     source into one document.
+//
+// Cost contract: everything is OFF by default.  Disabled cost at an
+// instrumented site is one relaxed atomic load (same class as DOCT_LOG);
+// no clock reads, no allocation, no locks.  Benches must not regress with
+// observability off (bench_e9_spine guards this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace doct::obs {
+
+// Global metrics switch.  Instrumented sites check this before touching the
+// clock or an instrument.
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+// Steady-clock microseconds (shared by metrics and tracing timestamps).
+[[nodiscard]] std::int64_t now_us();
+
+// Monotonic counter sharded across cache-line-padded atomic cells: writers
+// pick a cell by OS-thread hash and never contend on a single line.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    cells_[shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t shard();
+
+  Cell cells_[kShards];
+};
+
+// Point-in-time signed value (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+// Fixed-memory log-bucketed histogram.  Values below 2^kSubBits get exact
+// buckets; above that, each power-of-two range splits into 2^kSubBits
+// sub-buckets, so relative bucket error is bounded by 1/2^kSubBits (12.5%)
+// and percentile reads interpolate within the bucket.  record() is two
+// relaxed atomic adds plus a CAS-free max update — safe from any thread.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr std::size_t kBuckets =
+      (64 - kSubBits + 1) * (std::size_t{1} << kSubBits);
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // Convenience for latency sites measuring in microseconds.
+  void record_us(std::int64_t us) {
+    record(us > 0 ? static_cast<std::uint64_t>(us) : 0);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  // Adds `other`'s buckets into this histogram (cross-node aggregation).
+  void merge(const Histogram& other);
+
+  void reset();
+
+  // Bucket geometry, exposed so tests can pin the scheme down.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t index);
+
+ private:
+  [[nodiscard]] double percentile_locked(
+      const std::uint64_t* counts, std::uint64_t total, double q) const;
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// One process-wide registry.  Instruments are created on demand and have
+// stable addresses for the process lifetime — hot paths resolve a name once
+// (at construction) and keep the pointer.
+class MetricsRegistry {
+ public:
+  // A pull-source reports a subsystem's counters as (name, value) pairs;
+  // the registered prefix ("node1.kernel") namespaces them in the snapshot.
+  using Source =
+      std::function<std::vector<std::pair<std::string, std::uint64_t>>()>;
+
+  // RAII registration: the subsystem keeps the handle as its LAST member so
+  // the source unregisters before the stats it reads are destroyed.
+  class SourceHandle {
+   public:
+    SourceHandle() = default;
+    SourceHandle(SourceHandle&& other) noexcept { *this = std::move(other); }
+    SourceHandle& operator=(SourceHandle&& other) noexcept;
+    SourceHandle(const SourceHandle&) = delete;
+    SourceHandle& operator=(const SourceHandle&) = delete;
+    ~SourceHandle() { release(); }
+    void release();
+
+   private:
+    friend class MetricsRegistry;
+    SourceHandle(MetricsRegistry* owner, std::uint64_t id)
+        : owner_(owner), id_(id) {}
+    MetricsRegistry* owner_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  static MetricsRegistry& global();
+
+  [[nodiscard]] ShardedCounter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] SourceHandle register_source(std::string prefix, Source source);
+
+  // One JSON document covering every registered instrument and source:
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,p50,...}}}
+  // Sources with identical keys (two live networks) sum into one entry.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  // Zeroes every owned instrument (sources read live stats and are not
+  // resettable from here).  Tests use this between scenarios.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::uint64_t next_source_ = 1;
+  std::map<std::uint64_t, std::pair<std::string, Source>> sources_;
+};
+
+[[nodiscard]] inline MetricsRegistry& metrics() {
+  return MetricsRegistry::global();
+}
+
+}  // namespace doct::obs

@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"  // now_us()
+
+namespace doct::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+thread_local TraceContext t_current;
+
+std::uint64_t this_track() {
+  // Stable per-OS-thread id for the Chrome "tid" field; hashed and folded
+  // so the numbers stay small enough to read.
+  static thread_local const std::uint64_t track =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 97;
+  return track;
+}
+
+void append_escaped(std::ostringstream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext current_context() { return t_current; }
+
+void set_current_context(TraceContext ctx) { t_current = ctx; }
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+void Tracer::record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) spans_.pop_front();
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Span>(spans_.begin(), spans_.end());
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (spans_.size() > capacity_) spans_.pop_front();
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<Span> spans = snapshot();
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+
+  // One metadata record per node so Perfetto labels each track.
+  std::map<std::uint64_t, bool> nodes;
+  for (const Span& span : spans) nodes[span.node] = true;
+  for (const auto& [node, unused] : nodes) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+        << ",\"tid\":0,\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+
+  for (const Span& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"";
+    append_escaped(out, span.name);
+    out << "\",\"cat\":\"doct\",\"ph\":\"X\",\"pid\":" << span.node
+        << ",\"tid\":" << span.track << ",\"ts\":" << span.start_us
+        << ",\"dur\":" << span.dur_us << ",\"args\":{\"trace_id\":\""
+        << span.trace_id << "\",\"span_id\":\"" << span.span_id
+        << "\",\"parent\":\"" << span.parent_span << "\"";
+    if (!span.detail.empty()) {
+      out << ",\"detail\":\"";
+      append_escaped(out, span.detail);
+      out << "\"";
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+SpanGuard::SpanGuard(const char* name, std::uint64_t node,
+                     std::string_view detail) {
+  if (!tracing_enabled()) return;
+  open(name, node, t_current, /*mint_if_absent=*/false, detail);
+}
+
+SpanGuard::SpanGuard(const char* name, std::uint64_t node, MintTraceTag,
+                     std::string_view detail) {
+  if (!tracing_enabled()) return;
+  open(name, node, t_current, /*mint_if_absent=*/true, detail);
+}
+
+SpanGuard::SpanGuard(const char* name, std::uint64_t node, TraceContext parent,
+                     std::string_view detail) {
+  if (!tracing_enabled()) return;
+  open(name, node, parent, /*mint_if_absent=*/false, detail);
+}
+
+void SpanGuard::open(const char* name, std::uint64_t node, TraceContext parent,
+                     bool mint_if_absent, std::string_view detail) {
+  if (!parent.valid()) {
+    if (!mint_if_absent) return;
+    parent = TraceContext{tracer().new_id(), 0};
+  }
+  active_ = true;
+  span_.trace_id = parent.trace_id;
+  span_.span_id = tracer().new_id();
+  span_.parent_span = parent.span_id;
+  span_.node = node;
+  span_.track = this_track();
+  span_.name = name;
+  span_.detail.assign(detail.data(), detail.size());
+  span_.start_us = now_us();
+  saved_ = t_current;
+  t_current = TraceContext{span_.trace_id, span_.span_id};
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  t_current = saved_;
+  span_.dur_us = now_us() - span_.start_us;
+  tracer().record(std::move(span_));
+}
+
+}  // namespace doct::obs

@@ -1,0 +1,129 @@
+// Causal tracing — a TraceContext (trace-id, span-id) minted where an event
+// enters the system (raise / raise_and_wait / RPC call) and propagated
+// through net::Message headers, RPC requests, kernel delivery, handler
+// execution, and resume, so one event's life is reconstructible across
+// nodes.  Spans land in a process-wide bounded buffer and export as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing): one track per
+// node, spans named raise/route/wire/deliver/handle/resume.
+//
+// Same cost contract as metrics: tracing_enabled() is a relaxed atomic load,
+// and a disabled SpanGuard does no clock read, no allocation, no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doct::obs {
+
+[[nodiscard]] bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+// Identity of one causal chain (trace_id) and the currently-open span within
+// it.  trace_id == 0 means "no trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+// The ambient context for this OS thread; spans opened here become children
+// of it, and outgoing messages stamp it into their headers.
+[[nodiscard]] TraceContext current_context();
+void set_current_context(TraceContext ctx);
+
+// One finished span.  `name` is a static string (span vocabulary is fixed);
+// `detail` carries the variable part (event name, RPC method).
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t node = 0;   // exported as the Chrome pid → one track per node
+  std::uint64_t track = 0;  // tid within the node track
+  const char* name = "";
+  std::string detail;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+// Process-wide bounded span buffer.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  [[nodiscard]] std::uint64_t new_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record(Span span);
+
+  [[nodiscard]] std::vector<Span> snapshot() const;
+  void clear();
+
+  void set_capacity(std::size_t capacity);
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one "M"
+  // process_name metadata record per node and one "X" complete event per
+  // span (ts/dur in µs, pid = node, args = trace/span/parent ids).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<Span> spans_;
+  std::size_t capacity_ = 1 << 16;
+};
+
+[[nodiscard]] inline Tracer& tracer() { return Tracer::global(); }
+
+// Tag selecting the SpanGuard constructor that starts a new trace when no
+// ambient context exists (used at raise/RPC entry points).
+struct MintTraceTag {};
+inline constexpr MintTraceTag kMintTrace{};
+
+// Scoped span.  While alive it installs itself as the thread's current
+// context (restoring the previous one on destruction), so nested guards and
+// outgoing messages pick it up; on destruction it records the span.
+//
+// Three linkage modes:
+//   SpanGuard(name, node, detail)              child of current; inactive if
+//                                              no current trace
+//   SpanGuard(name, node, kMintTrace, detail)  child of current, or root of
+//                                              a fresh trace if none
+//   SpanGuard(name, node, parent, detail)      child of an explicit parent
+//                                              context (from a message);
+//                                              inactive if parent invalid
+class SpanGuard {
+ public:
+  SpanGuard(const char* name, std::uint64_t node,
+            std::string_view detail = {});
+  SpanGuard(const char* name, std::uint64_t node, MintTraceTag,
+            std::string_view detail = {});
+  SpanGuard(const char* name, std::uint64_t node, TraceContext parent,
+            std::string_view detail = {});
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard();
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  // The context this span represents — copy into outgoing notices/messages.
+  [[nodiscard]] TraceContext context() const {
+    return TraceContext{span_.trace_id, span_.span_id};
+  }
+
+ private:
+  void open(const char* name, std::uint64_t node, TraceContext parent,
+            bool mint_if_absent, std::string_view detail);
+
+  bool active_ = false;
+  Span span_;
+  TraceContext saved_;
+};
+
+}  // namespace doct::obs

@@ -55,6 +55,18 @@ RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
   demux.route(net::kRpcResponse,
               [this](const net::Message& m) { on_response(m); });
   retry_thread_ = std::thread([this] { retry_loop(); });
+  call_us_ = &obs::metrics().histogram("rpc.call_us");
+  metrics_source_ = obs::metrics().register_source(
+      "node" + std::to_string(self.value()) + ".rpc", [this] {
+        const RpcStats s = stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"requests_executed", s.requests_executed},
+            {"retries_sent", s.retries_sent},
+            {"deadline_timeouts", s.deadline_timeouts},
+            {"dedup_replays", s.dedup_replays},
+            {"duplicate_drops", s.duplicate_drops},
+        };
+      });
 }
 
 void RpcEndpoint::drain_workers() { workers_.shutdown(); }
@@ -136,6 +148,9 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
                                  Duration timeout) {
   const CallId call = ids_.next<CallTag>();
   const bool oneway = (state == nullptr);
+  // The caller's ambient trace (if any) rides the request headers, and is
+  // remembered in the pending record so retransmissions carry it too.
+  const obs::TraceContext trace = obs::current_context();
   // Marshal exactly once; the pending record and every (re)transmission
   // share this one buffer.
   net::SharedPayload encoded(encode_request(method, args, oneway));
@@ -146,6 +161,7 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
     record.target = target;
     record.deadline = now + timeout;
     record.backoff = config_.retry_base_delay;
+    record.trace = trace;
     if (config_.max_retries > 0) {
       record.request = encoded;  // kept for retransmission
       std::lock_guard<std::mutex> lock(pending_mu_);
@@ -164,6 +180,8 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
       .kind = net::kRpcRequest,
       .call = call,
       .payload = std::move(encoded),
+      .trace_id = trace.trace_id,
+      .span_id = trace.span_id,
   });
   if (!sent.is_ok()) {
     // Transport rejected the send outright (unknown node): fail fast rather
@@ -204,6 +222,8 @@ void RpcEndpoint::retry_loop() {
               .kind = net::kRpcRequest,
               .call = it->first,
               .payload = record.request,
+              .trace_id = record.trace.trace_id,
+              .span_id = record.trace.span_id,
           });
           record.attempts++;
           record.backoff = std::min(record.backoff * 2, config_.retry_max_delay);
@@ -246,10 +266,15 @@ Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
 
 Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
                                   Payload args, Duration timeout) {
+  // Trace roots can start here (an RPC issued outside any event) or join the
+  // ambient context (an RPC inside a raise/handler chain).
+  obs::SpanGuard span("rpc.call", self_.value(), obs::kMintTrace, method);
+  const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
   PendingCall pending;
   const CallId id =
       send_request(target, method, std::move(args), pending.state_, timeout);
   auto result = pending.claim(timeout);
+  if (t0 != 0) call_us_->record_us(obs::now_us() - t0);
   if (!result.is_ok() && result.status().code() == StatusCode::kTimeout) {
     // Forget the correlation entry; a late response is dropped harmlessly.
     // If the record is still pending, the claimer's clock beat the retry
@@ -308,6 +333,8 @@ void RpcEndpoint::on_request(const net::Message& message) {
             .kind = net::kRpcResponse,
             .call = message.call,
             .payload = std::move(replay),
+            .trace_id = message.trace_id,
+            .span_id = message.span_id,
         });
       } else {
         bump(&AtomicStats::duplicate_drops);
@@ -386,6 +413,13 @@ void RpcEndpoint::execute_request(const net::Message& message) {
     if (it != methods_.end()) method = it->second.method;
   }
 
+  // Adopt the caller's trace for the whole serve (method body + response
+  // send): nested RPCs and kernel work issued by the method stay causally
+  // linked across the node boundary.
+  obs::SpanGuard span("rpc.serve", self_.value(),
+                      obs::TraceContext{message.trace_id, message.span_id},
+                      method_name);
+
   Result<Payload> result =
       method ? [&]() -> Result<Payload> {
         Reader args_reader(std::move(args));
@@ -404,12 +438,17 @@ void RpcEndpoint::execute_request(const net::Message& message) {
       encode_response(status.code(), status.message(),
                       result.is_ok() ? result.value() : Payload{});
   record_dedup(message, /*oneway=*/false, response);
+  const obs::TraceContext reply_ctx =
+      span.active() ? span.context()
+                    : obs::TraceContext{message.trace_id, message.span_id};
   network_.send(net::Message{
       .from = self_,
       .to = message.from,
       .kind = net::kRpcResponse,
       .call = message.call,
       .payload = std::move(response),
+      .trace_id = reply_ctx.trace_id,
+      .span_id = reply_ctx.span_id,
   });
 }
 

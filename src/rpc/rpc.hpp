@@ -49,6 +49,8 @@
 #include "common/thread_pool.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace doct::rpc {
 
@@ -161,6 +163,10 @@ class RpcEndpoint {
     Duration next_resend;   // absolute; max() = no further retransmissions
     Duration backoff;       // current backoff step
     int attempts = 1;       // transmissions performed so far
+    // Trace context of the originating call, kept so retransmissions (sent
+    // from the retry thread, which has no ambient context) carry the same
+    // causal identity as the first transmission.
+    obs::TraceContext trace;
   };
 
   // Server-side dedup entry for one (caller, call) pair.
@@ -224,6 +230,11 @@ class RpcEndpoint {
   AtomicStats stats_;
 
   std::thread retry_thread_;
+
+  // Resolved once at construction; call() records client-observed latency.
+  obs::Histogram* call_us_ = nullptr;
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::rpc

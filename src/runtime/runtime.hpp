@@ -32,6 +32,8 @@
 #include "net/network.hpp"
 #include "objects/manager.hpp"
 #include "objects/store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 #include "services/health/failure_detector.hpp"
 
@@ -96,6 +98,17 @@ class Cluster {
   events::ProcedureRegistry& procedures() { return procedures_; }
   // System-wide named I/O channels (§3.1): output follows the thread.
   IoHub& io() { return io_; }
+
+  // Observability snapshots for the whole cluster: one JSON document of
+  // every node's counters/gauges/histograms, and the causal trace export in
+  // Chrome trace-event format (load in Perfetto / chrome://tracing).  Both
+  // are empty-ish unless obs::set_metrics_enabled / set_tracing_enabled ran.
+  [[nodiscard]] std::string metrics_json() const {
+    return obs::metrics().snapshot_json();
+  }
+  [[nodiscard]] std::string trace_json() const {
+    return obs::tracer().to_chrome_json();
+  }
 
  private:
   friend class NodeRuntime;

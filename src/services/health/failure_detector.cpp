@@ -11,6 +11,17 @@ FailureDetector::FailureDetector(net::Network& network, net::Demux& demux,
     : network_(network), events_(events), self_(self), config_(config) {
   demux.route(net::kHeartbeat,
               [this](const net::Message& m) { on_heartbeat(m); });
+
+  metrics_source_ = obs::metrics().register_source(
+      "node" + std::to_string(self_.value()) + ".health", [this] {
+        const FailureDetectorStats s = stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"heartbeats_sent", s.heartbeats_sent},
+            {"heartbeats_received", s.heartbeats_received},
+            {"node_down_raised", s.node_down_raised},
+            {"node_up_raised", s.node_up_raised},
+        };
+      });
 }
 
 FailureDetector::~FailureDetector() { stop(); }

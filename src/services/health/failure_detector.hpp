@@ -34,6 +34,7 @@
 #include "events/event_system.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace doct::services {
 
@@ -101,6 +102,9 @@ class FailureDetector {
   bool shutdown_ = false;
   std::condition_variable beat_cv_;
   std::thread beat_thread_;
+
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::services

@@ -2,6 +2,8 @@
 
 #include "common/log.hpp"
 #include "events/block.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace doct::services {
 
@@ -67,6 +69,21 @@ std::shared_ptr<objects::PassiveObject> MonitorServer::make() {
       }
     }
     return std::move(w).take();
+  });
+
+  // Observability endpoints (§6.2 monitoring as a service application): the
+  // cluster-wide metrics snapshot and the Chrome/Perfetto trace export served
+  // as invocation payloads, so a monitoring client anywhere in the cluster
+  // can pull them through the ordinary object-invocation path.
+  object->define_entry("metrics", [](objects::CallCtx&)
+                                      -> Result<objects::Payload> {
+    const std::string json = obs::metrics().snapshot_json();
+    return objects::Payload(json.begin(), json.end());
+  });
+  object->define_entry("trace", [](objects::CallCtx&)
+                                    -> Result<objects::Payload> {
+    const std::string json = obs::tracer().to_chrome_json();
+    return objects::Payload(json.begin(), json.end());
   });
 
   return object;
@@ -150,6 +167,18 @@ Result<std::vector<ThreadSample>> MonitorClient::report() {
   auto reply = objects_.invoke(server_, "report", {});
   if (!reply.is_ok()) return reply.status();
   return MonitorServer::decode_report(reply.value());
+}
+
+Result<std::string> MonitorClient::metrics_json() {
+  auto reply = objects_.invoke(server_, "metrics", {});
+  if (!reply.is_ok()) return reply.status();
+  return std::string(reply.value().begin(), reply.value().end());
+}
+
+Result<std::string> MonitorClient::trace_json() {
+  auto reply = objects_.invoke(server_, "trace", {});
+  if (!reply.is_ok()) return reply.status();
+  return std::string(reply.value().begin(), reply.value().end());
 }
 
 }  // namespace doct::services

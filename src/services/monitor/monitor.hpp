@@ -57,6 +57,11 @@ class MonitorClient {
   // local to the server's node, or any logical thread).
   Result<std::vector<ThreadSample>> report();
 
+  // Pulls the observability snapshots the server exposes: the cluster-wide
+  // metrics document and the Chrome/Perfetto trace export.
+  Result<std::string> metrics_json();
+  Result<std::string> trace_json();
+
  private:
   events::EventSystem& events_;
   objects::ObjectManager& objects_;

@@ -125,6 +125,16 @@ PagerClient::PagerClient(events::EventSystem& events,
         return rpc::Payload{};
       },
       rpc::MethodClass::kFast);
+
+  metrics_source_ = obs::metrics().register_source(
+      "node" + std::to_string(objects_.self().value()) + ".pager", [this] {
+        const PagerStats s = stats();
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"faults_served", s.faults_served},
+            {"pages_installed", s.pages_installed},
+            {"writebacks", s.writebacks},
+        };
+      });
 }
 
 PagerClient::~PagerClient() { rpc_.unregister_method(kInstallMethod); }

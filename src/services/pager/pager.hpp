@@ -25,6 +25,7 @@
 #include "dsm/dsm.hpp"
 #include "events/event_system.hpp"
 #include "objects/manager.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 
 namespace doct::services {
@@ -73,6 +74,9 @@ class PagerClient {
 
   mutable std::mutex mu_;
   PagerStats stats_;
+
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
 };
 
 }  // namespace doct::services

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+
+#include "obs_dump.hpp"
 #include <map>
 #include <mutex>
 #include <set>

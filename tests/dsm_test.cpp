@@ -31,6 +31,13 @@ class DsmCluster {
     }
   }
 
+  // Members destruct in reverse order, so `nodes` (and their RpcEndpoints)
+  // die before `net` stops delivering; unregister every node first so a late
+  // retransmit cannot race endpoint teardown.
+  ~DsmCluster() {
+    for (auto& node : nodes) (void)net.crash_node(node->id);
+  }
+
   DsmEngine& operator[](int i) { return *nodes[static_cast<size_t>(i)]->dsm; }
 
   struct Node {

@@ -1,0 +1,55 @@
+// Opt-in observability dump for the chaos/stress suites: when the
+// DOCT_OBS_DUMP environment variable names a directory, the whole binary
+// runs with metrics + tracing enabled and writes metrics.json plus
+// trace.json (Chrome trace-event format) there on teardown.  CI uploads the
+// directory as an artifact when a seeded run fails, so a red chaos lane
+// comes with the cluster's counters and the causal spans of its last
+// ~65k events attached.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace doct::testsupport {
+
+class ObsDumpEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    const char* dir = std::getenv("DOCT_OBS_DUMP");
+    if (dir == nullptr || *dir == '\0') return;
+    dir_ = dir;
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+  }
+
+  void TearDown() override {
+    if (dir_.empty()) return;
+    // ctest runs each gtest case as its own process against the same dump
+    // directory; the pid keeps dumps from clobbering each other.
+    const std::string tag = std::to_string(::getpid());
+    write(dir_ + "/metrics-" + tag + ".json", obs::metrics().snapshot_json());
+    write(dir_ + "/trace-" + tag + ".json", obs::tracer().to_chrome_json());
+  }
+
+ private:
+  static void write(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::trunc);
+    if (out) out << body;
+  }
+
+  std::string dir_;
+};
+
+// Header-inline registration: each binary that includes this header gets the
+// environment exactly once.
+inline const auto* const kObsDumpEnvironment =
+    ::testing::AddGlobalTestEnvironment(new ObsDumpEnvironment);
+
+}  // namespace doct::testsupport

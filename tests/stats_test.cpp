@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
+#include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 
 namespace doct {
@@ -168,6 +170,85 @@ TEST(Stats, ObjectManagerHandlerInvocations) {
   EXPECT_EQ(n0.objects.stats().handler_invocations,
             static_cast<std::uint64_t>(kPings));
   EXPECT_EQ(n0.objects.stats().invocations_local, 0u);  // handlers don't count
+}
+
+// --- obs instruments: the histogram bucket scheme and sharded counter -------
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const std::size_t idx = obs::Histogram::bucket_index(v);
+    EXPECT_EQ(obs::Histogram::bucket_lower_bound(idx), v) << "value " << v;
+  }
+}
+
+TEST(Histogram, BucketBoundsBracketEveryValue) {
+  // Log buckets with 8 sub-buckets per octave: the lower bound never exceeds
+  // the value and the relative width is at most 12.5%.
+  for (std::uint64_t v : {8ull, 9ull, 17ull, 100ull, 1000ull, 123456ull,
+                          (1ull << 40), (1ull << 63) + 12345ull}) {
+    const std::size_t idx = obs::Histogram::bucket_index(v);
+    const std::uint64_t lb = obs::Histogram::bucket_lower_bound(idx);
+    EXPECT_LE(lb, v);
+    EXPECT_GE(static_cast<double>(lb), static_cast<double>(v) / 1.125)
+        << "value " << v << " bucket lb " << lb;
+    // Same bucket is stable: the lower bound maps back to itself.
+    EXPECT_EQ(obs::Histogram::bucket_index(lb), idx);
+  }
+}
+
+TEST(Histogram, PercentilesOnUniformDistribution) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.max, 1000u);
+  // Bucket resolution is 12.5%; allow that plus interpolation slack.
+  EXPECT_NEAR(snap.p50, 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(snap.p90, 900.0, 900.0 * 0.15);
+  EXPECT_NEAR(snap.p99, 990.0, 990.0 * 0.15);
+  EXPECT_NEAR(snap.mean, 500.5, 1.0);
+  // Percentiles never exceed the observed max.
+  EXPECT_LE(snap.p99, static_cast<double>(snap.max));
+}
+
+TEST(Histogram, MergeCombinesDistributions) {
+  obs::Histogram low, high;
+  for (int i = 0; i < 100; ++i) low.record(10);
+  for (int i = 0; i < 100; ++i) high.record(10000);
+  low.merge(high);
+  const obs::HistogramSnapshot snap = low.snapshot();
+  EXPECT_EQ(snap.count, 200u);
+  EXPECT_EQ(snap.max, 10000u);
+  // Half the mass at 10, half at 10000: p50 sits in the low mode, p90 in
+  // the high one.
+  EXPECT_LT(snap.p50, 100.0);
+  EXPECT_GT(snap.p90, 5000.0);
+}
+
+TEST(Histogram, RecordUsClampsNegativeDurations) {
+  obs::Histogram h;
+  h.record_us(-5);  // clock skew between threads must not underflow
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(ShardedCounter, ConcurrentAddsAllLand) {
+  obs::ShardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "events/event_system.hpp"
 #include "net/network.hpp"
+#include "obs_dump.hpp"
 #include "runtime/runtime.hpp"
 #include "services/pager/pager.hpp"
 #include "services/termination/termination.hpp"
