@@ -23,11 +23,12 @@ void BM_DistributedCtrlC(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     runtime::ClusterConfig config;
-    // Every worker parks inside a remote `spin` entry, occupying one RPC
-    // worker at the target node for its whole life — size the pools so all
-    // of them can be resident at once.
-    config.node.rpc.worker_threads =
-        static_cast<std::size_t>(num_workers) + 4;
+    // Every worker parks inside a remote `spin` entry, occupying one
+    // executor worker at the target node for its whole life — size the
+    // executor so all of them can be resident at once with slack for
+    // control/event traffic.
+    config.node.kernel.executor.workers =
+        static_cast<std::size_t>(num_workers) + 6;
     runtime::Cluster cluster(static_cast<std::size_t>(num_nodes), config);
     auto& n0 = cluster.node(0);
     std::vector<std::unique_ptr<services::TerminationService>> services;

@@ -89,6 +89,14 @@ class LatencyPercentiles {
 
   void record_us(std::int64_t us) { hist_.record_us(us); }
 
+  // For benches that aggregate across phases/iterations themselves instead
+  // of emitting one set of counters per loop.
+  [[nodiscard]] obs::HistogramSnapshot snapshot_and_reset() {
+    const obs::HistogramSnapshot snap = hist_.snapshot();
+    hist_.reset();
+    return snap;
+  }
+
   void flush(benchmark::State& state, const std::string& prefix) {
     const obs::HistogramSnapshot snap = hist_.snapshot();
     if (snap.count == 0) return;

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate the E10 overload bench output (the executor acceptance check).
+
+Reads a google-benchmark JSON run of ``bench_e10_overload`` and asserts the
+headline property of the priority-lane executor:
+
+* with lanes ON (``lanes=1``), control-lane p99 under the event storm stays
+  within 2x of its idle value (an absolute floor of ``--floor-us`` absorbs
+  near-zero idle measurements on quiet machines), no control probe was shed,
+  and the storm actually overloaded the event lane (``overload_x`` and
+  ``event_shed_total`` are both positive);
+* the single-lane ablation (``lanes=0``) demonstrates the starvation the
+  lanes prevent: its storm p99 is at least ``--starvation-x`` times the
+  lanes-on storm p99.
+
+Exits non-zero with a GitHub ::error annotation on violation.
+
+Usage:
+  check_overload.py BENCH_e10_overload.json [--floor-us 1000]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_e10_overload JSON output")
+    parser.add_argument(
+        "--floor-us",
+        type=float,
+        default=1000.0,
+        help="storm p99 below this passes regardless of the 2x ratio "
+        "(guards against a near-zero idle baseline)",
+    )
+    parser.add_argument(
+        "--starvation-x",
+        type=float,
+        default=10.0,
+        help="minimum ablation-vs-lanes storm p99 ratio that counts as "
+        "demonstrated starvation",
+    )
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        doc = json.load(f)
+
+    arms = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "lanes" not in bench:
+            continue
+        arms[int(bench["lanes"])] = bench
+
+    errors = []
+    if 1 not in arms or 0 not in arms:
+        errors.append("expected both lanes=1 and lanes=0 arms in the run")
+    else:
+        on, off = arms[1], arms[0]
+        idle = float(on.get("idle_p99_us", 0))
+        storm = float(on.get("storm_p99_us", 0))
+        if storm > max(2 * idle, args.floor_us):
+            errors.append(
+                f"lanes on: storm p99 {storm:.0f}us exceeds 2x idle "
+                f"({idle:.0f}us) and the {args.floor_us:.0f}us floor"
+            )
+        if float(on.get("probe_shed", 0)) > 0:
+            errors.append(
+                f"lanes on: {on['probe_shed']:.0f} control probes were shed"
+            )
+        if float(on.get("overload_x", 0)) < 2:
+            errors.append(
+                f"lanes on: overload factor {on.get('overload_x', 0):.1f}x "
+                "— the storm never overloaded the event lane"
+            )
+        if float(on.get("event_shed_total", 0)) <= 0:
+            errors.append(
+                "lanes on: no event-lane sheds — overload was not absorbed "
+                "as fast errors"
+            )
+        off_storm = float(off.get("storm_p99_us", 0))
+        if storm > 0 and off_storm < args.starvation_x * storm:
+            errors.append(
+                f"ablation: storm p99 {off_storm:.0f}us is under "
+                f"{args.starvation_x:.0f}x the lanes-on value "
+                f"({storm:.0f}us) — starvation not demonstrated"
+            )
+
+    if errors:
+        for err in errors:
+            print(f"::error title=overload smoke::{err}")
+        return 1
+
+    on, off = arms[1], arms[0]
+    print(
+        "overload smoke OK: "
+        f"idle p99 {on['idle_p99_us']:.0f}us, "
+        f"storm p99 {on['storm_p99_us']:.0f}us at "
+        f"{on['overload_x']:.1f}x overload "
+        f"({on['event_shed_total']:.0f} sheds); "
+        f"ablation storm p99 {off['storm_p99_us']:.0f}us"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ where LOWER is better, plus two families of user counters:
   value rises above baseline * (1 + threshold).  ``*_max_us`` is shown for
   context but never flagged: a single scheduler hiccup moves it by orders of
   magnitude.
+* ``*_shed_total`` executor admission-refusal counters (the exec layer's
+  overload signal): LOWER is better.  A baseline of 0 is never flagged —
+  there is no meaningful relative change from zero, and an overload bench
+  arm that *expects* sheds reports a non-zero baseline anyway.
 
 Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
@@ -36,6 +40,7 @@ _RESERVED = {
 # User-counter suffixes with a defined direction.
 _RATE_SUFFIXES = ("_per_sec",)
 _LATENCY_SUFFIXES = ("_p50_us", "_p90_us", "_p99_us", "_max_us")
+_SHED_SUFFIXES = ("_shed_total",)
 # Shown but never flagged (single outliers dominate the max).
 _UNFLAGGED_SUFFIXES = ("_max_us",)
 
@@ -62,6 +67,7 @@ def load_benchmarks(path):
         # informational and skipped.
         rates = {}
         latencies = {}
+        sheds = {}
         for key, value in bench.items():
             if key in _RESERVED or not isinstance(value, (int, float)):
                 continue
@@ -69,11 +75,14 @@ def load_benchmarks(path):
                 rates[key] = float(value)
             elif key.endswith(_LATENCY_SUFFIXES):
                 latencies[key] = float(value)
+            elif key.endswith(_SHED_SUFFIXES):
+                sheds[key] = float(value)
         out[name] = {
             "time": float(time),
             "unit": bench.get("time_unit", "ns"),
             "rates": rates,
             "latencies": latencies,
+            "sheds": sheds,
         }
     return out
 
@@ -88,6 +97,14 @@ def main():
         default=0.25,
         help="relative change that counts as a regression (latency increase "
         "or throughput decrease)",
+    )
+    parser.add_argument(
+        "--latency-floor-us",
+        type=float,
+        default=0.0,
+        help="latency percentile rows where baseline AND current are both "
+        "below this are shown but never flagged — sub-floor values are "
+        "scheduler noise, and relative change between them is meaningless",
     )
     parser.add_argument(
         "--fail",
@@ -145,7 +162,10 @@ def main():
                 rows.append((label, "--", f"{cur_lat:,.1f}us", None, False))
                 continue
             lat_delta = (cur_lat - base_lat) / base_lat if base_lat > 0 else 0.0
+            below_floor = (base_lat < args.latency_floor_us
+                           and cur_lat < args.latency_floor_us)
             worse = (lat_delta > args.threshold
+                     and not below_floor
                      and not counter.endswith(_UNFLAGGED_SUFFIXES))
             if worse:
                 regressions.append(
@@ -153,6 +173,30 @@ def main():
                 )
             rows.append(
                 (label, f"{base_lat:,.1f}us", f"{cur_lat:,.1f}us", lat_delta,
+                 worse)
+            )
+        # Shed counters: lower is better, but a zero baseline has no
+        # meaningful relative change — show those rows, never flag them.
+        for counter, cur_shed in sorted(cur["sheds"].items()):
+            base_shed = base["sheds"].get(counter)
+            label = f"{name} [{counter}]"
+            if base_shed is None:
+                rows.append((label, "--", f"{cur_shed:,.0f}", None, False))
+                continue
+            if base_shed == 0:
+                rows.append(
+                    (label, "0", f"{cur_shed:,.0f}", None, False)
+                )
+                continue
+            shed_delta = (cur_shed - base_shed) / base_shed
+            worse = shed_delta > args.threshold
+            if worse:
+                regressions.append(
+                    (label, f"{base_shed:,.0f}", f"{cur_shed:,.0f}",
+                     shed_delta)
+                )
+            rows.append(
+                (label, f"{base_shed:,.0f}", f"{cur_shed:,.0f}", shed_delta,
                  worse)
             )
 

@@ -16,6 +16,8 @@ namespace doct {
 template <typename T>
 class BlockingQueue {
  public:
+  enum class PushResult { kOk, kClosed, kFull };
+
   // Returns false if the queue is closed (item is dropped).
   bool push(T item) {
     {
@@ -25,6 +27,23 @@ class BlockingQueue {
     }
     cv_.notify_one();
     return true;
+  }
+
+  // Bounded push: refuses the item (kFull) when `capacity` items are already
+  // queued, so a slow consumer exerts backpressure instead of growing the
+  // queue without bound.  capacity 0 = unbounded (behaves like push()).  The
+  // caller distinguishes kFull (count a drop) from kClosed (consumer gone).
+  PushResult push_bounded(T item, std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (capacity != 0 && items_.size() >= capacity) {
+        return PushResult::kFull;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
   }
 
   // Push to the front — used for high-priority control events (TERMINATE

@@ -1,6 +1,8 @@
 #include "events/event_system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/log.hpp"
 
@@ -41,12 +43,21 @@ EventSystem::EventSystem(kernel::Kernel& kernel,
       procedures_(procedures),
       config_(config),
       trace_(config.trace_capacity) {
+  // CI ablation hook: rerun the same binaries under the other dispatch mode.
+  if (const char* env = std::getenv("DOCT_DISPATCH")) {
+    if (std::strcmp(env, "per_event") == 0 ||
+        std::strcmp(env, "thread_per_event") == 0) {
+      config_.dispatch_mode = ObjectDispatchMode::kThreadPerEvent;
+    } else if (std::strcmp(env, "master") == 0) {
+      config_.dispatch_mode = ObjectDispatchMode::kMasterThread;
+    }
+  }
   kernel_.set_delivery_callback(
       [this](kernel::ThreadContext& ctx, const kernel::EventNotice& notice) {
         return on_deliver(ctx, notice);
       });
   // object_notify only enqueues work; run_handler executes a handler entry
-  // and may block, so it uses the worker pool.
+  // and may block, so it runs on the executor's bulk lane.
   rpc_.register_method(
       kObjectNotifyMethod,
       [this](NodeId caller, Reader& args) {
@@ -72,6 +83,7 @@ EventSystem::EventSystem(kernel::Kernel& kernel,
             {"propagations", s.propagations},
             {"surrogate_runs", s.surrogate_runs},
             {"dead_target_raises", s.dead_target_raises},
+            {"shed_dispatches", s.shed_dispatches},
         };
       });
 }
@@ -80,8 +92,9 @@ EventSystem::~EventSystem() {
   rpc_.unregister_method(kObjectNotifyMethod);
   rpc_.unregister_method(kRunHandlerMethod);
   kernel_.set_delivery_callback(nullptr);
-  master_.shutdown();
-  surrogates_.shutdown();
+  // Queued dispatches and surrogate chains live on the node executor, whose
+  // owner drains it before this destructor runs (NodeRuntime does so in its
+  // destructor body; a standalone RpcEndpoint in its own destructor).
   // Joining must happen outside per_event_mu_: exiting handler threads
   // take it to announce completion.
   std::vector<std::thread> leftovers;
@@ -114,6 +127,7 @@ EventStats EventSystem::stats() const {
   out.surrogate_runs = stats_.surrogate_runs.load(std::memory_order_relaxed);
   out.dead_target_raises =
       stats_.dead_target_raises.load(std::memory_order_relaxed);
+  out.shed_dispatches = stats_.shed_dispatches.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -127,6 +141,7 @@ void EventSystem::reset_stats() {
   stats_.propagations.store(0, std::memory_order_relaxed);
   stats_.surrogate_runs.store(0, std::memory_order_relaxed);
   stats_.dead_target_raises.store(0, std::memory_order_relaxed);
+  stats_.shed_dispatches.store(0, std::memory_order_relaxed);
 }
 
 void EventSystem::set_activation_hook(std::function<Status(ObjectId)> hook) {
@@ -414,8 +429,13 @@ Result<kernel::Verdict> EventSystem::raise_exception(
   if (shared == nullptr) {
     return Status{StatusCode::kNoSuchThread, ctx->tid().to_string()};
   }
-  const bool submitted =
-      surrogates_.submit([this, shared = std::move(shared), notice] {
+  // Surrogates run on the bulk lane: the chain may issue nested blocking
+  // RPCs, which must never occupy the (possibly width-1) event lane.  A
+  // refused admission fails the raise NOW — kAborted at shutdown,
+  // kResourceExhausted under overload — instead of leaking a waiter that
+  // would only time out.
+  const Status submitted = executor().submit(
+      exec::Lane::kBulk, [this, shared = std::move(shared), notice] {
         obs::SpanGuard handle_span(
             "handle", kernel_.self().value(),
             obs::TraceContext{notice.trace_id, notice.parent_span},
@@ -423,8 +443,9 @@ Result<kernel::Verdict> EventSystem::raise_exception(
         const kernel::Verdict verdict = execute_chain(*shared, notice);
         kernel_.resume_waiter(notice.wait_token, verdict);
       });
-  if (!submitted) {
-    return Status{StatusCode::kAborted, "event system shutting down"};
+  if (!submitted.is_ok()) {
+    bump(&AtomicStats::shed_dispatches);
+    return submitted;
   }
   auto verdict = kernel_.await_resume(notice.wait_token, config_.sync_timeout);
   if (verdict.is_ok() && verdict.value() == kernel::Verdict::kTerminate) {
@@ -565,18 +586,22 @@ void EventSystem::send_resume(const kernel::EventNotice& notice,
 Status EventSystem::dispatch_to_object(const kernel::EventNotice& notice) {
   const NodeId home = objects::ObjectManager::object_node(notice.target_object);
   if (home == kernel_.self()) {
-    run_object_handler(notice);
-    return Status::ok();
+    return run_object_handler(notice);
   }
   Writer w;
   notice.serialize(w);
+  // A remote shed travels back as the RPC error, so the raiser fails fast
+  // either way.
   auto reply = rpc_.call(home, kObjectNotifyMethod, std::move(w).take());
   return reply.status();
 }
 
 Result<rpc::Payload> EventSystem::rpc_object_notify(NodeId, Reader& args) {
   kernel::EventNotice notice = kernel::EventNotice::deserialize(args);
-  run_object_handler(notice);
+  // kFast method: this is the network delivery thread, which must not park
+  // on a full lane.
+  const Status admitted = run_object_handler(notice, /*may_block=*/false);
+  if (!admitted.is_ok()) return admitted;
   return rpc::Payload{};
 }
 
@@ -588,24 +613,45 @@ Result<rpc::Payload> EventSystem::rpc_run_handler(NodeId, Reader& args) {
                                        nullptr);
 }
 
-void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
+exec::Lane EventSystem::lane_for(EventId event) const {
+  if (registry_.is_control(event)) return exec::Lane::kControl;
+  if (registry_.is_bulk(event)) return exec::Lane::kBulk;
+  return exec::Lane::kEvent;
+}
+
+Status EventSystem::run_object_handler(const kernel::EventNotice& notice,
+                                       bool may_block) {
   trace_.record(TraceStage::kObjectDispatched, notice.event, notice.event_name,
                 ThreadId{}, notice.target_object, {}, notice.trace_id);
   if (config_.dispatch_mode == ObjectDispatchMode::kMasterThread) {
-    // §7: a master handler thread serves all events on behalf of passive
-    // objects, eliminating per-event thread creation.
-    if (!master_.submit([this, notice] {
-          // Thread hop: rejoin the notice's trace on the master thread.
-          obs::SpanGuard span(
-              "handle", kernel_.self().value(),
-              obs::TraceContext{notice.trace_id, notice.parent_span},
-              notice.event_name);
-          const kernel::Verdict verdict = run_object_handler_now(notice);
-          if (notice.synchronous) send_resume(notice, verdict);
-        })) {
-      DOCT_LOG(kWarn) << "object event dropped during shutdown";
+    // §7: the event lane plays the master handler thread — width 1 serves
+    // all events on behalf of passive objects with zero thread creation.
+    // Control events (TERMINATE, NODE_DOWN) jump to the control lane so a
+    // storm of ordinary events cannot starve them; bulk-marked events
+    // (monitor snapshots) sink below both.
+    const auto task = [this, notice] {
+      // Thread hop: rejoin the notice's trace on the handler worker.
+      obs::SpanGuard span(
+          "handle", kernel_.self().value(),
+          obs::TraceContext{notice.trace_id, notice.parent_span},
+          notice.event_name);
+      const kernel::Verdict verdict = run_object_handler_now(notice);
+      if (notice.synchronous) send_resume(notice, verdict);
+    };
+    const exec::Lane lane = lane_for(notice.event);
+    const Status admitted = may_block ? executor().submit(lane, task)
+                                      : executor().try_submit(lane, task);
+    if (!admitted.is_ok()) {
+      // Fail the raiser instead of leaking its notice (and, for synchronous
+      // raises, its blocked waiter) into a backlog that will never drain.
+      bump(&AtomicStats::shed_dispatches);
+      trace_.record(TraceStage::kObjectDispatched, notice.event,
+                    notice.event_name, ThreadId{}, notice.target_object,
+                    "shed", notice.trace_id);
+      DOCT_LOG(kWarn) << "object event " << notice.event_name
+                      << " shed: " << admitted.message();
     }
-    return;
+    return admitted;
   }
   // kThreadPerEvent: the costly alternative, kept for the E2 ablation.
   std::thread backstop;
@@ -645,6 +691,7 @@ void EventSystem::run_object_handler(const kernel::EventNotice& notice) {
     });
   }
   if (backstop.joinable()) backstop.join();
+  return Status::ok();
 }
 
 kernel::Verdict EventSystem::run_object_handler_now(

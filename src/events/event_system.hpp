@@ -19,10 +19,14 @@
 // current object's context (OWN_CONTEXT).
 //
 // Object-based handling (§4.3): events posted to an object run the entry the
-// object registered for that event name (or a system default), executed by a
-// per-node MASTER HANDLER THREAD — "to reduce thread-creation costs, it is
-// preferable to employ a master handler thread" (§7) — or by a fresh thread
-// per event (kThreadPerEvent), kept for the E2 ablation bench.
+// object registered for that event name (or a system default), executed on
+// the node executor's EVENT LANE.  Lane width 1 (the default) IS the paper's
+// per-node master handler thread — "to reduce thread-creation costs, it is
+// preferable to employ a master handler thread" (§7) — wider lanes trade
+// that serialization for parallel handler execution.  A fresh thread per
+// event (kThreadPerEvent) is kept for the E2 ablation bench.  The event lane
+// is BOUNDED: when it is full the dispatch is shed and the raiser gets
+// kResourceExhausted instead of an unbounded backlog.
 //
 // Synchronous raising: the raiser blocks until a handler explicitly resumes
 // it (§3).  A synchronous raise *to the current thread* (the exception-
@@ -39,7 +43,6 @@
 
 #include "common/ids.hpp"
 #include "common/result.hpp"
-#include "common/thread_pool.hpp"
 #include "events/block.hpp"
 #include "events/registry.hpp"
 #include "events/trace.hpp"
@@ -57,6 +60,9 @@ enum class ObjectDispatchMode : std::uint8_t {
 };
 
 struct EventConfig {
+  // The DOCT_DISPATCH environment variable ("master" / "per_event")
+  // overrides this at construction — the CI ablation lane uses it to re-run
+  // the event suite under kThreadPerEvent without recompiling.
   ObjectDispatchMode dispatch_mode = ObjectDispatchMode::kMasterThread;
   Duration sync_timeout = std::chrono::seconds(10);
   int max_handler_depth = 16;  // re-entrant handler recursion guard
@@ -74,6 +80,7 @@ struct EventStats {
   std::uint64_t propagations = 0;      // kPropagate chain steps
   std::uint64_t surrogate_runs = 0;    // self-sync handler executions
   std::uint64_t dead_target_raises = 0;
+  std::uint64_t shed_dispatches = 0;   // executor refused; raiser got ERROR
 };
 
 // Handler context constant mirroring the paper's OWN_CONTEXT flag (§5.2).
@@ -93,6 +100,8 @@ class EventSystem {
   [[nodiscard]] EventRegistry& registry() { return registry_; }
   [[nodiscard]] ProcedureRegistry& procedures() { return procedures_; }
   [[nodiscard]] kernel::Kernel& kernel() { return kernel_; }
+  // The node executor event work runs on (shared with the RPC endpoint).
+  [[nodiscard]] exec::Executor& executor() { return rpc_.executor(); }
 
   // --- thread-based handler attachment (§5.2) -----------------------------
   // All attach/detach calls operate on the CURRENT logical thread.
@@ -157,9 +166,15 @@ class EventSystem {
 
   kernel::Verdict apply_default(const kernel::EventNotice& notice);
 
-  // Object-based dispatch.
+  // Object-based dispatch.  run_object_handler admits the handler execution
+  // to the executor (lane by event class: control / bulk / event) and
+  // reports refusal to the caller so the raiser fails fast.
   Status dispatch_to_object(const kernel::EventNotice& notice);
-  void run_object_handler(const kernel::EventNotice& notice);
+  // may_block=false on the network delivery thread (rpc_object_notify):
+  // admission then sheds instead of parking the simulated NIC.
+  Status run_object_handler(const kernel::EventNotice& notice,
+                            bool may_block = true);
+  [[nodiscard]] exec::Lane lane_for(EventId event) const;
   kernel::Verdict run_object_handler_now(const kernel::EventNotice& notice);
   void send_resume(const kernel::EventNotice& notice, kernel::Verdict verdict);
 
@@ -183,6 +198,7 @@ class EventSystem {
     std::atomic<std::uint64_t> propagations{0};
     std::atomic<std::uint64_t> surrogate_runs{0};
     std::atomic<std::uint64_t> dead_target_raises{0};
+    std::atomic<std::uint64_t> shed_dispatches{0};
   };
   void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
 
@@ -192,10 +208,6 @@ class EventSystem {
   EventRegistry& registry_;
   ProcedureRegistry& procedures_;
   EventConfig config_;
-
-  // Master handler thread (§7) + surrogate pool for self-sync exceptions.
-  ThreadPool master_{1};
-  ThreadPool surrogates_{2};
 
   // kThreadPerEvent bookkeeping: spawned threads joined opportunistically
   // and at shutdown (CP.26: never detach).  Threads announce completion in

@@ -3,20 +3,25 @@
 namespace doct::events {
 
 EventRegistry::EventRegistry() {
-  add({sys::kTerminate, "TERMINATE", true, true, DefaultAction::kTerminate});
-  add({sys::kQuit, "QUIT", true, true, DefaultAction::kTerminate});
-  add({sys::kAbort, "ABORT", true, true, DefaultAction::kIgnore});
-  add({sys::kInterrupt, "INTERRUPT", true, true, DefaultAction::kIgnore});
-  add({sys::kTimer, "TIMER", true, false, DefaultAction::kIgnore});
-  add({sys::kVmFault, "VM_FAULT", true, false, DefaultAction::kIgnore});
-  add({sys::kDivideByZero, "DIVIDE_BY_ZERO", true, true,
+  add({sys::kTerminate, "TERMINATE", true, true, false,
        DefaultAction::kTerminate});
-  add({sys::kAlarm, "ALARM", true, false, DefaultAction::kIgnore});
-  add({sys::kDelete, "DELETE", true, false, DefaultAction::kIgnore});
-  add({sys::kPing, "PING", true, false, DefaultAction::kIgnore});
-  add({sys::kTargetDead, "TARGET_DEAD", true, false, DefaultAction::kIgnore});
-  add({sys::kNodeDown, "NODE_DOWN", true, false, DefaultAction::kIgnore});
-  add({sys::kNodeUp, "NODE_UP", true, false, DefaultAction::kIgnore});
+  add({sys::kQuit, "QUIT", true, true, false, DefaultAction::kTerminate});
+  add({sys::kAbort, "ABORT", true, true, false, DefaultAction::kIgnore});
+  add({sys::kInterrupt, "INTERRUPT", true, true, false,
+       DefaultAction::kIgnore});
+  add({sys::kTimer, "TIMER", true, false, false, DefaultAction::kIgnore});
+  add({sys::kVmFault, "VM_FAULT", true, false, false,
+       DefaultAction::kIgnore});
+  add({sys::kDivideByZero, "DIVIDE_BY_ZERO", true, true, false,
+       DefaultAction::kTerminate});
+  add({sys::kAlarm, "ALARM", true, false, false, DefaultAction::kIgnore});
+  add({sys::kDelete, "DELETE", true, false, false, DefaultAction::kIgnore});
+  add({sys::kPing, "PING", true, false, false, DefaultAction::kIgnore});
+  add({sys::kTargetDead, "TARGET_DEAD", true, false, false,
+       DefaultAction::kIgnore});
+  add({sys::kNodeDown, "NODE_DOWN", true, false, false,
+       DefaultAction::kIgnore});
+  add({sys::kNodeUp, "NODE_UP", true, false, false, DefaultAction::kIgnore});
 }
 
 void EventRegistry::add(EventInfo info) {
@@ -31,7 +36,7 @@ EventId EventRegistry::register_event(const std::string& name) {
   if (it != by_name_.end()) return it->second;
   const EventId id{next_user_id_++};
   by_name_[name] = id;
-  by_id_[id] = EventInfo{id, name, false, false, DefaultAction::kIgnore};
+  by_id_[id] = EventInfo{id, name, false, false, false, DefaultAction::kIgnore};
   return id;
 }
 
@@ -63,6 +68,18 @@ bool EventRegistry::is_control(EventId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(id);
   return it != by_id_.end() && it->second.control;
+}
+
+void EventRegistry::mark_bulk(EventId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) it->second.bulk = true;
+}
+
+bool EventRegistry::is_bulk(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it != by_id_.end() && it->second.bulk;
 }
 
 DefaultAction EventRegistry::default_action(EventId id) const {

@@ -65,6 +65,8 @@ struct EventInfo {
   std::string name;
   bool system = false;
   bool control = false;  // delivered ahead of queued ordinary notices
+  bool bulk = false;     // background/throughput work (monitor snapshots):
+                         // object dispatch runs on the executor's bulk lane
   DefaultAction default_action = DefaultAction::kIgnore;
 };
 
@@ -75,10 +77,14 @@ class EventRegistry {
   // Registers a user event name; idempotent (returns the existing id).
   EventId register_event(const std::string& name);
 
+  // Marks a registered event as bulk work; idempotent, no-op if unknown.
+  void mark_bulk(EventId id);
+
   [[nodiscard]] Result<EventId> lookup(const std::string& name) const;
   [[nodiscard]] Result<EventInfo> info(EventId id) const;
   [[nodiscard]] std::string name_of(EventId id) const;  // "" if unknown
   [[nodiscard]] bool is_control(EventId id) const;
+  [[nodiscard]] bool is_bulk(EventId id) const;
   [[nodiscard]] DefaultAction default_action(EventId id) const;
 
   [[nodiscard]] std::vector<EventInfo> all() const;

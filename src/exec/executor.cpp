@@ -1,0 +1,285 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace doct::exec {
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kControl:
+      return "control";
+    case Lane::kEvent:
+      return "event";
+    case Lane::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+Executor::Executor(ExecutorConfig config, std::string name)
+    : config_(config) {
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  config_.control_reserve =
+      std::min(config_.control_reserve,
+               config_.workers > 1 ? config_.workers - 1 : 0);
+  if (config_.single_lane) config_.control_reserve = 0;
+
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    const std::string lane = lane_name(static_cast<Lane>(i));
+    depth_gauge_[i] = &obs::metrics().gauge("exec.lane_depth." + lane);
+    wait_us_[i] = &obs::metrics().histogram("exec.lane_wait_us." + lane);
+  }
+  shed_counter_ = &obs::metrics().counter("exec.shed_total");
+  metrics_source_ = obs::metrics().register_source(std::move(name), [this] {
+    const ExecutorStats s = stats();
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+      const std::string lane = lane_name(static_cast<Lane>(i));
+      out.emplace_back(lane + "_submitted", s.lanes[i].submitted);
+      out.emplace_back(lane + "_executed", s.lanes[i].executed);
+      out.emplace_back(lane + "_shed", s.lanes[i].shed);
+      out.emplace_back(lane + "_coalesced", s.lanes[i].coalesced);
+    }
+    out.emplace_back("shed_total", s.shed_total());
+    return out;
+  });
+
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() { shutdown(); }
+
+const LaneConfig& Executor::lane_config(std::size_t lane) const {
+  switch (static_cast<Lane>(lane)) {
+    case Lane::kControl:
+      return config_.control;
+    case Lane::kEvent:
+      return config_.event;
+    case Lane::kBulk:
+      return config_.bulk;
+  }
+  return config_.event;
+}
+
+std::size_t Executor::physical_lane(Lane lane) const {
+  return config_.single_lane ? static_cast<std::size_t>(Lane::kEvent)
+                             : static_cast<std::size_t>(lane);
+}
+
+void Executor::note_shed(Lane lane) {
+  stats_[static_cast<std::size_t>(lane)].shed.fetch_add(
+      1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) shed_counter_->add();
+}
+
+Status Executor::submit(Lane lane, std::function<void()> fn) {
+  return admit(lane, std::move(fn), 0, /*may_block=*/true);
+}
+
+Status Executor::try_submit(Lane lane, std::function<void()> fn) {
+  return admit(lane, std::move(fn), 0, /*may_block=*/false);
+}
+
+Status Executor::submit_coalesced(Lane lane, std::uint64_t key,
+                                  std::function<void()> fn) {
+  if (key == 0) {
+    return {StatusCode::kInvalidArgument, "coalesce key must be non-zero"};
+  }
+  // Coalescing producers are delivery/beat threads: never park them.
+  return admit(lane, std::move(fn), key, /*may_block=*/false);
+}
+
+Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
+                       bool may_block) {
+  stats_[static_cast<std::size_t>(lane)].submitted.fetch_add(
+      1, std::memory_order_relaxed);
+  const std::size_t idx = physical_lane(lane);
+  const LaneConfig& cfg = lane_config(idx);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      return {StatusCode::kAborted, "executor shutting down"};
+    }
+    LaneState& state = lanes_[idx];
+    if (key != 0) {
+      auto it = state.coalesce_index.find(key);
+      if (it != state.coalesce_index.end()) {
+        // Idempotent work already queued: the fresh fn supersedes it in
+        // place — same queue position, no extra capacity.
+        it->second->fn = std::move(fn);
+        stats_[static_cast<std::size_t>(lane)].coalesced.fetch_add(
+            1, std::memory_order_relaxed);
+        return Status::ok();
+      }
+    }
+    if (cfg.capacity > 0 && state.queue.size() >= cfg.capacity) {
+      if (may_block && cfg.policy == OverloadPolicy::kBlock) {
+        const bool space = space_cv_.wait_for(lock, cfg.block_deadline, [&] {
+          return closed_ || state.queue.size() < cfg.capacity;
+        });
+        if (closed_) {
+          return {StatusCode::kAborted, "executor shutting down"};
+        }
+        if (!space) {
+          note_shed(lane);
+          return {StatusCode::kResourceExhausted,
+                  std::string("lane full past block deadline: ") +
+                      lane_name(lane)};
+        }
+      } else {
+        note_shed(lane);
+        return {StatusCode::kResourceExhausted,
+                std::string("lane overloaded: ") + lane_name(lane)};
+      }
+    }
+    Task task;
+    task.fn = std::move(fn);
+    task.key = key;
+    task.origin = lane;
+    if (obs::metrics_enabled()) {
+      task.enqueued_us = obs::now_us();
+      depth_gauge_[idx]->add(1);
+    }
+    state.queue.push_back(std::move(task));
+    if (key != 0) state.coalesce_index[key] = &state.queue.back();
+  }
+  // Heterogeneous waiters (control-reserve vs general workers) share one cv;
+  // notify_all so a reserved worker cannot swallow a general worker's wakeup.
+  work_cv_.notify_all();
+  return Status::ok();
+}
+
+std::size_t Executor::pick_lane_locked(std::size_t worker_index) const {
+  const bool control_only =
+      !config_.single_lane && worker_index < config_.control_reserve;
+  const std::size_t last =
+      control_only ? static_cast<std::size_t>(Lane::kControl) : kLaneCount - 1;
+  for (std::size_t lane = 0; lane <= last; ++lane) {
+    const LaneState& state = lanes_[lane];
+    if (state.queue.empty()) continue;
+    const LaneConfig& cfg = lane_config(lane);
+    if (!config_.single_lane && cfg.width > 0 && state.active >= cfg.width) {
+      continue;
+    }
+    return lane;
+  }
+  return kLaneCount;
+}
+
+void Executor::worker_loop(std::size_t worker_index) {
+  const bool control_only =
+      !config_.single_lane && worker_index < config_.control_reserve;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const std::size_t lane = pick_lane_locked(worker_index);
+    if (lane == kLaneCount) {
+      if (closed_) {
+        // Exit only when every queue in this worker's scope is drained; a
+        // width-saturated lane still has an owner that will finish it.
+        bool drained = lanes_[static_cast<std::size_t>(Lane::kControl)]
+                           .queue.empty();
+        if (!control_only) {
+          for (std::size_t i = 0; i < kLaneCount; ++i) {
+            drained = drained && lanes_[i].queue.empty();
+          }
+        }
+        if (drained) return;
+      }
+      work_cv_.wait(lock);
+      continue;
+    }
+
+    LaneState& state = lanes_[lane];
+    const LaneConfig& cfg = lane_config(lane);
+    const std::size_t take = std::min(
+        cfg.batch > 0 ? cfg.batch : state.queue.size(), state.queue.size());
+    std::vector<Task> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      Task& front = state.queue.front();
+      if (front.key != 0) state.coalesce_index.erase(front.key);
+      batch.push_back(std::move(front));
+      state.queue.pop_front();
+    }
+    state.active++;
+    lock.unlock();
+    // Capacity was freed: wake kBlock producers parked on this lane.
+    space_cv_.notify_all();
+
+    if (obs::metrics_enabled()) {
+      depth_gauge_[lane]->add(-static_cast<std::int64_t>(batch.size()));
+      const std::int64_t now = obs::now_us();
+      for (const Task& task : batch) {
+        if (task.enqueued_us > 0) {
+          wait_us_[lane]->record_us(now - task.enqueued_us);
+        }
+      }
+    }
+    for (Task& task : batch) {
+      task.fn();
+      stats_[static_cast<std::size_t>(task.origin)].executed.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+
+    lock.lock();
+    state.active--;
+    if (!state.queue.empty()) {
+      // A width slot opened with work still queued: wake a sleeper to claim
+      // it (we loop around ourselves too, but may pick a higher lane).
+      lock.unlock();
+      work_cv_.notify_all();
+      lock.lock();
+    }
+  }
+}
+
+void Executor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+bool Executor::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t Executor::lane_depth(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_[physical_lane(lane)].queue.size();
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats out;
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    out.lanes[i].submitted =
+        stats_[i].submitted.load(std::memory_order_relaxed);
+    out.lanes[i].executed = stats_[i].executed.load(std::memory_order_relaxed);
+    out.lanes[i].shed = stats_[i].shed.load(std::memory_order_relaxed);
+    out.lanes[i].coalesced =
+        stats_[i].coalesced.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Executor::reset_stats() {
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    stats_[i].submitted.store(0, std::memory_order_relaxed);
+    stats_[i].executed.store(0, std::memory_order_relaxed);
+    stats_[i].shed.store(0, std::memory_order_relaxed);
+    stats_[i].coalesced.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace doct::exec

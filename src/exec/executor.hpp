@@ -1,0 +1,221 @@
+// Unified per-node executor with fixed priority lanes and bounded queues.
+//
+// The paper's §7 argument for a master handler thread is an execution-
+// substrate argument: who runs event work, and at what cost, decides whether
+// asynchronous events are usable at all.  Before this layer the substrate was
+// fragmented — RPC servers, the master handler, the surrogate pool each owned
+// an ad-hoc ThreadPool over an *unbounded* BlockingQueue, so an event storm
+// could starve TERMINATE/NODE_DOWN control traffic and grow memory without
+// bound.  This executor is the one well-defined substrate per node:
+//
+//   kControl  TERMINATE/NODE_DOWN/heartbeat reactions, RPC replies, census.
+//             Serviced first, always; `control_reserve` workers never touch
+//             lower lanes, so control work makes progress even when every
+//             general worker is parked inside a blocking method.
+//   kEvent    Passive-object handler dispatch (§4.3).  Lane width is the §7
+//             knob: width 1 IS the master handler thread (serial dispatch,
+//             zero thread creation); width N trades serialization for
+//             parallel handler execution.  kThreadPerEvent (a fresh OS
+//             thread per event) remains in the events layer as the costly
+//             ablation the paper argues against.
+//   kBulk     Blocking RPC method bodies (object invocations, DSM page
+//             traffic, pager installs), surrogate exception chains, monitor
+//             snapshot building — throughput work that may block on nested
+//             calls and must never occupy the control lane.
+//
+// Every lane is a BOUNDED queue with a per-lane overload policy:
+//
+//   kBlock      producer waits (with deadline) for space — backpressure
+//               propagates to the submitting thread.
+//   kShedNewest admission fails with kResourceExhausted — the caller turns
+//               that into an error for the raiser, so raise_and_wait fails
+//               fast instead of hanging behind an unbounded backlog.
+//   kCoalesce   keyed idempotent work (census replies, peer-down marks)
+//               replaces a queued task with the same key in place; unkeyed
+//               overflow sheds like kShedNewest.
+//
+// Workers batch-drain lanes whose tasks are non-blocking (the control lane
+// by default): one lock round-trip takes up to `batch` tasks, and every
+// grab re-checks lanes in priority order, so a backlog on a lower lane can
+// delay control work by at most one grab.  try_submit() never blocks
+// regardless of policy — delivery/interrupt paths use it so the simulated
+// NIC thread is never parked on a full lane.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+
+namespace doct::exec {
+
+enum class Lane : std::uint8_t { kControl = 0, kEvent = 1, kBulk = 2 };
+inline constexpr std::size_t kLaneCount = 3;
+
+[[nodiscard]] const char* lane_name(Lane lane);
+
+enum class OverloadPolicy : std::uint8_t {
+  kBlock = 0,       // producer waits for space, up to block_deadline
+  kShedNewest = 1,  // admission fails fast with kResourceExhausted
+  kCoalesce = 2,    // keyed tasks replace in place; unkeyed overflow sheds
+};
+
+struct LaneConfig {
+  // Queued-task bound; 0 = unbounded (admission never fails on capacity).
+  std::size_t capacity = 4096;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  // kBlock only: how long a producer waits for space before shedding anyway.
+  Duration block_deadline = std::chrono::seconds(5);
+  // Max workers concurrently executing tasks from this lane; 0 = no cap.
+  // Event-lane width 1 reproduces the §7 master handler thread exactly.
+  std::size_t width = 0;
+  // Max tasks one worker grabs per lock round-trip.  A batch runs to
+  // completion on ONE worker, so batching above 1 is only safe for lanes
+  // whose tasks never block: a parked task would strand the rest of its
+  // batch while other workers sit idle.  Control work (response
+  // fulfillment, census replies) is non-blocking by contract and batches;
+  // event/bulk lanes carry potentially-blocking handler and method bodies
+  // and default to 1.
+  std::size_t batch = 1;
+};
+
+struct ExecutorConfig {
+  std::size_t workers = 6;
+  // Workers that service ONLY the control lane (parked when it is empty).
+  // Guarantees control progress even when every general worker is blocked
+  // inside a bulk method.  Clamped to workers - 1.
+  std::size_t control_reserve = 1;
+  // Ablation: one FIFO queue, no priorities, no reserve, no width caps —
+  // the pre-refactor "one pool per purpose, first come first served" world
+  // collapsed into a single queue.  E10 demonstrates the starvation.
+  bool single_lane = false;
+  LaneConfig control{.capacity = 4096,
+                     .policy = OverloadPolicy::kBlock,
+                     .batch = 32};
+  // Raisers must fail fast, not hang: §5.3's raise/raise_and_wait return a
+  // status, and the overload story depends on it being delivered promptly.
+  LaneConfig event{.capacity = 4096,
+                   .policy = OverloadPolicy::kShedNewest,
+                   .width = 1};
+  LaneConfig bulk{.capacity = 4096, .policy = OverloadPolicy::kBlock};
+};
+
+struct LaneStatsSnapshot {
+  std::uint64_t submitted = 0;  // admissions attempted
+  std::uint64_t executed = 0;   // tasks run to completion
+  std::uint64_t shed = 0;       // admissions refused (capacity/deadline)
+  std::uint64_t coalesced = 0;  // keyed tasks replaced in place
+};
+
+struct ExecutorStats {
+  LaneStatsSnapshot lanes[kLaneCount];
+  [[nodiscard]] std::uint64_t shed_total() const {
+    std::uint64_t total = 0;
+    for (const auto& lane : lanes) total += lane.shed;
+    return total;
+  }
+};
+
+class Executor {
+ public:
+  // `name` prefixes the per-node metrics source ("node3.exec").
+  explicit Executor(ExecutorConfig config = {}, std::string name = "exec");
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Admits a task under the lane's overload policy.  kBlock lanes may park
+  // the caller up to block_deadline; on a full lane the task is shed and
+  // kResourceExhausted returned.  kAborted after shutdown().
+  Status submit(Lane lane, std::function<void()> fn);
+
+  // Never blocks: a full lane sheds immediately regardless of policy.  For
+  // producers on delivery/interrupt paths that must not park.
+  Status try_submit(Lane lane, std::function<void()> fn);
+
+  // Idempotent keyed admission: if a task with `key` is already queued in
+  // the lane, the new fn replaces it in place (same queue position, no
+  // capacity consumed) and the call reports Ok.  key must be non-zero.
+  Status submit_coalesced(Lane lane, std::uint64_t key,
+                          std::function<void()> fn);
+
+  // Closes admission, drains every queued task (higher lanes first), joins
+  // all workers.  Idempotent.  Queued work runs to completion so callers
+  // can rely on ThreadPool-drain semantics at teardown.
+  void shutdown();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t lane_depth(Lane lane) const;
+  [[nodiscard]] const ExecutorConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  [[nodiscard]] ExecutorStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t key = 0;         // 0 = not coalescible
+    std::int64_t enqueued_us = 0;  // admission time (metrics on)
+    Lane origin = Lane::kEvent;    // stats attribution under single_lane
+  };
+
+  struct LaneState {
+    // std::deque never invalidates references to surviving elements on
+    // push_back/pop_front, so coalesce_index can point into it.
+    std::deque<Task> queue;
+    std::unordered_map<std::uint64_t, Task*> coalesce_index;
+    std::size_t active = 0;  // workers currently executing this lane
+  };
+
+  struct AtomicLaneStats {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> coalesced{0};
+  };
+
+  Status admit(Lane lane, std::function<void()> fn, std::uint64_t key,
+               bool may_block);
+  void worker_loop(std::size_t worker_index);
+  // Picks the highest-priority eligible lane for this worker; kLaneCount
+  // means nothing to do.  Caller holds mu_.
+  [[nodiscard]] std::size_t pick_lane_locked(std::size_t worker_index) const;
+  [[nodiscard]] const LaneConfig& lane_config(std::size_t lane) const;
+  // single_lane funnels every admission into one physical queue.
+  [[nodiscard]] std::size_t physical_lane(Lane lane) const;
+  void note_shed(Lane lane);
+
+  ExecutorConfig config_;
+  SteadyClock clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for eligible work
+  std::condition_variable space_cv_;  // kBlock producers wait for capacity
+  LaneState lanes_[kLaneCount];
+  bool closed_ = false;
+
+  AtomicLaneStats stats_[kLaneCount];
+
+  std::vector<std::thread> threads_;
+
+  // Resolved once; hot paths record without a registry lookup.
+  obs::Gauge* depth_gauge_[kLaneCount] = {};
+  obs::Histogram* wait_us_[kLaneCount] = {};
+  obs::ShardedCounter* shed_counter_ = nullptr;
+  // Last member: unregisters before the stats it reads are destroyed.
+  obs::MetricsRegistry::SourceHandle metrics_source_;
+};
+
+}  // namespace doct::exec

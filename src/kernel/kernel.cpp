@@ -30,6 +30,15 @@ enum class HopState : std::uint8_t {
   kUnknown = 3,
 };
 
+// Executor coalesce keys share one namespace per lane; the salt keeps the
+// kernel's different idempotent work kinds from colliding on small ids.
+std::uint64_t coalesce_key(std::uint64_t salt, std::uint64_t a,
+                           std::uint64_t b) {
+  std::uint64_t key = salt ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                      (b * 0x517CC1B727220A95ULL);
+  return key == 0 ? 1 : key;
+}
+
 }  // namespace
 
 Kernel::Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
@@ -357,18 +366,31 @@ void Kernel::on_group_census(const net::Message& message) {
     DOCT_LOG(kError) << "malformed census probe: " << e.what();
     return;
   }
-  const auto members = local_group_members(group);
-  Writer w;
-  w.put(token);
-  w.put(static_cast<std::uint32_t>(members.size()));
-  for (ThreadId tid : members) w.put(tid);
-  network_.send(net::Message{
-      .from = self_,
-      .to = message.from,
-      .kind = net::kGroupCensusReply,
-      .call = CallId{},
-      .payload = std::move(w).take(),
-  });
+  // Building + sending the reply is idempotent per (token, requester): a
+  // retransmitted probe queued behind the first coalesces in place instead
+  // of consuming control-lane capacity.  Runs inline when the lane refuses
+  // (full or shut down) — the work never blocks, so that is always safe.
+  const auto reply = [this, token, group, to = message.from] {
+    const auto members = local_group_members(group);
+    Writer w;
+    w.put(token);
+    w.put(static_cast<std::uint32_t>(members.size()));
+    for (ThreadId tid : members) w.put(tid);
+    network_.send(net::Message{
+        .from = self_,
+        .to = to,
+        .kind = net::kGroupCensusReply,
+        .call = CallId{},
+        .payload = std::move(w).take(),
+    });
+  };
+  const std::uint64_t key =
+      coalesce_key(0x9E3779B97F4A7C15ULL, token, message.from.value());
+  if (!rpc_.executor()
+           .submit_coalesced(exec::Lane::kControl, key, reply)
+           .is_ok()) {
+    reply();
+  }
 }
 
 void Kernel::on_group_census_reply(const net::Message& message) {
@@ -404,20 +426,34 @@ void Kernel::on_group_census_reply(const net::Message& message) {
 
 void Kernel::note_peer_down(NodeId peer) {
   // Every cached hint pointing at the dead peer would cost a full RPC
-  // timeout to disprove; drop them all now.
+  // timeout to disprove; drop them all now, synchronously — callers (and
+  // tests) rely on the cache being clean when this returns.
   location_cache_.invalidate_node(peer);
-  std::vector<std::shared_ptr<CensusPending>> waiting;
-  {
-    std::lock_guard<std::mutex> lock(census_mu_);
-    for (const auto& [token, pending] : censuses_) waiting.push_back(pending);
-  }
-  for (const auto& pending : waiting) {
+  // Skipping census waiters is control work, and repeated NODE_DOWN signals
+  // for the same peer coalesce: the task snapshots the waiting set when it
+  // RUNS, so collapsing duplicates loses nothing.  Inline fallback when the
+  // lane refuses — the loop never blocks.
+  const auto skip_waiters = [this] {
+    std::vector<std::shared_ptr<CensusPending>> waiting;
     {
-      std::lock_guard<std::mutex> lock(pending->mu);
-      pending->replies++;  // the dead peer can contribute no members
+      std::lock_guard<std::mutex> lock(census_mu_);
+      for (const auto& [token, pending] : censuses_) waiting.push_back(pending);
     }
-    pending->cv.notify_all();
-    bump(&AtomicStats::census_peer_down_skips);
+    for (const auto& pending : waiting) {
+      {
+        std::lock_guard<std::mutex> lock(pending->mu);
+        pending->replies++;  // the dead peer can contribute no members
+      }
+      pending->cv.notify_all();
+      bump(&AtomicStats::census_peer_down_skips);
+    }
+  };
+  const std::uint64_t key =
+      coalesce_key(0xD6E8FEB86659FD93ULL, peer.value(), 0);
+  if (!rpc_.executor()
+           .submit_coalesced(exec::Lane::kControl, key, skip_waiters)
+           .is_ok()) {
+    skip_waiters();
   }
 }
 

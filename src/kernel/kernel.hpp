@@ -37,6 +37,7 @@
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
+#include "exec/executor.hpp"
 #include "kernel/location_cache.hpp"
 #include "kernel/thread_context.hpp"
 #include "net/demux.hpp"
@@ -61,6 +62,11 @@ struct KernelConfig {
   // Thread-location cache: consulted before running the configured locator.
   // Disable (enabled=false) to measure the bare §7.1 strategies (bench E1).
   LocationCacheConfig location_cache;
+  // The node's unified executor (lanes, capacities, overload policies).
+  // NodeRuntime constructs one exec::Executor per node from this; event
+  // lane width 1 is the §7 master handler thread, wider trades serialization
+  // for parallel handler execution.
+  exec::ExecutorConfig executor;
 };
 
 struct KernelStats {

@@ -35,6 +35,7 @@ Network::Network(NetworkConfig config)
         {"wire_queued", s.wire_queued},
         {"dropped_by_fault", s.dropped_by_fault},
         {"dropped_by_partition", s.dropped_by_partition},
+        {"dropped_backpressure", s.dropped_backpressure},
         {"duplicated", s.duplicated},
         {"reordered", s.reordered},
         {"delay_spikes", s.delay_spikes},
@@ -141,8 +142,22 @@ void Network::deliver_direct(NodeState& target, Message message) {
     return;
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (!target.mailbox.push(std::move(message))) {
-    finish_in_flight();
+  push_mailbox(target, std::move(message));
+}
+
+void Network::push_mailbox(NodeState& target, Message message) {
+  using PushResult = BlockingQueue<Message>::PushResult;
+  switch (target.mailbox.push_bounded(std::move(message),
+                                      config_.mailbox_capacity)) {
+    case PushResult::kOk:
+      break;
+    case PushResult::kFull:
+      drop(&AtomicStats::dropped_backpressure);
+      finish_in_flight();
+      break;
+    case PushResult::kClosed:
+      finish_in_flight();
+      break;
   }
 }
 
@@ -400,6 +415,8 @@ NetworkStats Network::stats() const {
   out.dropped_crashed = stats_.dropped_crashed.load(std::memory_order_relaxed);
   out.dropped_no_route =
       stats_.dropped_no_route.load(std::memory_order_relaxed);
+  out.dropped_backpressure =
+      stats_.dropped_backpressure.load(std::memory_order_relaxed);
   out.duplicated = stats_.duplicated.load(std::memory_order_relaxed);
   out.reordered = stats_.reordered.load(std::memory_order_relaxed);
   out.delay_spikes = stats_.delay_spikes.load(std::memory_order_relaxed);
@@ -422,6 +439,7 @@ void Network::reset_stats() {
   stats_.dropped_legacy.store(0, std::memory_order_relaxed);
   stats_.dropped_crashed.store(0, std::memory_order_relaxed);
   stats_.dropped_no_route.store(0, std::memory_order_relaxed);
+  stats_.dropped_backpressure.store(0, std::memory_order_relaxed);
   stats_.duplicated.store(0, std::memory_order_relaxed);
   stats_.reordered.store(0, std::memory_order_relaxed);
   stats_.delay_spikes.store(0, std::memory_order_relaxed);
@@ -481,9 +499,7 @@ void Network::deliver_from_wire(Message message) {
   }
   // Holding topo_mu_ shared across the push keeps the node-exists check and
   // the push atomic with respect to unregister_node / crash_node.
-  if (!it->second->mailbox.push(std::move(message))) {
-    finish_in_flight();
-  }
+  push_mailbox(*it->second, std::move(message));
 }
 
 void Network::wire_loop() {

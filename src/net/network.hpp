@@ -54,6 +54,12 @@ struct NetworkConfig {
   // leg independently lossy and is replayable from the plan seed.
   double drop_probability = 0.0;
   std::uint64_t seed = 0x5EED;
+  // Per-node inbound mailbox bound; 0 = unbounded.  When a destination's
+  // delivery thread falls behind by this many messages, further traffic to
+  // it is dropped (datagram semantics, counted as dropped_backpressure)
+  // instead of growing the queue without limit — the network-layer end of
+  // the node executor's bounded-lane story.
+  std::size_t mailbox_capacity = 0;
 };
 
 struct NetworkStats {
@@ -76,6 +82,7 @@ struct NetworkStats {
   std::uint64_t dropped_legacy = 0;        // NetworkConfig::drop_probability
   std::uint64_t dropped_crashed = 0;       // to or from a crashed node
   std::uint64_t dropped_no_route = 0;      // destination vanished in transit
+  std::uint64_t dropped_backpressure = 0;  // destination mailbox was full
   // Injected non-loss faults.
   std::uint64_t duplicated = 0;    // extra copies put on the wire
   std::uint64_t reordered = 0;     // messages delayed past later traffic
@@ -189,6 +196,7 @@ class Network {
     std::atomic<std::uint64_t> dropped_legacy{0};
     std::atomic<std::uint64_t> dropped_crashed{0};
     std::atomic<std::uint64_t> dropped_no_route{0};
+    std::atomic<std::uint64_t> dropped_backpressure{0};
     std::atomic<std::uint64_t> duplicated{0};
     std::atomic<std::uint64_t> reordered{0};
     std::atomic<std::uint64_t> delay_spikes{0};
@@ -212,6 +220,10 @@ class Network {
   // The zero-delay fast path: partition check + direct mailbox push.
   // Caller holds topo_mu_ (shared suffices).
   void deliver_direct(NodeState& target, Message message);
+  // Final mailbox admission under the configured capacity bound.  Assumes
+  // the caller already holds the message's in-flight token; releases it on
+  // refusal.  Caller holds topo_mu_ (shared suffices).
+  void push_mailbox(NodeState& target, Message message);
   void register_node_locked(NodeId node, MessageHandler handler);
   void finish_in_flight();
   // Records the wire-transit span + histogram for one received message

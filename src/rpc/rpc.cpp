@@ -43,12 +43,19 @@ bool PendingCall::ready() const {
 }
 
 RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
-                         IdGenerator& ids, RpcConfig config)
+                         IdGenerator& ids, RpcConfig config,
+                         exec::Executor* executor)
     : network_(network),
       self_(self),
       ids_(ids),
       config_(config),
-      workers_(config.worker_threads),
+      owned_executor_(executor
+                          ? nullptr
+                          : std::make_unique<exec::Executor>(
+                                exec::ExecutorConfig{},
+                                "node" + std::to_string(self.value()) +
+                                    ".exec")),
+      executor_(executor ? executor : owned_executor_.get()),
       retry_rng_(config.retry_seed ^ self.value()) {
   demux.route(net::kRpcRequest,
               [this](const net::Message& m) { on_request(m); });
@@ -65,11 +72,12 @@ RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
             {"deadline_timeouts", s.deadline_timeouts},
             {"dedup_replays", s.dedup_replays},
             {"duplicate_drops", s.duplicate_drops},
+            {"requests_shed", s.requests_shed},
         };
       });
 }
 
-void RpcEndpoint::drain_workers() { workers_.shutdown(); }
+void RpcEndpoint::drain_workers() { executor_->shutdown(); }
 
 RpcEndpoint::~RpcEndpoint() {
   {
@@ -78,7 +86,10 @@ RpcEndpoint::~RpcEndpoint() {
   }
   retry_cv_.notify_all();
   retry_thread_.join();
-  workers_.shutdown();
+  // An owned executor is drained here, while the endpoint is still intact;
+  // a shared one must already have been shut down by its owner (NodeRuntime
+  // does so in its destructor body).
+  if (owned_executor_) owned_executor_->shutdown();
   // Fail any still-pending calls so blocked callers wake up.
   std::unordered_map<CallId, PendingRecord> pending;
   {
@@ -99,6 +110,7 @@ RpcStats RpcEndpoint::stats() const {
       stats_.deadline_timeouts.load(std::memory_order_relaxed);
   out.dedup_replays = stats_.dedup_replays.load(std::memory_order_relaxed);
   out.duplicate_drops = stats_.duplicate_drops.load(std::memory_order_relaxed);
+  out.requests_shed = stats_.requests_shed.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -108,6 +120,7 @@ void RpcEndpoint::reset_stats() {
   stats_.deadline_timeouts.store(0, std::memory_order_relaxed);
   stats_.dedup_replays.store(0, std::memory_order_relaxed);
   stats_.duplicate_drops.store(0, std::memory_order_relaxed);
+  stats_.requests_shed.store(0, std::memory_order_relaxed);
 }
 
 void RpcEndpoint::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
@@ -115,9 +128,10 @@ void RpcEndpoint::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
 }
 
 void RpcEndpoint::register_method(std::string name, Method method,
-                                  MethodClass method_class) {
+                                  MethodClass method_class, exec::Lane lane) {
   std::lock_guard<std::mutex> lock(methods_mu_);
-  methods_[std::move(name)] = RegisteredMethod{std::move(method), method_class};
+  methods_[std::move(name)] =
+      RegisteredMethod{std::move(method), method_class, lane};
 }
 
 void RpcEndpoint::unregister_method(const std::string& name) {
@@ -344,14 +358,19 @@ void RpcEndpoint::on_request(const net::Message& message) {
   }
 
   // Runs on the network delivery thread.  kFast methods execute inline here
-  // (they are required not to block); kBlocking methods go to the pool.
+  // (they are required not to block); kBlocking methods go to the executor
+  // lane they were registered with.
   MethodClass method_class = MethodClass::kBlocking;
+  exec::Lane lane = exec::Lane::kBulk;
   try {
     Reader peek(message.payload.share());
     const std::string method_name = peek.get_string();
     std::lock_guard<std::mutex> lock(methods_mu_);
     auto it = methods_.find(method_name);
-    if (it != methods_.end()) method_class = it->second.method_class;
+    if (it != methods_.end()) {
+      method_class = it->second.method_class;
+      lane = it->second.lane;
+    }
   } catch (const DeserializeError&) {
     // execute_request reports the malformed payload.
   }
@@ -360,11 +379,46 @@ void RpcEndpoint::on_request(const net::Message& message) {
     execute_request(message);
     return;
   }
-  const bool accepted =
-      workers_.submit([this, message] { execute_request(message); });
-  if (!accepted) {
-    DOCT_LOG(kWarn) << "rpc request dropped during shutdown";
+  // try_submit: the delivery thread must never park on a full lane.
+  const Status accepted = executor_->try_submit(
+      lane, [this, message] { execute_request(message); });
+  if (!accepted.is_ok()) {
+    shed_request(message, accepted);
   }
+}
+
+void RpcEndpoint::shed_request(const net::Message& message, const Status& why) {
+  bump(&AtomicStats::requests_shed);
+  // Forget the in-progress dedup marker: the method never ran, so a
+  // retransmission of this CallId must be allowed to execute once capacity
+  // returns (otherwise every retry would be dropped as a duplicate forever).
+  if (config_.dedup_window.count() > 0 && message.call.valid()) {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    const DedupKey key{message.from.value(), message.call.value()};
+    auto it = dedup_.find(key);
+    if (it != dedup_.end() && !it->second.done) dedup_.erase(it);
+  }
+  bool oneway = true;  // unparseable requests cannot be answered
+  try {
+    Reader r(message.payload.share());
+    (void)r.get_string();
+    (void)r.get_bytes();
+    oneway = r.get_bool();
+  } catch (const DeserializeError&) {
+  }
+  DOCT_LOG(kWarn) << "rpc request shed: " << why.message();
+  if (oneway) return;
+  // Fail the caller's pending call NOW rather than leaking the waiter until
+  // its deadline: overload should surface as a fast error, not a hang.
+  network_.send(net::Message{
+      .from = self_,
+      .to = message.from,
+      .kind = net::kRpcResponse,
+      .call = message.call,
+      .payload = encode_response(why.code(), why.message(), Payload{}),
+      .trace_id = message.trace_id,
+      .span_id = message.span_id,
+  });
 }
 
 void RpcEndpoint::record_dedup(const net::Message& message, bool oneway,
@@ -453,6 +507,16 @@ void RpcEndpoint::execute_request(const net::Message& message) {
 }
 
 void RpcEndpoint::on_response(const net::Message& message) {
+  // Reply correlation is control work: it unblocks a parked caller, so it
+  // must overtake queued event/bulk backlog.  Fulfillment never blocks, so
+  // running inline on the delivery thread is a safe fallback when the
+  // control lane refuses (full or shut down).
+  const Status queued = executor_->try_submit(
+      exec::Lane::kControl, [this, message] { handle_response(message); });
+  if (!queued.is_ok()) handle_response(message);
+}
+
+void RpcEndpoint::handle_response(const net::Message& message) {
   std::shared_ptr<PendingCall::State> state;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);

@@ -12,8 +12,14 @@
 //                     thread locator can miss threads they spawn.  We
 //                     reproduce that behaviour faithfully in kernel/locators.
 //
-// Server methods run on a worker pool, never on the network delivery thread,
-// so nested and re-entrant calls (A→B→A) cannot deadlock the transport.
+// Server methods run on the node executor (exec::Executor), never on the
+// network delivery thread, so nested and re-entrant calls (A→B→A) cannot
+// deadlock the transport.  Each registered method names the lane it runs on
+// (blocking bodies default to kBulk); responses are correlated on kControl so
+// replies overtake queued bulk work.  When the executor refuses admission
+// (lane full), the request is SHED: the in-progress dedup marker is forgotten
+// so a retransmission can re-execute later, and a non-oneway caller gets an
+// error response immediately instead of waiting out its deadline.
 //
 // Resilience (fault-injection PR): claimable calls are retried with
 // exponential backoff + seeded jitter until the overall deadline.  The
@@ -46,7 +52,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
-#include "common/thread_pool.hpp"
+#include "exec/executor.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -61,15 +67,15 @@ using Payload = std::vector<std::uint8_t>;
 using Method = std::function<Result<Payload>(NodeId caller, Reader& args)>;
 
 // kBlocking methods may issue nested RPCs or wait on conditions; they run on
-// the endpoint's worker pool.  kFast methods must not block; they run inline
-// on the network delivery thread, which guarantees they make progress even
-// when every pool worker is parked inside a blocking method (this breaks the
-// classic fetch-behind-get_page deadlock in the DSM protocol).
+// the node executor (on the lane named at registration).  kFast methods must
+// not block; they run inline on the network delivery thread, which guarantees
+// they make progress even when every executor worker is parked inside a
+// blocking method (this breaks the classic fetch-behind-get_page deadlock in
+// the DSM protocol).
 enum class MethodClass : std::uint8_t { kBlocking = 0, kFast = 1 };
 
 struct RpcConfig {
   Duration default_timeout = std::chrono::seconds(5);
-  std::size_t worker_threads = 4;
 
   // --- retry / recovery ----------------------------------------------------
   // Extra transmissions of a claimable request after the first (0 = off,
@@ -95,6 +101,7 @@ struct RpcStats {
   std::uint64_t deadline_timeouts = 0;  // pending calls failed at deadline
   std::uint64_t dedup_replays = 0;      // duplicates answered from cache
   std::uint64_t duplicate_drops = 0;    // duplicates dropped (in-progress)
+  std::uint64_t requests_shed = 0;      // admissions refused by the executor
 };
 
 // Ticket for a claimable async call.
@@ -116,16 +123,24 @@ class PendingCall {
 
 class RpcEndpoint {
  public:
+  // `executor` is the node's shared executor; when null the endpoint owns a
+  // private one (standalone endpoints in tests).  A shared executor must be
+  // shut down (drained) before the endpoint is destroyed — NodeRuntime does
+  // this in its destructor body, while every subsystem is still alive.
   RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
-              IdGenerator& ids, RpcConfig config = {});
+              IdGenerator& ids, RpcConfig config = {},
+              exec::Executor* executor = nullptr);
   ~RpcEndpoint();
 
   RpcEndpoint(const RpcEndpoint&) = delete;
   RpcEndpoint& operator=(const RpcEndpoint&) = delete;
 
   // Registers a named method.  Re-registering a name replaces the method.
+  // `lane` picks the executor lane kBlocking bodies run on; kFast methods
+  // ignore it (they execute inline on the delivery thread).
   void register_method(std::string name, Method method,
-                       MethodClass method_class = MethodClass::kBlocking);
+                       MethodClass method_class = MethodClass::kBlocking,
+                       exec::Lane lane = exec::Lane::kBulk);
   void unregister_method(const std::string& name);
 
   [[nodiscard]] Result<Payload> call(NodeId target, const std::string& method,
@@ -139,11 +154,16 @@ class RpcEndpoint {
   // Non-claimable: no correlation state is kept (see header comment).
   Status call_oneway(NodeId target, const std::string& method, Payload args);
 
-  // Drains and joins the worker pool ahead of destruction.  A node runtime
+  // Drains and joins the executor ahead of destruction.  A node runtime
   // tearing down calls this FIRST so no worker is still executing a method
   // that touches subsystems (kernel, objects) destroyed before the endpoint.
-  // Idempotent; requests arriving afterwards are dropped.
+  // Idempotent; requests arriving afterwards are shed.  Note: this shuts
+  // down the executor passed at construction, shared or owned.
   void drain_workers();
+
+  // The executor serving this endpoint (shared node executor, or the owned
+  // fallback).  Other layers on the same node dispatch through this.
+  [[nodiscard]] exec::Executor& executor() { return *executor_; }
 
   [[nodiscard]] NodeId self() const { return self_; }
 
@@ -180,6 +200,13 @@ class RpcEndpoint {
 
   void on_request(const net::Message& message);
   void on_response(const net::Message& message);
+  // Correlates + fulfills a response; runs on the control lane (fallback:
+  // inline on the delivery thread when the lane refuses).
+  void handle_response(const net::Message& message);
+  // Executor refused the request: forget the in-progress dedup marker so a
+  // retransmission can re-execute, and answer non-oneway callers with `why`
+  // so their pending call fails fast instead of timing out.
+  void shed_request(const net::Message& message, const Status& why);
   CallId send_request(NodeId target, const std::string& method, Payload args,
                       std::shared_ptr<PendingCall::State> state,
                       Duration timeout);
@@ -197,6 +224,7 @@ class RpcEndpoint {
     std::atomic<std::uint64_t> deadline_timeouts{0};
     std::atomic<std::uint64_t> dedup_replays{0};
     std::atomic<std::uint64_t> duplicate_drops{0};
+    std::atomic<std::uint64_t> requests_shed{0};
   };
   void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
 
@@ -204,12 +232,15 @@ class RpcEndpoint {
   NodeId self_;
   IdGenerator& ids_;
   RpcConfig config_;
-  ThreadPool workers_;
+  // Owned fallback for standalone endpoints; null when sharing the node's.
+  std::unique_ptr<exec::Executor> owned_executor_;
+  exec::Executor* executor_;  // never null
   SteadyClock clock_;
 
   struct RegisteredMethod {
     Method method;
     MethodClass method_class = MethodClass::kBlocking;
+    exec::Lane lane = exec::Lane::kBulk;
   };
 
   void execute_request(const net::Message& message);

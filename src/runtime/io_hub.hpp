@@ -10,8 +10,16 @@
 // ANY object on ANY node writes through the current thread and the output
 // lands on the channel the thread was bound to at creation — the state of
 // the control mechanism is visible across all invocations.
+//
+// Each channel keeps a BOUNDED history ring: like a terminal's scrollback,
+// the newest `history_capacity` lines are retained and older ones fall off
+// the top (counted per channel in dropped()).  A long-running cluster with a
+// chatty thread can no longer grow the hub without bound — the same
+// bounded-buffer discipline the node executor applies to work queues.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -23,6 +31,12 @@ namespace doct::runtime {
 
 class IoHub {
  public:
+  // Lines of history retained per channel; 0 = unbounded.
+  static constexpr std::size_t kDefaultHistory = 4096;
+
+  explicit IoHub(std::size_t history_capacity = kDefaultHistory)
+      : history_capacity_(history_capacity) {}
+
   // Writes a line to the channel bound to the CURRENT logical thread.
   // Returns false if there is no current thread or it has no channel.
   bool write_current(const std::string& line) {
@@ -37,23 +51,55 @@ class IoHub {
 
   void write(const std::string& channel, const std::string& line) {
     std::lock_guard<std::mutex> lock(mu_);
-    channels_[channel].push_back(line);
+    Channel& state = channels_[channel];
+    state.lines.push_back(line);
+    while (history_capacity_ != 0 && state.lines.size() > history_capacity_) {
+      state.lines.pop_front();
+      state.dropped++;
+    }
   }
 
-  [[nodiscard]] std::vector<std::string> read(const std::string& channel) const {
+  // The retained history, oldest first.
+  [[nodiscard]] std::vector<std::string> read(
+      const std::string& channel) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = channels_.find(channel);
-    return it == channels_.end() ? std::vector<std::string>{} : it->second;
+    if (it == channels_.end()) return {};
+    return {it->second.lines.begin(), it->second.lines.end()};
+  }
+
+  // Lines that scrolled off the channel's history ring since creation.
+  // Survives clear(): the tally is evidence of loss, not part of history.
+  [[nodiscard]] std::uint64_t dropped(const std::string& channel) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(channel);
+    return it == channels_.end() ? 0 : it->second.dropped;
   }
 
   void clear(const std::string& channel) {
     std::lock_guard<std::mutex> lock(mu_);
-    channels_.erase(channel);
+    auto it = channels_.find(channel);
+    if (it == channels_.end()) return;
+    if (it->second.dropped == 0) {
+      channels_.erase(it);
+    } else {
+      it->second.lines.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t history_capacity() const {
+    return history_capacity_;
   }
 
  private:
+  struct Channel {
+    std::deque<std::string> lines;
+    std::uint64_t dropped = 0;
+  };
+
+  const std::size_t history_capacity_;
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::string>> channels_;
+  std::map<std::string, Channel> channels_;
 };
 
 }  // namespace doct::runtime

@@ -5,7 +5,10 @@ namespace doct::runtime {
 NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
                          const NodeConfig& config)
     : id(node_id),
-      rpc(cluster.network_, demux, node_id, cluster.ids_, config.rpc),
+      executor(config.kernel.executor,
+               "node" + std::to_string(node_id.value()) + ".exec"),
+      rpc(cluster.network_, demux, node_id, cluster.ids_, config.rpc,
+          &executor),
       dsm(rpc, node_id, config.dsm),
       kernel(cluster.network_, demux, rpc, node_id, cluster.ids_,
              config.kernel),
@@ -30,14 +33,15 @@ NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
 NodeRuntime::~NodeRuntime() {
   // Stop the detector before tearing anything down: its beat thread raises
   // events and touches the kernel.  Then stop inbound traffic so nothing new
-  // is queued, and drain the RPC worker pool so no in-flight method is still
-  // touching the kernel or the object manager when they destruct.  Members
-  // are then destroyed in reverse declaration order (events -> store ->
-  // objects -> kernel -> dsm -> rpc -> demux).
+  // is queued, and drain the node executor so no in-flight method or queued
+  // handler is still touching the kernel or the object manager when they
+  // destruct.  Members are then destroyed in reverse declaration order
+  // (events -> store -> objects -> kernel -> dsm -> rpc -> demux ->
+  // executor).
   if (health_) health_->stop();
   network_.unregister_node(id);
-  kernel.terminate_all_local();  // unwind adopted bodies on RPC workers
-  rpc.drain_workers();
+  kernel.terminate_all_local();  // unwind adopted bodies on executor workers
+  executor.shutdown();
 }
 
 Cluster::Cluster(std::size_t num_nodes, ClusterConfig config)

@@ -26,6 +26,7 @@
 #include "runtime/io_hub.hpp"
 #include "dsm/dsm.hpp"
 #include "events/event_system.hpp"
+#include "exec/executor.hpp"
 #include "events/registry.hpp"
 #include "kernel/kernel.hpp"
 #include "net/demux.hpp"
@@ -61,6 +62,12 @@ class NodeRuntime {
   NodeRuntime& operator=(const NodeRuntime&) = delete;
 
   const NodeId id;
+  // THE execution substrate for this node: every layer (rpc bodies, event
+  // dispatch, kernel census, health transitions, surrogates) runs on its
+  // lanes.  Tuned via KernelConfig::executor.  Declared first so it outlives
+  // every subsystem; drained explicitly in ~NodeRuntime while they are all
+  // still alive.
+  exec::Executor executor;
   net::Demux demux;
   rpc::RpcEndpoint rpc;
   dsm::DsmEngine dsm;

@@ -100,13 +100,29 @@ void FailureDetector::raise_transition(EventId event, NodeId peer) {
       stats_.node_up_raised++;
     }
   }
-  Writer w;
-  w.put(peer);
-  const rpc::Payload user_data = std::move(w).take();
-  for (ObjectId object : subscribers) {
-    events_.raise(event, object, user_data);
+  // NODE_DOWN/NODE_UP reactions are control-plane work: run them on the
+  // node executor's control lane so a peer death is acted on ahead of any
+  // event/bulk backlog, and so a slow subscriber handler can never delay
+  // the next heartbeat broadcast.  The task captures `events_` (outlives
+  // the executor drain — NodeRuntime tears the executor down while every
+  // subsystem is still alive) plus value copies of everything else.
+  events::EventSystem& events = events_;
+  auto deliver = [&events, event, peer, subscribers = std::move(subscribers),
+                  callbacks = std::move(callbacks)] {
+    Writer w;
+    w.put(peer);
+    const rpc::Payload user_data = std::move(w).take();
+    for (ObjectId object : subscribers) {
+      events.raise(event, object, user_data);
+    }
+    for (const auto& callback : callbacks) callback(peer);
+  };
+  // try_submit: the beat thread must never park on a full lane.  Inline
+  // fallback keeps the edge-triggered delivery guarantee when the lane is
+  // saturated or already shut down.
+  if (!events_.executor().try_submit(exec::Lane::kControl, deliver).is_ok()) {
+    deliver();
   }
-  for (auto& callback : callbacks) callback(peer);
 }
 
 void FailureDetector::beat_loop() {

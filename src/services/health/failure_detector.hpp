@@ -18,8 +18,10 @@
 // offered for kernel-level reactions (census fast-path).
 //
 // Detection is edge-triggered: one NODE_DOWN per crash, one NODE_UP per
-// recovery, raised from the detector's own beat thread (never from the
-// network delivery thread).
+// recovery.  The beat thread detects the edge; the raises and callbacks run
+// on the node executor's CONTROL lane (inline on the beat thread only if the
+// lane refuses), so failure reactions overtake any event/bulk backlog and a
+// slow subscriber can never delay the next heartbeat broadcast.
 #pragma once
 
 #include <functional>
@@ -72,7 +74,8 @@ class FailureDetector {
   // the affected NodeId is serialized in the block's user data.
   void subscribe(ObjectId object);
 
-  // C++-level hooks, called on the beat thread after the events are raised.
+  // C++-level hooks, run on the executor control lane after the events are
+  // raised for that transition.
   void on_node_down(std::function<void(NodeId)> callback);
   void on_node_up(std::function<void(NodeId)> callback);
 

@@ -113,6 +113,10 @@ Status MonitorClient::arm(Duration period) {
     return {StatusCode::kInvalidArgument, "arm requires a logical thread"};
   }
   const EventId sample_event = events_.registry().register_event(kSampleEvent);
+  // Sample ingestion is throughput work, not latency-critical: route it to
+  // the executor's bulk lane so a monitoring storm can never crowd ordinary
+  // event dispatch (or control traffic) off their lanes.
+  events_.registry().mark_bulk(sample_event);
 
   // The sampling procedure: runs in the context of whatever object the
   // thread occupies when the TIMER event is delivered (§6.2: "executing
