@@ -2,11 +2,14 @@
 // exist).  A raiser storm drives the event lane far past its service
 // capacity while a probe measures how long control-lane work waits to run.
 //
-// Sweep: lanes {on, off}.  `lanes=1` is the shipped configuration: three
-// bounded priority lanes, a control reserve, shed-newest on the event lane.
-// `lanes=0` is the single-lane ablation — every admission funnels through
-// one FIFO queue, which is the pre-executor world of "one pool, first come
-// first served".
+// Sweep: Args are {lanes, width}.  `lanes=1` is the shipped configuration:
+// three bounded priority lanes, a control reserve, shed-newest on the event
+// lane.  `lanes=0` is the single-lane ablation — every admission funnels
+// through one FIFO queue, which is the pre-executor world of "one pool,
+// first come first served".  `width` is the event-lane width (E11): the
+// storm fans across four sink objects, so reservation scheduling lets a
+// wider lane service disjoint sinks concurrently — handled_per_sec should
+// scale with width while the control-lane guarantees hold unchanged.
 //
 // Expected shape: with lanes on, storm_p99_us stays within ~2x idle_p99_us
 // (control work overtakes the backlog; the reserve worker never touches it)
@@ -30,8 +33,11 @@ constexpr auto kRaiseGap = 50us;  // per-raiser pacing => ~10x+ overcapacity
 constexpr int kIdleProbes = 200;
 constexpr auto kProbeGap = 1ms;
 
+constexpr int kSinks = 4;
+
 void BM_ControlUnderOverload(benchmark::State& state) {
   const bool lanes = state.range(0) == 1;
+  const auto width = static_cast<std::size_t>(state.range(1));
 
   double idle_p99 = 0;
   double storm_p99 = 0;
@@ -40,30 +46,36 @@ void BM_ControlUnderOverload(benchmark::State& state) {
   std::uint64_t probe_shed_total = 0;
   long raised_total = 0;
   long handled_total = 0;
+  std::int64_t storm_wall_us = 0;
 
   for (auto _ : state) {
     state.PauseTiming();
     runtime::ClusterConfig config;
     config.node.kernel.executor.single_lane = !lanes;
+    config.node.kernel.executor.event.width = width;
     runtime::Cluster cluster(1, config);
     auto& n0 = cluster.node(0);
 
-    // The sink object: each delivery costs kHandlerCost of handler time, so
-    // the event lane (width 1) services ~5k events/s.
+    // The sink objects: each delivery costs kHandlerCost of handler time,
+    // so the event lane services ~5k events/s per admitted worker; with
+    // width > 1 the reservation scheduler runs disjoint sinks in parallel.
     auto handled = std::make_shared<std::atomic<long>>(0);
-    auto object = std::make_shared<objects::PassiveObject>("e10_sink");
-    object->define_entry(
-        "on_event",
-        [handled](objects::CallCtx&) -> Result<objects::Payload> {
-          std::this_thread::sleep_for(kHandlerCost);
-          handled->fetch_add(1);
-          return objects::Payload{
-              static_cast<std::uint8_t>(kernel::Verdict::kResume)};
-        },
-        objects::Visibility::kPrivate);
-    object->define_handler("E10_STORM", "on_event");
-    const ObjectId target = n0.objects.add_object(object);
     const EventId storm = n0.events.registry().register_event("E10_STORM");
+    std::vector<ObjectId> targets;
+    for (int i = 0; i < kSinks; ++i) {
+      auto object = std::make_shared<objects::PassiveObject>("e10_sink");
+      object->define_entry(
+          "on_event",
+          [handled](objects::CallCtx&) -> Result<objects::Payload> {
+            std::this_thread::sleep_for(kHandlerCost);
+            handled->fetch_add(1);
+            return objects::Payload{
+                static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+          },
+          objects::Visibility::kPrivate);
+      object->define_handler("E10_STORM", "on_event");
+      targets.push_back(n0.objects.add_object(object));
+    }
 
     // Control-lane probe: timestamped no-op; the latency IS the wait.
     std::atomic<int> probes_done{0};
@@ -105,8 +117,11 @@ void BM_ControlUnderOverload(benchmark::State& state) {
     std::vector<std::thread> raisers;
     raisers.reserve(kRaisers);
     for (int i = 0; i < kRaisers; ++i) {
-      raisers.emplace_back([&] {
+      raisers.emplace_back([&, i] {
+        // Round-robin over the sinks, offset per raiser.
+        std::size_t next = static_cast<std::size_t>(i);
         while (!stop.load(std::memory_order_relaxed)) {
+          const ObjectId target = targets[next++ % targets.size()];
           if (n0.events.raise(storm, target).is_ok()) {
             raised.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -119,8 +134,9 @@ void BM_ControlUnderOverload(benchmark::State& state) {
 
     LatencyPercentiles storm_lat;
     int storm_probes = 0;
+    const std::int64_t storm_begin = obs::now_us();
     const std::int64_t storm_end =
-        obs::now_us() +
+        storm_begin +
         std::chrono::duration_cast<std::chrono::microseconds>(kStormWindow)
             .count();
     while (obs::now_us() < storm_end) {
@@ -133,6 +149,7 @@ void BM_ControlUnderOverload(benchmark::State& state) {
     // Probes queued behind a single-lane backlog only finish once the
     // backlog drains; wait so the p99 includes them.
     await_probes(storm_probes);
+    storm_wall_us += obs::now_us() - storm_begin;
 
     state.PauseTiming();
     const exec::ExecutorStats stats = n0.executor.stats();
@@ -164,11 +181,22 @@ void BM_ControlUnderOverload(benchmark::State& state) {
   state.counters["event_shed_rate"] = submitted > 0 ? shed / submitted : 0;
   state.counters["probe_shed"] = static_cast<double>(probe_shed_total);
   state.counters["lanes"] = lanes ? 1 : 0;
+  state.counters["width"] = static_cast<double>(width);
+  // Absorbed event throughput over the storm WALL time (kIsRate divides by
+  // CPU time, which sleeping handlers barely consume) — the E11
+  // width-scaling headline; compare_benches tracks the _per_sec suffix.
+  if (storm_wall_us > 0) {
+    state.counters["handled_per_sec"] = static_cast<double>(handled_total) *
+                                        1e6 /
+                                        static_cast<double>(storm_wall_us);
+  }
 }
 
 BENCHMARK(BM_ControlUnderOverload)
-    ->Arg(1)   // priority lanes on (shipped config)
-    ->Arg(0)   // single-lane ablation
+    ->Args({1, 1})   // priority lanes on, serial event lane (shipped config)
+    ->Args({1, 2})   // E11: width 2
+    ->Args({1, 4})   // E11: width 4
+    ->Args({0, 1})   // single-lane ablation
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

@@ -6,7 +6,17 @@
 // object; the benchmark measures time until every event has been handled.
 // Expected shape: kMasterThread wins and the gap grows with burst size (one
 // OS thread creation per event vs zero).
+//
+// The WidthScaling arm (E11) lifts the event lane above the §7 serial
+// master handler: bursts fan across 8 objects whose handler BLOCKS for
+// 100µs — the common handler shape in this system (§5 handlers invoke
+// entries on other objects and wait on RPC), and the one that scales with
+// lane width on any core count (compute-bound handlers additionally need
+// free cores).  Expected shape: events_per_sec grows ~linearly with width
+// while per-object order (checked by reservation_test) is unchanged.
 #include "bench_util.hpp"
+
+#include <thread>
 
 namespace doct::bench {
 namespace {
@@ -49,6 +59,68 @@ BENCHMARK(BM_Dispatch_MasterThread)
     ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
 BENCHMARK(BM_Dispatch_ThreadPerEvent)
     ->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+// E11 — width scaling.  Arg = event-lane width.  Eight objects, a handler
+// that blocks 100µs (an invocation/RPC wait), 256-event bursts spread
+// round-robin.  At width 1 this is the paper's serial master handler — the
+// lane drains one blocked handler at a time; wider lanes overlap the waits
+// of disjoint objects under reservation keys.  events_per_sec is computed
+// from WALL time (kIsRate counters divide by CPU time, which blocking
+// handlers barely consume).
+void BM_Dispatch_WidthScaling(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  runtime::ClusterConfig config;
+  config.node.kernel.executor.workers = 8;
+  config.node.kernel.executor.event.width = width;
+  config.node.kernel.executor.event.capacity = 0;  // measure service, not shed
+  runtime::Cluster cluster(1, config);
+  auto& n0 = cluster.node(0);
+
+  constexpr int kObjects = 8;
+  constexpr long kBurst = 256;
+  auto counter = std::make_shared<std::atomic<long>>(0);
+  const EventId event = cluster.registry().register_event("E11_EVENT");
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < kObjects; ++i) {
+    auto object = std::make_shared<objects::PassiveObject>("bench_object");
+    object->define_entry(
+        "on_event",
+        [counter](objects::CallCtx&) -> Result<objects::Payload> {
+          std::this_thread::sleep_for(100us);
+          counter->fetch_add(1);
+          return objects::Payload{
+              static_cast<std::uint8_t>(kernel::Verdict::kResume)};
+        },
+        objects::Visibility::kPrivate);
+    object->define_handler("E11_EVENT", "on_event");
+    oids.push_back(n0.objects.add_object(object));
+  }
+
+  std::int64_t wall_us = 0;
+  for (auto _ : state) {
+    const long start = counter->load();
+    const std::int64_t t0 = obs::now_us();
+    for (long i = 0; i < kBurst; ++i) {
+      if (!n0.events.raise(event, oids[i % kObjects]).is_ok()) {
+        state.SkipWithError("raise failed");
+        return;
+      }
+    }
+    spin_until(*counter, start + kBurst);
+    wall_us += obs::now_us() - t0;
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  state.counters["width"] = static_cast<double>(width);
+  if (wall_us > 0) {
+    state.counters["events_per_sec"] =
+        static_cast<double>(state.iterations() * kBurst) * 1e6 /
+        static_cast<double>(wall_us);
+  }
+}
+
+BENCHMARK(BM_Dispatch_WidthScaling)
+    ->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
 
 }  // namespace

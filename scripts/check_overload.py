@@ -2,16 +2,25 @@
 """Validate the E10 overload bench output (the executor acceptance check).
 
 Reads a google-benchmark JSON run of ``bench_e10_overload`` and asserts the
-headline property of the priority-lane executor:
+headline property of the priority-lane executor.  Arms are keyed by their
+``lanes`` and ``width`` counters (Args({lanes, width})):
 
 * with lanes ON (``lanes=1``), control-lane p99 under the event storm stays
   within 2x of its idle value (an absolute floor of ``--floor-us`` absorbs
-  near-zero idle measurements on quiet machines), no control probe was shed,
-  and the storm actually overloaded the event lane (``overload_x`` and
-  ``event_shed_total`` are both positive);
+  near-zero idle measurements on quiet machines) and no control probe was
+  shed — at EVERY event-lane width, since widening the lane must not weaken
+  the control guarantees; the serial arm (``width=1``) must additionally
+  show the storm actually overloaded the event lane (``overload_x`` and
+  ``event_shed_total`` positive);
 * the single-lane ablation (``lanes=0``) demonstrates the starvation the
   lanes prevent: its storm p99 is at least ``--starvation-x`` times the
-  lanes-on storm p99.
+  lanes-on serial storm p99, OR it shed control probes outright (probes
+  refused admission because control funnels through the overloaded single
+  queue — starvation in its bluntest form);
+* width scaling (E11, reservation scheduling): absorbed event throughput
+  ``handled_per_sec`` at the widest lanes-on arm is at least
+  ``--width-scaling-x`` times the serial arm's — disjoint sinks really ran
+  in parallel.
 
 Exits non-zero with a GitHub ::error annotation on violation.
 
@@ -41,6 +50,13 @@ def main():
         help="minimum ablation-vs-lanes storm p99 ratio that counts as "
         "demonstrated starvation",
     )
+    parser.add_argument(
+        "--width-scaling-x",
+        type=float,
+        default=1.5,
+        help="minimum handled_per_sec ratio of the widest lanes-on arm over "
+        "the serial arm that counts as demonstrated width scaling",
+    )
     args = parser.parse_args()
 
     with open(args.results) as f:
@@ -52,24 +68,35 @@ def main():
             continue
         if "lanes" not in bench:
             continue
-        arms[int(bench["lanes"])] = bench
+        # Older baselines predate the width counter; treat them as width 1.
+        arms[(int(bench["lanes"]), int(bench.get("width", 1)))] = bench
 
     errors = []
-    if 1 not in arms or 0 not in arms:
-        errors.append("expected both lanes=1 and lanes=0 arms in the run")
+    if (1, 1) not in arms or (0, 1) not in arms:
+        errors.append(
+            "expected both (lanes=1, width=1) and (lanes=0, width=1) arms "
+            "in the run"
+        )
     else:
-        on, off = arms[1], arms[0]
-        idle = float(on.get("idle_p99_us", 0))
-        storm = float(on.get("storm_p99_us", 0))
-        if storm > max(2 * idle, args.floor_us):
-            errors.append(
-                f"lanes on: storm p99 {storm:.0f}us exceeds 2x idle "
-                f"({idle:.0f}us) and the {args.floor_us:.0f}us floor"
-            )
-        if float(on.get("probe_shed", 0)) > 0:
-            errors.append(
-                f"lanes on: {on['probe_shed']:.0f} control probes were shed"
-            )
+        on, off = arms[(1, 1)], arms[(0, 1)]
+        # Control guarantees hold at every lanes-on width: widening the
+        # event lane must never starve or shed control work.
+        for (lanes, width), arm in sorted(arms.items()):
+            if lanes != 1:
+                continue
+            idle = float(arm.get("idle_p99_us", 0))
+            storm = float(arm.get("storm_p99_us", 0))
+            if storm > max(2 * idle, args.floor_us):
+                errors.append(
+                    f"lanes on, width {width}: storm p99 {storm:.0f}us "
+                    f"exceeds 2x idle ({idle:.0f}us) and the "
+                    f"{args.floor_us:.0f}us floor"
+                )
+            if float(arm.get("probe_shed", 0)) > 0:
+                errors.append(
+                    f"lanes on, width {width}: {arm['probe_shed']:.0f} "
+                    "control probes were shed"
+                )
         if float(on.get("overload_x", 0)) < 2:
             errors.append(
                 f"lanes on: overload factor {on.get('overload_x', 0):.1f}x "
@@ -80,27 +107,51 @@ def main():
                 "lanes on: no event-lane sheds — overload was not absorbed "
                 "as fast errors"
             )
+        storm = float(on.get("storm_p99_us", 0))
         off_storm = float(off.get("storm_p99_us", 0))
-        if storm > 0 and off_storm < args.starvation_x * storm:
+        off_probe_shed = float(off.get("probe_shed", 0))
+        if (storm > 0 and off_storm < args.starvation_x * storm
+                and off_probe_shed <= 0):
             errors.append(
                 f"ablation: storm p99 {off_storm:.0f}us is under "
                 f"{args.starvation_x:.0f}x the lanes-on value "
-                f"({storm:.0f}us) — starvation not demonstrated"
+                f"({storm:.0f}us) and no control probes were shed — "
+                "starvation not demonstrated"
             )
+        # E11: the widest lanes-on arm must absorb meaningfully more of the
+        # storm than the serial master handler.
+        widest = max((key for key in arms if key[0] == 1),
+                     key=lambda key: key[1])
+        if widest[1] > 1:
+            serial_rate = float(on.get("handled_per_sec", 0))
+            wide_rate = float(arms[widest].get("handled_per_sec", 0))
+            if serial_rate > 0 and wide_rate < args.width_scaling_x * serial_rate:
+                errors.append(
+                    f"width scaling: handled_per_sec at width {widest[1]} "
+                    f"({wide_rate:.0f}/s) is under {args.width_scaling_x:.1f}x "
+                    f"the serial rate ({serial_rate:.0f}/s) — reservation "
+                    "parallelism not demonstrated"
+                )
 
     if errors:
         for err in errors:
             print(f"::error title=overload smoke::{err}")
         return 1
 
-    on, off = arms[1], arms[0]
+    on, off = arms[(1, 1)], arms[(0, 1)]
+    widths = sorted(key[1] for key in arms if key[0] == 1)
+    rates = ", ".join(
+        f"w{width}={float(arms[(1, width)].get('handled_per_sec', 0)):.0f}/s"
+        for width in widths
+    )
     print(
         "overload smoke OK: "
         f"idle p99 {on['idle_p99_us']:.0f}us, "
         f"storm p99 {on['storm_p99_us']:.0f}us at "
         f"{on['overload_x']:.1f}x overload "
         f"({on['event_shed_total']:.0f} sheds); "
-        f"ablation storm p99 {off['storm_p99_us']:.0f}us"
+        f"ablation storm p99 {off['storm_p99_us']:.0f}us; "
+        f"absorbed throughput {rates}"
     )
     return 0
 

@@ -20,6 +20,15 @@ Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
 without blocking (runner noise makes hard gates on shared runners flaky).
 
+Exit codes (so CI can tell the failure modes apart):
+  0  compared successfully, no regression beyond the threshold (or
+     regressions found but --fail not given — annotations only)
+  1  regression beyond the threshold and --fail was given, or the CURRENT
+     results file is missing/unreadable (the run itself failed)
+  2  the BASELINE file is missing/unreadable — nothing to compare against.
+     CI treats this as a warning (e.g. a brand-new bench binary whose
+     baseline has not been committed yet), not a blocking failure.
+
 Usage:
   compare_benches.py BASELINE.json CURRENT.json [--threshold 0.25] [--fail]
 """
@@ -113,8 +122,26 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    # Distinct failure modes: a missing BASELINE means "nothing to compare
+    # against" (exit 2; CI warns — new bench, baseline not committed yet),
+    # while a missing CURRENT means the bench run itself failed (exit 1).
+    try:
+        baseline = load_benchmarks(args.baseline)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"::warning title=bench baseline missing::cannot read baseline "
+            f"{args.baseline}: {exc}; skipping comparison — commit a "
+            "baseline to enable the regression guard"
+        )
+        return 2
+    try:
+        current = load_benchmarks(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"::error title=bench results unreadable::cannot read current "
+            f"results {args.current}: {exc} — the bench run itself failed"
+        )
+        return 1
 
     regressions = []
     rows = []  # (label, baseline_str, current_str, delta, is_regression)

@@ -434,8 +434,24 @@ Result<kernel::Verdict> EventSystem::raise_exception(
   // refused admission fails the raise NOW — kAborted at shutdown,
   // kResourceExhausted under overload — instead of leaking a waiter that
   // would only time out.
+  //
+  // Reservation keys: the chain adopts the suspended thread's context, so
+  // it holds the thread key — two surrogates for one thread never
+  // interleave.  A chain raised from inside a reserved handler also
+  // inherits the parent task's keys: the surrogate touches the same state
+  // the parent had claimed.
+  exec::ReservationSet keys{reservation_key(ctx->tid())};
+  if (const exec::ReservationSet* parent =
+          exec::Executor::current_reservations()) {
+    for (const std::uint64_t key : *parent) {
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
   const Status submitted = executor().submit(
-      exec::Lane::kBulk, [this, shared = std::move(shared), notice] {
+      exec::Lane::kBulk, std::move(keys),
+      [this, shared = std::move(shared), notice] {
         obs::SpanGuard handle_span(
             "handle", kernel_.self().value(),
             obs::TraceContext{notice.trace_id, notice.parent_span},
@@ -625,7 +641,9 @@ Status EventSystem::run_object_handler(const kernel::EventNotice& notice,
                 ThreadId{}, notice.target_object, {}, notice.trace_id);
   if (config_.dispatch_mode == ObjectDispatchMode::kMasterThread) {
     // §7: the event lane plays the master handler thread — width 1 serves
-    // all events on behalf of passive objects with zero thread creation.
+    // all events on behalf of passive objects with zero thread creation,
+    // and width N relies on the reservation keys derived here to keep
+    // same-object handlers serial while disjoint targets run in parallel.
     // Control events (TERMINATE, NODE_DOWN) jump to the control lane so a
     // storm of ordinary events cannot starve them; bulk-marked events
     // (monitor snapshots) sink below both.
@@ -638,9 +656,16 @@ Status EventSystem::run_object_handler(const kernel::EventNotice& notice,
       const kernel::Verdict verdict = run_object_handler_now(notice);
       if (notice.synchronous) send_resume(notice, verdict);
     };
+    // Keyed on the target (plus the event's serial group if it has one):
+    // delivery order per object is the width-1 order, whatever the width.
+    exec::ReservationSet keys{reservation_key(notice.target_object)};
+    if (const std::uint64_t group = registry_.serial_group_key(notice.event)) {
+      keys.push_back(group);
+    }
     const exec::Lane lane = lane_for(notice.event);
-    const Status admitted = may_block ? executor().submit(lane, task)
-                                      : executor().try_submit(lane, task);
+    const Status admitted =
+        may_block ? executor().submit(lane, std::move(keys), task)
+                  : executor().try_submit(lane, std::move(keys), task);
     if (!admitted.is_ok()) {
       // Fail the raiser instead of leaking its notice (and, for synchronous
       // raises, its blocked waiter) into a backlog that will never drain.

@@ -2,6 +2,49 @@
 
 namespace doct::events {
 
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so dense id values (obj:1,
+// obj:2, ...) spread across the key space.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Domain-separation salts: one per target kind so equal underlying values
+// never collide across kinds.
+constexpr std::uint64_t kObjectSalt = 0x6F626A6563742D6BULL;  // "object-k"
+constexpr std::uint64_t kThreadSalt = 0x7468726561642D6BULL;  // "thread-k"
+constexpr std::uint64_t kGroupSalt = 0x67726F75702D6B65ULL;   // "group-ke"
+constexpr std::uint64_t kSerialSalt = 0x73657269616C2D6BULL;  // "serial-k"
+
+std::uint64_t nonzero(std::uint64_t key) { return key == 0 ? 1 : key; }
+
+}  // namespace
+
+std::uint64_t reservation_key(ObjectId id) {
+  return nonzero(mix64(id.value() ^ kObjectSalt));
+}
+
+std::uint64_t reservation_key(ThreadId id) {
+  return nonzero(mix64(id.value() ^ kThreadSalt));
+}
+
+std::uint64_t reservation_key(GroupId id) {
+  return nonzero(mix64(id.value() ^ kGroupSalt));
+}
+
+std::uint64_t reservation_key(const std::string& group) {
+  std::uint64_t hash = kSerialSalt;
+  for (const char c : group) {
+    hash = mix64(hash ^ static_cast<std::uint64_t>(
+                            static_cast<unsigned char>(c)));
+  }
+  return nonzero(hash);
+}
+
 EventRegistry::EventRegistry() {
   add({sys::kTerminate, "TERMINATE", true, true, false,
        DefaultAction::kTerminate});
@@ -80,6 +123,19 @@ bool EventRegistry::is_bulk(EventId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(id);
   return it != by_id_.end() && it->second.bulk;
+}
+
+void EventRegistry::set_serial_group(EventId id, const std::string& group) {
+  const std::uint64_t key = reservation_key(group);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) it->second.serial_group = key;
+}
+
+std::uint64_t EventRegistry::serial_group_key(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? 0 : it->second.serial_group;
 }
 
 DefaultAction EventRegistry::default_action(EventId id) const {

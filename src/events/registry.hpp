@@ -68,7 +68,26 @@ struct EventInfo {
   bool bulk = false;     // background/throughput work (monitor snapshots):
                          // object dispatch runs on the executor's bulk lane
   DefaultAction default_action = DefaultAction::kIgnore;
+  // Serial event-group membership: events sharing a non-zero key serialize
+  // against each other on the executor even when their targets are
+  // disjoint (set_serial_group).  0 = no group.
+  std::uint64_t serial_group = 0;
 };
+
+// --- reservation-key derivation (DESIGN.md §11) ------------------------------
+//
+// Maps a dispatch target's identity onto the executor's reservation-key
+// space.  Keys are keyed on the TARGET, not the handler (AMECOS's
+// event-interface separation): two different events raised at one object
+// still serialize, while one event fanned across disjoint objects runs in
+// parallel.  Tag-salted mixing keeps obj:5 / thr:5 / grp:5 apart; the
+// result is never 0 (the executor's "no key" sentinel).
+
+[[nodiscard]] std::uint64_t reservation_key(ObjectId id);
+[[nodiscard]] std::uint64_t reservation_key(ThreadId id);
+[[nodiscard]] std::uint64_t reservation_key(GroupId id);
+// Key for a named serial event-group (what set_serial_group stores).
+[[nodiscard]] std::uint64_t reservation_key(const std::string& group);
 
 class EventRegistry {
  public:
@@ -79,6 +98,14 @@ class EventRegistry {
 
   // Marks a registered event as bulk work; idempotent, no-op if unknown.
   void mark_bulk(EventId id);
+
+  // Puts an event in a named serial group: all events sharing the group
+  // serialize on the executor even across disjoint targets (a COMMIT and a
+  // ROLLBACK in group "txn" never interleave, whatever objects they hit).
+  // Idempotent, no-op if unknown; the latest group wins.
+  void set_serial_group(EventId id, const std::string& group);
+  // The group's reservation key, or 0 when the event has none.
+  [[nodiscard]] std::uint64_t serial_group_key(EventId id) const;
 
   [[nodiscard]] Result<EventId> lookup(const std::string& name) const;
   [[nodiscard]] Result<EventInfo> info(EventId id) const;

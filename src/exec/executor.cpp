@@ -1,10 +1,24 @@
 #include "exec/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/log.hpp"
 
 namespace doct::exec {
+
+namespace {
+
+// Keys held by the task currently running on this worker thread; nested
+// submissions (surrogate chains) read it to inherit their parent's keys.
+thread_local const ReservationSet* t_current_reservations = nullptr;
+
+}  // namespace
+
+const ReservationSet* Executor::current_reservations() {
+  return t_current_reservations;
+}
 
 const char* lane_name(Lane lane) {
   switch (lane) {
@@ -18,13 +32,33 @@ const char* lane_name(Lane lane) {
   return "unknown";
 }
 
-Executor::Executor(ExecutorConfig config, std::string name)
-    : config_(config) {
+Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
+    : config_(config), node_(node) {
   config_.workers = std::max<std::size_t>(1, config_.workers);
   config_.control_reserve =
       std::min(config_.control_reserve,
                config_.workers > 1 ? config_.workers - 1 : 0);
   if (config_.single_lane) config_.control_reserve = 0;
+  // CI width-ablation hooks: rerun the same binaries across the
+  // {event_width} x {reservations} matrix without recompiling.
+  if (const char* env = std::getenv("DOCT_EVENT_WIDTH")) {
+    const long width = std::strtol(env, nullptr, 10);
+    if (width > 0) config_.event.width = static_cast<std::size_t>(width);
+  }
+  if (const char* env = std::getenv("DOCT_RESERVATIONS")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+      config_.reservations = false;
+    } else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+      config_.reservations = true;
+    }
+  }
+  // Without reservations there is nothing keeping same-target handlers
+  // apart, so a wide (or uncapped) event lane is clamped back to the §7
+  // serial master handler — the ablation stays serial, never racy.
+  if (!config_.reservations &&
+      (config_.event.width == 0 || config_.event.width > 1)) {
+    config_.event.width = 1;
+  }
 
   for (std::size_t i = 0; i < kLaneCount; ++i) {
     const std::string lane = lane_name(static_cast<Lane>(i));
@@ -32,6 +66,10 @@ Executor::Executor(ExecutorConfig config, std::string name)
     wait_us_[i] = &obs::metrics().histogram("exec.lane_wait_us." + lane);
   }
   shed_counter_ = &obs::metrics().counter("exec.shed_total");
+  reservation_blocked_us_ =
+      &obs::metrics().histogram("exec.reservation_blocked_us");
+  reservation_conflict_counter_ =
+      &obs::metrics().counter("exec.reservation_conflicts");
   metrics_source_ = obs::metrics().register_source(std::move(name), [this] {
     const ExecutorStats s = stats();
     std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -43,6 +81,8 @@ Executor::Executor(ExecutorConfig config, std::string name)
       out.emplace_back(lane + "_coalesced", s.lanes[i].coalesced);
     }
     out.emplace_back("shed_total", s.shed_total());
+    out.emplace_back("reservation_acquired", s.reservation_acquired);
+    out.emplace_back("reservation_conflicts", s.reservation_conflicts);
     return out;
   });
 
@@ -85,6 +125,18 @@ Status Executor::try_submit(Lane lane, std::function<void()> fn) {
   return admit(lane, std::move(fn), 0, /*may_block=*/false);
 }
 
+Status Executor::submit(Lane lane, ReservationSet reservations,
+                        std::function<void()> fn) {
+  return admit(lane, std::move(fn), 0, /*may_block=*/true,
+               std::move(reservations));
+}
+
+Status Executor::try_submit(Lane lane, ReservationSet reservations,
+                            std::function<void()> fn) {
+  return admit(lane, std::move(fn), 0, /*may_block=*/false,
+               std::move(reservations));
+}
+
 Status Executor::submit_coalesced(Lane lane, std::uint64_t key,
                                   std::function<void()> fn) {
   if (key == 0) {
@@ -95,7 +147,7 @@ Status Executor::submit_coalesced(Lane lane, std::uint64_t key,
 }
 
 Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
-                       bool may_block) {
+                       bool may_block, ReservationSet reservations) {
   stats_[static_cast<std::size_t>(lane)].submitted.fetch_add(
       1, std::memory_order_relaxed);
   const std::size_t idx = physical_lane(lane);
@@ -137,16 +189,18 @@ Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
                 std::string("lane overloaded: ") + lane_name(lane)};
       }
     }
-    Task task;
-    task.fn = std::move(fn);
-    task.key = key;
-    task.origin = lane;
+    auto task = std::make_unique<Task>();
+    task->fn = std::move(fn);
+    task->key = key;
+    task->origin = lane;
+    task->keys = std::move(reservations);
     if (obs::metrics_enabled()) {
-      task.enqueued_us = obs::now_us();
+      task->enqueued_us = obs::now_us();
       depth_gauge_[idx]->add(1);
     }
+    if (obs::tracing_enabled()) task->trace = obs::current_context();
+    if (key != 0) state.coalesce_index[key] = task.get();
     state.queue.push_back(std::move(task));
-    if (key != 0) state.coalesce_index[key] = &state.queue.back();
   }
   // Heterogeneous waiters (control-reserve vs general workers) share one cv;
   // notify_all so a reserved worker cannot swallow a general worker's wakeup.
@@ -154,19 +208,54 @@ Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
   return Status::ok();
 }
 
-std::size_t Executor::pick_lane_locked(std::size_t worker_index) const {
+std::size_t Executor::take_batch_locked(
+    std::size_t worker_index, std::vector<std::unique_ptr<Task>>& out) {
   const bool control_only =
       !config_.single_lane && worker_index < config_.control_reserve;
   const std::size_t last =
       control_only ? static_cast<std::size_t>(Lane::kControl) : kLaneCount - 1;
+  const bool obs_on = obs::metrics_enabled() || obs::tracing_enabled();
   for (std::size_t lane = 0; lane <= last; ++lane) {
-    const LaneState& state = lanes_[lane];
+    LaneState& state = lanes_[lane];
     if (state.queue.empty()) continue;
     const LaneConfig& cfg = lane_config(lane);
     if (!config_.single_lane && cfg.width > 0 && state.active >= cfg.width) {
       continue;
     }
-    return lane;
+    const std::size_t take_max =
+        cfg.batch > 0 ? cfg.batch : state.queue.size();
+    // Shadow-claims: keys of tasks we skipped.  A later task sharing any of
+    // them may not overtake — that is the per-key FIFO guarantee that keeps
+    // same-target delivery order identical to the width-1 run.
+    std::unordered_set<ReservationKey> shadow;
+    for (auto it = state.queue.begin();
+         it != state.queue.end() && out.size() < take_max;) {
+      Task& task = **it;
+      bool blocked = false;
+      for (const ReservationKey key : task.keys) {
+        if (claimed_.count(key) != 0 || shadow.count(key) != 0) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        shadow.insert(task.keys.begin(), task.keys.end());
+        if (!task.conflicted) {
+          task.conflicted = true;
+          reservation_conflicts_.fetch_add(1, std::memory_order_relaxed);
+          if (obs_on) task.blocked_since_us = obs::now_us();
+        }
+        ++it;
+        continue;
+      }
+      claimed_.insert(task.keys.begin(), task.keys.end());
+      if (task.key != 0) state.coalesce_index.erase(task.key);
+      out.push_back(std::move(*it));
+      it = state.queue.erase(it);
+    }
+    if (!out.empty()) return lane;
+    // Every queued task here is blocked on a reservation; a lower lane may
+    // still have runnable work.
   }
   return kLaneCount;
 }
@@ -174,13 +263,16 @@ std::size_t Executor::pick_lane_locked(std::size_t worker_index) const {
 void Executor::worker_loop(std::size_t worker_index) {
   const bool control_only =
       !config_.single_lane && worker_index < config_.control_reserve;
+  std::vector<std::unique_ptr<Task>> batch;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    const std::size_t lane = pick_lane_locked(worker_index);
+    batch.clear();
+    const std::size_t lane = take_batch_locked(worker_index, batch);
     if (lane == kLaneCount) {
       if (closed_) {
         // Exit only when every queue in this worker's scope is drained; a
-        // width-saturated lane still has an owner that will finish it.
+        // width-saturated lane (or a reservation-blocked task) still has a
+        // running owner that will release and finish it.
         bool drained = lanes_[static_cast<std::size_t>(Lane::kControl)]
                            .queue.empty();
         if (!control_only) {
@@ -195,17 +287,6 @@ void Executor::worker_loop(std::size_t worker_index) {
     }
 
     LaneState& state = lanes_[lane];
-    const LaneConfig& cfg = lane_config(lane);
-    const std::size_t take = std::min(
-        cfg.batch > 0 ? cfg.batch : state.queue.size(), state.queue.size());
-    std::vector<Task> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      Task& front = state.queue.front();
-      if (front.key != 0) state.coalesce_index.erase(front.key);
-      batch.push_back(std::move(front));
-      state.queue.pop_front();
-    }
     state.active++;
     lock.unlock();
     // Capacity was freed: wake kBlock producers parked on this lane.
@@ -214,27 +295,63 @@ void Executor::worker_loop(std::size_t worker_index) {
     if (obs::metrics_enabled()) {
       depth_gauge_[lane]->add(-static_cast<std::int64_t>(batch.size()));
       const std::int64_t now = obs::now_us();
-      for (const Task& task : batch) {
-        if (task.enqueued_us > 0) {
-          wait_us_[lane]->record_us(now - task.enqueued_us);
+      for (const auto& task : batch) {
+        if (task->enqueued_us > 0) {
+          wait_us_[lane]->record_us(now - task->enqueued_us);
         }
       }
     }
-    for (Task& task : batch) {
-      task.fn();
-      stats_[static_cast<std::size_t>(task.origin)].executed.fetch_add(
+    for (auto& task : batch) {
+      note_reservation_wait(*task, static_cast<Lane>(lane));
+      if (!task->keys.empty()) {
+        reservation_acquired_.fetch_add(1, std::memory_order_relaxed);
+        t_current_reservations = &task->keys;
+      }
+      task->fn();
+      t_current_reservations = nullptr;
+      stats_[static_cast<std::size_t>(task->origin)].executed.fetch_add(
           1, std::memory_order_relaxed);
     }
 
     lock.lock();
     state.active--;
-    if (!state.queue.empty()) {
-      // A width slot opened with work still queued: wake a sleeper to claim
-      // it (we loop around ourselves too, but may pick a higher lane).
+    bool released = false;
+    for (const auto& task : batch) {
+      for (const ReservationKey key : task->keys) claimed_.erase(key);
+      released = released || !task->keys.empty();
+    }
+    if (released || !state.queue.empty()) {
+      // A width slot (and possibly reservation keys) opened with work still
+      // queued: wake sleepers to claim it (we loop around ourselves too,
+      // but may pick a higher lane).
       lock.unlock();
       work_cv_.notify_all();
       lock.lock();
     }
+  }
+}
+
+void Executor::note_reservation_wait(const Task& task, Lane lane) {
+  if (task.blocked_since_us <= 0) return;
+  const std::int64_t now = obs::now_us();
+  const std::int64_t waited = now - task.blocked_since_us;
+  if (obs::metrics_enabled()) {
+    reservation_blocked_us_->record_us(waited);
+    reservation_conflict_counter_->add();
+  }
+  // Make blocked-on-reservation time visible in Perfetto: a "resv_wait"
+  // span on the raiser's trace covering skip-to-admission.
+  if (obs::tracing_enabled() && task.trace.valid()) {
+    obs::Span span;
+    span.trace_id = task.trace.trace_id;
+    span.parent_span = task.trace.span_id;
+    span.span_id = obs::tracer().new_id();
+    span.node = node_;
+    span.name = "resv_wait";
+    span.detail = lane_name(lane);
+    span.start_us = task.blocked_since_us;
+    span.dur_us = waited;
+    obs::tracer().record(span);
   }
 }
 
@@ -270,6 +387,10 @@ ExecutorStats Executor::stats() const {
     out.lanes[i].coalesced =
         stats_[i].coalesced.load(std::memory_order_relaxed);
   }
+  out.reservation_acquired =
+      reservation_acquired_.load(std::memory_order_relaxed);
+  out.reservation_conflicts =
+      reservation_conflicts_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -280,6 +401,8 @@ void Executor::reset_stats() {
     stats_[i].shed.store(0, std::memory_order_relaxed);
     stats_[i].coalesced.store(0, std::memory_order_relaxed);
   }
+  reservation_acquired_.store(0, std::memory_order_relaxed);
+  reservation_conflicts_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace doct::exec

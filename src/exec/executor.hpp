@@ -40,6 +40,22 @@
 // delay control work by at most one grab.  try_submit() never blocks
 // regardless of policy — delivery/interrupt paths use it so the simulated
 // NIC thread is never parked on a full lane.
+//
+// RESERVATION SCHEDULING (what makes event-lane width > 1 safe): a task may
+// carry a set of reservation keys — opaque 64-bit identities of the state it
+// will touch (target object, thread context, serial event-group).  A worker
+// admits a task to execution only when every key is unclaimed; while it
+// runs, its keys are claimed executor-wide (across lanes: a control-class
+// and an ordinary event on the same object still serialize).  Conflicting
+// tasks stay queued in per-key FIFO order: the pick scan shadow-claims the
+// keys of every task it skips, so a later task sharing a key with an
+// earlier blocked one can never overtake it — same-target delivery order is
+// exactly the width-1 order, which is the SCOOP-style ownership argument
+// for lifting the §7 master-handler serialization.  Tasks with disjoint
+// keys (or none) run in parallel up to the lane width.  With
+// `reservations = false` the safety mechanism is gone, so the executor
+// clamps the event lane back to width 1 — the ablation arm stays serial
+// rather than racy.
 #pragma once
 
 #include <atomic>
@@ -47,17 +63,26 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/result.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace doct::exec {
+
+// Identity of a piece of state a task will touch (target object, thread
+// context, serial event-group).  Opaque to the executor; derived by the
+// events layer (events::reservation_key).  0 is not a valid key.
+using ReservationKey = std::uint64_t;
+using ReservationSet = std::vector<ReservationKey>;
 
 enum class Lane : std::uint8_t { kControl = 0, kEvent = 1, kBulk = 2 };
 inline constexpr std::size_t kLaneCount = 3;
@@ -99,6 +124,13 @@ struct ExecutorConfig {
   // the pre-refactor "one pool per purpose, first come first served" world
   // collapsed into a single queue.  E10 demonstrates the starvation.
   bool single_lane = false;
+  // Reservation scheduling (the mechanism that makes event.width > 1 safe).
+  // When false, reserved submissions still queue FIFO but the event lane is
+  // clamped to width 1 — the ablation arm must stay serial, not racy.
+  // DOCT_RESERVATIONS=on|off overrides at construction; DOCT_EVENT_WIDTH=N
+  // likewise overrides event.width — the CI width-ablation lane re-runs the
+  // suites across the {width} x {reservations} matrix without recompiling.
+  bool reservations = true;
   LaneConfig control{.capacity = 4096,
                      .policy = OverloadPolicy::kBlock,
                      .batch = 32};
@@ -119,6 +151,9 @@ struct LaneStatsSnapshot {
 
 struct ExecutorStats {
   LaneStatsSnapshot lanes[kLaneCount];
+  // Reservation scheduling (executor-wide, keys span lanes).
+  std::uint64_t reservation_acquired = 0;   // tasks run holding >= 1 key
+  std::uint64_t reservation_conflicts = 0;  // tasks that waited on a key
   [[nodiscard]] std::uint64_t shed_total() const {
     std::uint64_t total = 0;
     for (const auto& lane : lanes) total += lane.shed;
@@ -128,8 +163,10 @@ struct ExecutorStats {
 
 class Executor {
  public:
-  // `name` prefixes the per-node metrics source ("node3.exec").
-  explicit Executor(ExecutorConfig config = {}, std::string name = "exec");
+  // `name` prefixes the per-node metrics source ("node3.exec"); `node` tags
+  // reservation-wait spans with the owning node's Perfetto track.
+  explicit Executor(ExecutorConfig config = {}, std::string name = "exec",
+                    std::uint64_t node = 0);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -143,6 +180,22 @@ class Executor {
   // Never blocks: a full lane sheds immediately regardless of policy.  For
   // producers on delivery/interrupt paths that must not park.
   Status try_submit(Lane lane, std::function<void()> fn);
+
+  // Reservation-scheduled admission: the task runs only when every key in
+  // `reservations` is unclaimed executor-wide, and holds all of them while
+  // it runs.  Tasks sharing a key execute in admission (FIFO) order; tasks
+  // with disjoint keys run in parallel up to the lane width.  Keys must be
+  // non-zero (events::reservation_key guarantees it); an empty set behaves
+  // exactly like the unreserved overloads.
+  Status submit(Lane lane, ReservationSet reservations,
+                std::function<void()> fn);
+  Status try_submit(Lane lane, ReservationSet reservations,
+                    std::function<void()> fn);
+
+  // Keys held by the task currently executing on THIS worker thread, or
+  // nullptr outside one.  Lets nested submissions (surrogate exception
+  // chains) inherit the parent's reservations.
+  [[nodiscard]] static const ReservationSet* current_reservations();
 
   // Idempotent keyed admission: if a task with `key` is already queued in
   // the lane, the new fn replaces it in place (same queue position, no
@@ -169,12 +222,20 @@ class Executor {
     std::uint64_t key = 0;         // 0 = not coalescible
     std::int64_t enqueued_us = 0;  // admission time (metrics on)
     Lane origin = Lane::kEvent;    // stats attribution under single_lane
+    ReservationSet keys;           // reservation keys; empty = unreserved
+    // Reservation-wait bookkeeping: set the first time the pick scan skips
+    // this task over a claimed key; feeds the blocked-time histogram and
+    // the "resv_wait" Perfetto span.
+    bool conflicted = false;
+    std::int64_t blocked_since_us = 0;   // obs on only
+    obs::TraceContext trace;             // admission-site trace (tracing on)
   };
 
   struct LaneState {
-    // std::deque never invalidates references to surviving elements on
-    // push_back/pop_front, so coalesce_index can point into it.
-    std::deque<Task> queue;
+    // Tasks are heap-owned so coalesce_index pointers and queued Task state
+    // survive both push_back AND the mid-queue erases the reservation pick
+    // scan performs when it admits a task past blocked predecessors.
+    std::deque<std::unique_ptr<Task>> queue;
     std::unordered_map<std::uint64_t, Task*> coalesce_index;
     std::size_t active = 0;  // workers currently executing this lane
   };
@@ -187,11 +248,18 @@ class Executor {
   };
 
   Status admit(Lane lane, std::function<void()> fn, std::uint64_t key,
-               bool may_block);
+               bool may_block, ReservationSet reservations = {});
   void worker_loop(std::size_t worker_index);
-  // Picks the highest-priority eligible lane for this worker; kLaneCount
-  // means nothing to do.  Caller holds mu_.
-  [[nodiscard]] std::size_t pick_lane_locked(std::size_t worker_index) const;
+  // Scans the highest-priority eligible lane and moves up to `batch`
+  // runnable tasks into `out`, claiming their reservation keys.  Tasks
+  // whose keys are claimed (or shadow-claimed by an earlier skipped task —
+  // the per-key FIFO guarantee) are left in place.  Returns the lane index
+  // or kLaneCount when nothing is runnable.  Caller holds mu_.
+  [[nodiscard]] std::size_t take_batch_locked(
+      std::size_t worker_index, std::vector<std::unique_ptr<Task>>& out);
+  // Records blocked-on-reservation time (histogram + "resv_wait" span) for
+  // a task the pick scan had skipped at least once.
+  void note_reservation_wait(const Task& task, Lane lane);
   [[nodiscard]] const LaneConfig& lane_config(std::size_t lane) const;
   // single_lane funnels every admission into one physical queue.
   [[nodiscard]] std::size_t physical_lane(Lane lane) const;
@@ -199,14 +267,20 @@ class Executor {
 
   ExecutorConfig config_;
   SteadyClock clock_;
+  std::uint64_t node_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for eligible work
   std::condition_variable space_cv_;  // kBlock producers wait for capacity
   LaneState lanes_[kLaneCount];
+  // Reservation keys held by running tasks.  Executor-wide (not per lane):
+  // a control-class and an ordinary event on the same object serialize.
+  std::unordered_set<ReservationKey> claimed_;
   bool closed_ = false;
 
   AtomicLaneStats stats_[kLaneCount];
+  std::atomic<std::uint64_t> reservation_acquired_{0};
+  std::atomic<std::uint64_t> reservation_conflicts_{0};
 
   std::vector<std::thread> threads_;
 
@@ -214,6 +288,8 @@ class Executor {
   obs::Gauge* depth_gauge_[kLaneCount] = {};
   obs::Histogram* wait_us_[kLaneCount] = {};
   obs::ShardedCounter* shed_counter_ = nullptr;
+  obs::Histogram* reservation_blocked_us_ = nullptr;
+  obs::ShardedCounter* reservation_conflict_counter_ = nullptr;
   // Last member: unregisters before the stats it reads are destroyed.
   obs::MetricsRegistry::SourceHandle metrics_source_;
 };

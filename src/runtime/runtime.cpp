@@ -6,7 +6,8 @@ NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
                          const NodeConfig& config)
     : id(node_id),
       executor(config.kernel.executor,
-               "node" + std::to_string(node_id.value()) + ".exec"),
+               "node" + std::to_string(node_id.value()) + ".exec",
+               node_id.value()),
       rpc(cluster.network_, demux, node_id, cluster.ids_, config.rpc,
           &executor),
       dsm(rpc, node_id, config.dsm),

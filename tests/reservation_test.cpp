@@ -1,0 +1,477 @@
+// Reservation-scheduled handler parallelism (DESIGN.md §11): the executor
+// admits a task only when every reservation key it carries is unclaimed,
+// holds the keys while it runs, and keeps per-key FIFO order — so lifting
+// the event lane above width 1 parallelizes disjoint targets WITHOUT
+// changing the paper's observable per-target delivery semantics.
+//
+// Two layers of proof:
+//  * executor-level: mutual exclusion per key, real parallelism across
+//    disjoint keys, per-key FIFO (including the multi-key shadow-claim
+//    case), inheritance for nested submissions, and the reservations-off
+//    clamp back to serial width 1;
+//  * system-level seeded property test: a storm of object-targeted raises
+//    at every width must (a) never overlap two handlers on one object and
+//    (b) deliver to each object in exactly the width-1 (raise) order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "events/block.hpp"
+#include "events/event_system.hpp"
+#include "events/registry.hpp"
+#include "exec/executor.hpp"
+#include "runtime/runtime.hpp"
+
+namespace doct::events {
+namespace {
+
+using namespace std::chrono_literals;
+using exec::Executor;
+using exec::ExecutorConfig;
+using exec::Lane;
+using exec::ReservationSet;
+using kernel::Verdict;
+using runtime::Cluster;
+
+rpc::Payload verdict_bytes(Verdict v) {
+  return rpc::Payload{static_cast<std::uint8_t>(v)};
+}
+
+// This suite drives width/reservations through explicit configs; the CI
+// ablation env hooks (which override config in the Executor ctor) would
+// fight the matrix of widths exercised here, so clear them up front.
+class ClearAblationEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    unsetenv("DOCT_EVENT_WIDTH");
+    unsetenv("DOCT_RESERVATIONS");
+  }
+};
+const auto* const kAblationEnvCleared =
+    ::testing::AddGlobalTestEnvironment(new ClearAblationEnv);
+
+// Seed for the property sweep; override like the chaos suite:
+//   DOCT_RESERVATION_SEED=42 ./tests/reservation_test
+std::uint64_t suite_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("DOCT_RESERVATION_SEED");
+    const std::uint64_t value =
+        env != nullptr ? std::strtoull(env, nullptr, 10) : 7;
+    std::fprintf(stderr, "[reservation] DOCT_RESERVATION_SEED=%llu\n",
+                 static_cast<unsigned long long>(value));
+    return value;
+  }();
+  return seed;
+}
+
+ExecutorConfig wide_config(std::size_t width) {
+  ExecutorConfig config;
+  config.workers = 6;
+  config.event.width = width;
+  return config;
+}
+
+// Tracks, per key, how many tasks currently claim to hold it; records the
+// worst overlap ever observed.
+class OverlapMonitor {
+ public:
+  void enter(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int now = ++active_[key];
+    worst_ = std::max(worst_, now);
+  }
+  void leave(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_[key];
+  }
+  [[nodiscard]] int worst() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return worst_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, int> active_;
+  int worst_ = 0;
+};
+
+TEST(ReservationExecutor, OverlappingKeysNeverRunConcurrently) {
+  Executor ex(wide_config(4));
+  OverlapMonitor monitor;
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{42},
+                          [&] {
+                            monitor.enter(42);
+                            std::this_thread::sleep_for(100us);
+                            monitor.leave(42);
+                            done.fetch_add(1);
+                          })
+                    .is_ok());
+  }
+  ex.shutdown();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_EQ(monitor.worst(), 1);
+  EXPECT_EQ(ex.stats().reservation_acquired,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ReservationExecutor, DisjointKeysRunInParallel) {
+  Executor ex(wide_config(4));
+  std::mutex mu;
+  int running = 0;
+  int peak = 0;
+  std::atomic<int> done{0};
+  constexpr int kKeys = 4;
+  constexpr int kPerKey = 8;
+  for (int round = 0; round < kPerKey; ++round) {
+    for (std::uint64_t key = 1; key <= kKeys; ++key) {
+      ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{key},
+                            [&] {
+                              {
+                                std::lock_guard<std::mutex> lock(mu);
+                                peak = std::max(peak, ++running);
+                              }
+                              std::this_thread::sleep_for(1ms);
+                              {
+                                std::lock_guard<std::mutex> lock(mu);
+                                --running;
+                              }
+                              done.fetch_add(1);
+                            })
+                      .is_ok());
+    }
+  }
+  ex.shutdown();
+  EXPECT_EQ(done.load(), kKeys * kPerKey);
+  // Four disjoint keys on a width-4 lane: at least two must have been in
+  // flight at once (scheduling noise keeps us from asserting exactly 4).
+  EXPECT_GE(peak, 2);
+}
+
+TEST(ReservationExecutor, PerKeyFifoOrderIsPreserved) {
+  Executor ex(wide_config(4));
+  std::mutex mu;
+  std::vector<int> order;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{7},
+                          [&, i] {
+                            std::lock_guard<std::mutex> lock(mu);
+                            order.push_back(i);
+                          })
+                    .is_ok());
+  }
+  ex.shutdown();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// The shadow-claim rule: a task whose keys overlap an earlier BLOCKED task
+// may not overtake it.  T1{a,b} waits on `a` (held by a running task); then
+// T2{b} — though `b` is free — must still run after T1.
+TEST(ReservationExecutor, BlockedTaskIsNotOvertakenOnItsOtherKeys) {
+  Executor ex(wide_config(4));
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::string> order;
+
+  ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{1},
+                        [&] {
+                          std::unique_lock<std::mutex> lock(mu);
+                          cv.wait(lock, [&] { return release; });
+                          order.push_back("holder");
+                        })
+                  .is_ok());
+  // Give the holder time to claim key 1.
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{1, 2},
+                        [&] {
+                          std::lock_guard<std::mutex> lock(mu);
+                          order.push_back("t1");
+                        })
+                  .is_ok());
+  ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{2},
+                        [&] {
+                          std::lock_guard<std::mutex> lock(mu);
+                          order.push_back("t2");
+                        })
+                  .is_ok());
+  // T2 must not have run while T1 sits blocked behind the holder.
+  std::this_thread::sleep_for(50ms);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(order.empty());
+    release = true;
+  }
+  cv.notify_all();
+  ex.shutdown();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "holder");
+  EXPECT_EQ(order[1], "t1");
+  EXPECT_EQ(order[2], "t2");
+  EXPECT_GE(ex.stats().reservation_conflicts, 2u);
+}
+
+TEST(ReservationExecutor, ReservationsOffClampsEventLaneSerial) {
+  ExecutorConfig config = wide_config(4);
+  config.reservations = false;
+  Executor ex(config);
+  EXPECT_EQ(ex.config().event.width, 1u);
+
+  // Even keyless tasks stay serial: the clamp IS the §7 master handler.
+  std::mutex mu;
+  int running = 0;
+  int peak = 0;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(ex.submit(Lane::kEvent,
+                          [&] {
+                            {
+                              std::lock_guard<std::mutex> lock(mu);
+                              peak = std::max(peak, ++running);
+                            }
+                            std::this_thread::sleep_for(500us);
+                            {
+                              std::lock_guard<std::mutex> lock(mu);
+                              --running;
+                            }
+                            done.fetch_add(1);
+                          })
+                    .is_ok());
+  }
+  ex.shutdown();
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_EQ(peak, 1);
+}
+
+TEST(ReservationExecutor, NestedSubmissionSeesParentKeys) {
+  Executor ex(wide_config(4));
+  ReservationSet seen;
+  std::atomic<bool> done{false};
+  ASSERT_TRUE(ex.submit(Lane::kEvent, ReservationSet{11, 22},
+                        [&] {
+                          if (const ReservationSet* keys =
+                                  Executor::current_reservations()) {
+                            seen = *keys;
+                          }
+                          done = true;
+                        })
+                  .is_ok());
+  while (!done.load()) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(Executor::current_reservations(), nullptr);
+  ex.shutdown();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 11u);
+  EXPECT_EQ(seen[1], 22u);
+}
+
+TEST(ReservationExecutor, KeysSerializeAcrossLanes) {
+  // A control-class and an ordinary event on the same object must still
+  // serialize: the claimed-key set spans lanes.
+  Executor ex(wide_config(4));
+  OverlapMonitor monitor;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 60; ++i) {
+    const Lane lane = i % 2 == 0 ? Lane::kControl : Lane::kEvent;
+    ASSERT_TRUE(ex.submit(lane, ReservationSet{5},
+                          [&] {
+                            monitor.enter(5);
+                            std::this_thread::sleep_for(200us);
+                            monitor.leave(5);
+                            done.fetch_add(1);
+                          })
+                    .is_ok());
+  }
+  ex.shutdown();
+  EXPECT_EQ(done.load(), 60);
+  EXPECT_EQ(monitor.worst(), 1);
+}
+
+// --- key derivation ---------------------------------------------------------
+
+TEST(ReservationKeys, TagSaltedAndNonZero) {
+  EXPECT_NE(reservation_key(ObjectId{5}), reservation_key(ThreadId{5}));
+  EXPECT_NE(reservation_key(ObjectId{5}), reservation_key(GroupId{5}));
+  EXPECT_NE(reservation_key(ObjectId{5}), reservation_key(ObjectId{6}));
+  EXPECT_EQ(reservation_key(ObjectId{5}), reservation_key(ObjectId{5}));
+  EXPECT_NE(reservation_key(ObjectId{0}), 0u);
+  EXPECT_NE(reservation_key(std::string("txn")), 0u);
+  EXPECT_NE(reservation_key(std::string("txn")),
+            reservation_key(std::string("lifecycle")));
+}
+
+TEST(ReservationKeys, SerialGroupRegistry) {
+  EventRegistry registry;
+  const EventId a = registry.register_event("COMMIT");
+  const EventId b = registry.register_event("ROLLBACK");
+  const EventId c = registry.register_event("UNRELATED");
+  EXPECT_EQ(registry.serial_group_key(a), 0u);
+  registry.set_serial_group(a, "txn");
+  registry.set_serial_group(b, "txn");
+  EXPECT_NE(registry.serial_group_key(a), 0u);
+  EXPECT_EQ(registry.serial_group_key(a), registry.serial_group_key(b));
+  EXPECT_EQ(registry.serial_group_key(c), 0u);
+  EXPECT_EQ(registry.serial_group_key(EventId{9999}), 0u);
+}
+
+// --- system-level property: semantics are width-invariant -------------------
+
+struct ObjectLog {
+  std::mutex mu;
+  std::vector<std::uint32_t> seqs;  // payload sequence numbers, in
+                                    // execution order
+  std::atomic<int> in_flight{0};
+  std::atomic<int> worst_overlap{0};
+};
+
+// Runs `raises_per_object` seeded raises at `num_objects` objects on one
+// node with the given event width and returns the per-object execution
+// order.  Handlers detect overlap themselves.
+std::vector<std::vector<std::uint32_t>> run_storm(std::size_t width,
+                                                  bool reservations,
+                                                  std::uint64_t seed,
+                                                  int num_objects,
+                                                  int raises_per_object) {
+  runtime::ClusterConfig config;
+  config.node.kernel.executor.workers = 8;
+  config.node.kernel.executor.event.width = width;
+  config.node.kernel.executor.reservations = reservations;
+  // The storm is bursty; keep the lane unbounded so nothing sheds and the
+  // execution log stays comparable across widths.
+  config.node.kernel.executor.event.capacity = 0;
+  Cluster cluster(1, config);
+  auto& n0 = cluster.node(0);
+
+  auto logs = std::make_shared<std::vector<ObjectLog>>(num_objects);
+  std::vector<ObjectId> oids;
+  const EventId event = cluster.registry().register_event("RESV_PROP");
+  for (int i = 0; i < num_objects; ++i) {
+    auto object = std::make_shared<objects::PassiveObject>("resv_target");
+    ObjectLog* log = &(*logs)[i];
+    object->define_entry(
+        "on_event",
+        // `logs` is captured to pin the log vector: the drain loop below
+        // observes the seq push (the handler's second-to-last write) and
+        // may let run_storm return while the final in_flight decrement is
+        // still executing — the entry lambda outlives that window, the
+        // local shared_ptr does not.
+        [logs, log](objects::CallCtx& ctx) -> Result<objects::Payload> {
+          const int now = log->in_flight.fetch_add(1) + 1;
+          int worst = log->worst_overlap.load();
+          while (now > worst &&
+                 !log->worst_overlap.compare_exchange_weak(worst, now)) {
+          }
+          EventBlock block = EventBlock::from_payload(ctx.args);
+          auto r = block.user_reader();
+          const auto seq = r.get<std::uint32_t>();
+          {
+            std::lock_guard<std::mutex> lock(log->mu);
+            log->seqs.push_back(seq);
+          }
+          log->in_flight.fetch_sub(1);
+          return verdict_bytes(Verdict::kResume);
+        },
+        objects::Visibility::kPrivate);
+    object->define_handler("RESV_PROP", "on_event");
+    oids.push_back(n0.objects.add_object(object));
+  }
+
+  // Seeded interleaving: raise order across objects is shuffled, but the
+  // per-object sequence numbers are monotone — exactly what the handler
+  // log must reproduce.
+  SplitMix64 rng(seed);
+  std::vector<std::uint32_t> next_seq(num_objects, 0);
+  std::vector<int> schedule;
+  for (int i = 0; i < num_objects; ++i) {
+    schedule.insert(schedule.end(), raises_per_object, i);
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng.below(i)]);
+  }
+  for (const int target : schedule) {
+    Writer w;
+    w.put(next_seq[target]++);
+    EXPECT_TRUE(
+        n0.events.raise(event, oids[target], std::move(w).take()).is_ok());
+  }
+
+  // Drain: every raise must be handled before the cluster tears down.
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  for (int i = 0; i < num_objects; ++i) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        std::lock_guard<std::mutex> lock((*logs)[i].mu);
+        if ((*logs)[i].seqs.size() ==
+            static_cast<std::size_t>(raises_per_object)) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock((*logs)[i].mu);
+      EXPECT_EQ((*logs)[i].seqs.size(),
+                static_cast<std::size_t>(raises_per_object))
+          << "object " << i << " never received all raises";
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> out;
+  for (int i = 0; i < num_objects; ++i) {
+    EXPECT_LE((*logs)[i].worst_overlap.load(), 1)
+        << "two handlers overlapped on object " << i << " at width "
+        << width;
+    std::lock_guard<std::mutex> lock((*logs)[i].mu);
+    out.push_back((*logs)[i].seqs);
+  }
+  return out;
+}
+
+class ReservationProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReservationProperty, WidthInvariantPerObjectOrderAndNoOverlap) {
+  const std::size_t width = GetParam();
+  constexpr int kObjects = 6;
+  constexpr int kRaises = 120;
+  const auto orders =
+      run_storm(width, /*reservations=*/true, suite_seed(), kObjects, kRaises);
+  // Same-target delivery order must match the width-1 (= raise) order: each
+  // object's log is exactly 0..kRaises-1.
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_EQ(orders[i].size(), static_cast<std::size_t>(kRaises));
+    for (int s = 0; s < kRaises; ++s) {
+      ASSERT_EQ(orders[i][s], static_cast<std::uint32_t>(s))
+          << "object " << i << " delivered out of order at width " << width;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ReservationProperty,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8));
+
+TEST(ReservationProperty, ReservationsOffStaysSerialAndOrdered) {
+  const auto orders = run_storm(/*width=*/4, /*reservations=*/false,
+                                suite_seed(), 4, 60);
+  for (const auto& order : orders) {
+    ASSERT_EQ(order.size(), 60u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  }
+}
+
+}  // namespace
+}  // namespace doct::events
