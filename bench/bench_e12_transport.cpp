@@ -1,0 +1,234 @@
+// E12 — transport tax: the same two hot-path shapes as E9 (one no-op RPC
+// round trip; a broadcast storm) measured across the three Transport
+// backends, so the cost of real sockets + the versioned wire format is a
+// number and not a guess.
+//
+// Rows:
+//
+//   * P2P_RoundTrip_{InProcess,Unix,Tcp} — a 2-node runtime::Cluster with
+//     NetworkConfig::transport flipped per row; everything above the
+//     transport (rpc, kernel, dispatch) is identical, so row deltas isolate
+//     serialization + syscalls + the socket thread hops.  The InProcess row
+//     should track BM_E9_P2P_RoundTrip; the Unix row is the cross-process
+//     latency floor the multiprocess example pays.
+//   * BroadcastStorm_{InProcess,Unix,Tcp} — raw transport fan-out: 4 senders
+//     each blast 200 one-KiB broadcasts across a 4-node mesh.  The socket
+//     arms run a real loopback mesh in one process (4 SocketTransports, 12
+//     simplex connections); every leg of one broadcast shares a single
+//     SharedPayload buffer on the send side, so the row prices the
+//     per-leg encode + write, not 3x marshalling.
+//
+// Counters: per-call latency percentiles on the p2p rows, msgs_per_sec on
+// the storm rows, plus drops (must stay 0 — a lossy storm row is a skip, not
+// a number).  Socket arms have no quiesce(); delivery is confirmed by
+// polling the receive-side counter up to the exact expected count.
+#include "bench_util.hpp"
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "net/socket_transport.hpp"
+
+namespace doct::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- p2p round trip per backend ----------------------------------------------
+
+void run_p2p(benchmark::State& state, net::TransportKind kind) {
+  runtime::ClusterConfig config;
+  config.network.transport = kind;
+  runtime::Cluster cluster(2, config);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  n1.rpc.register_method(
+      "bench.noop", [](NodeId, Reader&) -> Result<rpc::Payload> {
+        return rpc::Payload{};
+      });
+  const rpc::Payload args(32, 0x42);
+  LatencyPercentiles lat;
+  for (auto _ : state) {
+    const std::int64_t t0 = lat.begin();
+    auto reply = n0.rpc.call(n1.id, "bench.noop", args);
+    if (!reply.is_ok()) {
+      state.SkipWithError(
+          ("p2p call failed: " + reply.status().to_string()).c_str());
+      break;
+    }
+    lat.end(t0);
+  }
+  lat.flush(state, "call");
+}
+
+void BM_E12_P2P_RoundTrip_InProcess(benchmark::State& state) {
+  run_p2p(state, net::TransportKind::kInProcess);
+}
+void BM_E12_P2P_RoundTrip_Unix(benchmark::State& state) {
+  run_p2p(state, net::TransportKind::kUnixSocket);
+}
+void BM_E12_P2P_RoundTrip_Tcp(benchmark::State& state) {
+  run_p2p(state, net::TransportKind::kTcp);
+}
+
+BENCHMARK(BM_E12_P2P_RoundTrip_InProcess)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_E12_P2P_RoundTrip_Unix)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_E12_P2P_RoundTrip_Tcp)
+    ->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+// --- broadcast storm per backend ---------------------------------------------
+
+constexpr int kStormNodes = 4;
+constexpr int kStormSenders = 4;
+constexpr int kBroadcastsPerSender = 200;
+
+void BM_E12_BroadcastStorm_InProcess(benchmark::State& state) {
+  net::Network net;
+  std::atomic<long> delivered{0};
+  for (int i = 0; i < kStormNodes; ++i) {
+    net.register_node(NodeId{static_cast<std::uint64_t>(i + 1)},
+                      [&delivered](const net::Message&) {
+                        delivered.fetch_add(1, std::memory_order_relaxed);
+                      });
+  }
+  const net::SharedPayload body{std::vector<std::uint8_t>(1024, 0xAB)};
+  long expected = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kStormSenders);
+    for (int s = 0; s < kStormSenders; ++s) {
+      threads.emplace_back([&net, &body, s] {
+        const NodeId from{static_cast<std::uint64_t>(s + 1)};
+        for (int i = 0; i < kBroadcastsPerSender; ++i) {
+          (void)net.broadcast(net::Message{.from = from,
+                                           .to = NodeId{},
+                                           .kind = 0x5712,
+                                           .call = CallId{},
+                                           .payload = body});
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    net.quiesce();
+    expected += static_cast<long>(kStormSenders) * kBroadcastsPerSender *
+                (kStormNodes - 1);
+  }
+  if (delivered.load() != expected) {
+    state.SkipWithError("delivery count mismatch");
+    return;
+  }
+  state.counters["msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(expected), benchmark::Counter::kIsRate);
+}
+
+void run_socket_storm(benchmark::State& state, bool tcp) {
+  static std::atomic<int> mesh_tag{0};
+  const int tag = mesh_tag.fetch_add(1);
+  std::atomic<long> delivered{0};
+
+  // A full loopback mesh of real transports in one process: 4 listeners,
+  // every pair connected both ways.
+  std::vector<std::unique_ptr<net::SocketTransport>> mesh;
+  for (int i = 0; i < kStormNodes; ++i) {
+    net::SocketTransportConfig config;
+    config.self = NodeId{static_cast<std::uint64_t>(i + 1)};
+    config.listen = tcp ? std::string("tcp:127.0.0.1:0")
+                        : "unix:/tmp/doct-e12-" + std::to_string(::getpid()) +
+                              "-" + std::to_string(tag) + "-n" +
+                              std::to_string(i + 1) + ".sock";
+    auto node = std::make_unique<net::SocketTransport>(config);
+    (void)node->register_node(config.self,
+                              [&delivered](const net::Message&) {
+                                delivered.fetch_add(
+                                    1, std::memory_order_relaxed);
+                              });
+    if (!node->start().is_ok()) {
+      state.SkipWithError("socket mesh failed to bind");
+      return;
+    }
+    mesh.push_back(std::move(node));
+  }
+  for (int i = 0; i < kStormNodes; ++i) {
+    for (int j = 0; j < kStormNodes; ++j) {
+      if (i == j) continue;
+      mesh[static_cast<std::size_t>(i)]->add_peer(
+          NodeId{static_cast<std::uint64_t>(j + 1)},
+          mesh[static_cast<std::size_t>(j)]->listen_address());
+    }
+  }
+  for (auto& node : mesh) {
+    if (!node->wait_for_peers(kStormNodes - 1, 10s)) {
+      state.SkipWithError("socket mesh never fully connected");
+      return;
+    }
+  }
+
+  const net::SharedPayload body{std::vector<std::uint8_t>(1024, 0xAB)};
+  long expected = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kStormSenders);
+    for (int s = 0; s < kStormSenders; ++s) {
+      threads.emplace_back([&mesh, &body, s] {
+        net::SocketTransport& from = *mesh[static_cast<std::size_t>(s)];
+        for (int i = 0; i < kBroadcastsPerSender; ++i) {
+          (void)from.broadcast(
+              net::Message{.from = NodeId{static_cast<std::uint64_t>(s + 1)},
+                           .to = NodeId{},
+                           .kind = 0x5712,
+                           .call = CallId{},
+                           .payload = body});
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    expected += static_cast<long>(kStormSenders) * kBroadcastsPerSender *
+                (kStormNodes - 1);
+    // No quiesce() on sockets: delivery completes when the receive-side
+    // counter reaches the exact expected total.
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    while (delivered.load() < expected &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    if (delivered.load() < expected) {
+      state.SkipWithError("storm delivery timed out");
+      return;
+    }
+  }
+  long drops = 0;
+  for (const auto& node : mesh) {
+    const auto s = node->stats();
+    drops += static_cast<long>(s.dropped_backpressure + s.dropped_inbound +
+                               s.dropped_no_peer + s.decode_errors);
+  }
+  if (drops != 0 || delivered.load() != expected) {
+    state.SkipWithError("storm dropped or over-delivered frames");
+    return;
+  }
+  state.counters["msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(expected), benchmark::Counter::kIsRate);
+}
+
+void BM_E12_BroadcastStorm_Unix(benchmark::State& state) {
+  run_socket_storm(state, /*tcp=*/false);
+}
+void BM_E12_BroadcastStorm_Tcp(benchmark::State& state) {
+  run_socket_storm(state, /*tcp=*/true);
+}
+
+BENCHMARK(BM_E12_BroadcastStorm_InProcess)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_E12_BroadcastStorm_Unix)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_E12_BroadcastStorm_Tcp)
+    ->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,266 @@
+// multiprocess — drives a cluster of doct-node OS processes over real
+// sockets and asserts the cross-process smoke scenario end to end:
+//
+//   ./build/examples/multiprocess [--nodes=N] [--transport=unix|tcp]
+//       [--doct-node=PATH] [--logs=DIR] [--obs-dump=DIR] [--kill]
+//
+// The driver spawns N doct-node processes wired into a full mesh (Unix
+// sockets by default; --transport=tcp uses loopback TCP with driver-probed
+// free ports), then watches the coordinator's log for the scenario markers:
+// worker discovery by RPC, remote raise + raise_and_wait round trips, and a
+// 100-raise broadcast storm counted by every worker.  With --kill it
+// SIGKILLs the highest-numbered node after the storm and asserts every
+// survivor's failure detector reports MP-NODE-DOWN before the cluster winds
+// down cleanly.  With --obs-dump it checks the per-process trace dumps
+// stitch: at least one trace id minted on one node must appear in another
+// node's dump (the wire spans cross process boundaries).
+//
+// Exit 0 = every assertion held.  Non-zero prints "MP-DRIVER-FAIL <why>" —
+// CI turns that plus the uploaded per-node logs into the failure artifact.
+#include <signal.h>
+#include <unistd.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "runtime/launcher.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::cout << "MP-DRIVER-FAIL " << why << std::endl;
+  return 1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool wait_for_marker(const std::string& log_path, const std::string& marker,
+                     Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (read_file(log_path).find(marker) != std::string::npos) return true;
+    std::this_thread::sleep_for(50ms);
+  }
+  return false;
+}
+
+// Reserves a free loopback TCP port: bind port 0, read it back, close.  The
+// tiny window before doct-node rebinds it is standard test practice.
+int probe_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(sa);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len);
+  ::close(fd);
+  return ntohs(sa.sin_port);
+}
+
+// Extracts the set of "trace_id":"..." values from a Chrome trace dump.
+std::set<std::string> trace_ids(const std::string& json) {
+  std::set<std::string> ids;
+  const std::string key = "\"trace_id\":\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::size_t end = json.find('"', pos);
+    if (end == std::string::npos) break;
+    ids.insert(json.substr(pos, end - pos));
+    pos = end;
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 4;
+  std::string transport = "unix";
+  std::string doct_node;
+  std::string logs = "mp-logs";
+  std::string obs_dump;
+  bool kill_phase = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--nodes=")) {
+      nodes = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--transport=")) {
+      transport = v;
+    } else if (const char* v = value("--doct-node=")) {
+      doct_node = v;
+    } else if (const char* v = value("--logs=")) {
+      logs = v;
+    } else if (const char* v = value("--obs-dump=")) {
+      obs_dump = v;
+    } else if (arg == "--kill") {
+      kill_phase = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (nodes < 2) return fail("--nodes must be >= 2");
+  if (transport != "unix" && transport != "tcp") {
+    return fail("--transport must be unix or tcp");
+  }
+  if (doct_node.empty()) {
+    // Conventional layout: examples/multiprocess next to src/runtime/doct-node
+    // inside the build tree.
+    const std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : self.substr(0, slash);
+    doct_node = dir + "/../src/runtime/doct-node";
+  }
+  ::mkdir(logs.c_str(), 0755);
+  if (!obs_dump.empty()) ::mkdir(obs_dump.c_str(), 0755);
+
+  // Assign every node's listen address up front so each process can be
+  // handed the full peer map on its command line.
+  std::map<std::uint64_t, std::string> addresses;
+  for (std::uint64_t n = 1; n <= nodes; ++n) {
+    if (transport == "unix") {
+      addresses[n] = "unix:/tmp/doct-mp-" + std::to_string(::getpid()) + "-n" +
+                     std::to_string(n) + ".sock";
+    } else {
+      const int port = probe_free_port();
+      if (port < 0) return fail("could not probe a free tcp port");
+      addresses[n] = "tcp:127.0.0.1:" + std::to_string(port);
+    }
+  }
+
+  const NodeId victim{kill_phase ? nodes : 0};
+  runtime::ProcessGroup procs;
+  std::map<std::uint64_t, pid_t> pids;
+  std::map<std::uint64_t, std::string> node_logs;
+  for (std::uint64_t n = 1; n <= nodes; ++n) {
+    std::vector<std::string> args{
+        "--node=" + std::to_string(n),
+        "--nodes=" + std::to_string(nodes),
+        "--listen=" + addresses[n],
+    };
+    for (std::uint64_t p = 1; p <= nodes; ++p) {
+      if (p == n) continue;
+      args.push_back("--peer=" + std::to_string(p) + "=" + addresses[p]);
+    }
+    if (victim.valid()) {
+      args.push_back("--kill-victim=" + std::to_string(victim.value()));
+    }
+    if (!obs_dump.empty()) args.push_back("--obs-dump=" + obs_dump);
+    node_logs[n] = logs + "/node" + std::to_string(n) + ".log";
+    auto pid = procs.spawn(doct_node, args, node_logs[n]);
+    if (!pid.is_ok()) return fail("spawn: " + pid.status().to_string());
+    pids[n] = pid.value();
+  }
+  std::cout << "spawned " << nodes << " doct-node processes over " << transport
+            << std::endl;
+
+  // The coordinator narrates the scenario; each marker is an assertion.
+  for (const char* marker :
+       {"MP-OK discover", "MP-OK raise_and_wait", "MP-OK storm"}) {
+    if (!wait_for_marker(node_logs[1], marker, 120s)) {
+      return fail(std::string("coordinator never reached \"") + marker +
+                  "\" (see " + node_logs[1] + ")");
+    }
+    std::cout << "coordinator: " << marker << std::endl;
+  }
+
+  if (kill_phase) {
+    std::cout << "killing " << victim.to_string() << " (SIGKILL)" << std::endl;
+    procs.signal(pids[victim.value()], SIGKILL);
+    auto rc = procs.wait(pids[victim.value()], 10s);
+    if (!rc.is_ok() || rc.value() != 128 + SIGKILL) {
+      return fail("victim did not die to SIGKILL");
+    }
+    // Every survivor's failure detector must notice the dead node.
+    const std::string down_marker = "MP-NODE-DOWN " + victim.to_string();
+    for (std::uint64_t n = 1; n <= nodes; ++n) {
+      if (n == victim.value()) continue;
+      if (!wait_for_marker(node_logs[n], down_marker, 60s)) {
+        return fail("node " + std::to_string(n) + " never reported " +
+                    down_marker);
+      }
+    }
+    std::cout << "all survivors reported " << down_marker << std::endl;
+  }
+
+  if (!wait_for_marker(node_logs[1], "MP-OK done", 60s)) {
+    return fail("coordinator never finished (see " + node_logs[1] + ")");
+  }
+  for (std::uint64_t n = 1; n <= nodes; ++n) {
+    if (victim.valid() && n == victim.value()) continue;
+    auto rc = procs.wait(pids[n], 60s);
+    if (!rc.is_ok() || rc.value() != 0) {
+      return fail("node " + std::to_string(n) + " exited " +
+                  (rc.is_ok() ? std::to_string(rc.value())
+                              : rc.status().to_string()));
+    }
+  }
+
+  if (!obs_dump.empty()) {
+    // Cross-process trace stitching: some causal chain must have spans in
+    // more than one node's dump (raise on the coordinator, wire + handle on
+    // a worker).  Trace-id spaces are node-disjoint, so an overlap can only
+    // mean one trace genuinely crossed processes.
+    std::map<std::uint64_t, std::set<std::string>> per_node;
+    for (std::uint64_t n = 1; n <= nodes; ++n) {
+      if (victim.valid() && n == victim.value()) continue;
+      per_node[n] = trace_ids(
+          read_file(obs_dump + "/trace-node" + std::to_string(n) + ".json"));
+    }
+    bool stitched = false;
+    for (const auto& [a, ids_a] : per_node) {
+      for (const auto& [b, ids_b] : per_node) {
+        if (a >= b) continue;
+        for (const std::string& id : ids_a) {
+          if (ids_b.contains(id)) {
+            stitched = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!stitched) {
+      return fail("no trace id appears in more than one node's dump");
+    }
+    std::cout << "traces stitch across processes" << std::endl;
+  }
+
+  std::cout << "MP-DRIVER-OK nodes=" << nodes << " transport=" << transport
+            << (kill_phase ? " kill" : "") << std::endl;
+  return 0;
+}

@@ -20,11 +20,19 @@ Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
 without blocking (runner noise makes hard gates on shared runners flaky).
 
+A metric that exists in the baseline but is absent from the current run is a
+hard failure (exit 1) regardless of --fail: a vanished benchmark row or
+counter means the bench binary silently lost coverage (a renamed row, a
+SkipWithError arm, a counter that stopped being emitted), and "the guard has
+nothing to check" must not read as "the guard passed".
+
 Exit codes (so CI can tell the failure modes apart):
   0  compared successfully, no regression beyond the threshold (or
      regressions found but --fail not given — annotations only)
-  1  regression beyond the threshold and --fail was given, or the CURRENT
-     results file is missing/unreadable (the run itself failed)
+  1  regression beyond the threshold and --fail was given; the CURRENT
+     results file is missing/unreadable (the run itself failed); or a
+     benchmark/counter present in the baseline is missing from the
+     current run
   2  the BASELINE file is missing/unreadable — nothing to compare against.
      CI treats this as a warning (e.g. a brand-new bench binary whose
      baseline has not been committed yet), not a blocking failure.
@@ -145,6 +153,8 @@ def main():
 
     regressions = []
     rows = []  # (label, baseline_str, current_str, delta, is_regression)
+    # Metrics the baseline has but the current run lost — always fatal.
+    missing = [name for name in sorted(set(baseline) - set(current))]
 
     for name in sorted(current):
         cur = current[name]
@@ -226,6 +236,11 @@ def main():
                 (label, f"{base_shed:,.0f}", f"{cur_shed:,.0f}", shed_delta,
                  worse)
             )
+        # Counters the baseline tracked for this row but the current run no
+        # longer emits — each one is lost guard coverage.
+        for family in ("rates", "latencies", "sheds"):
+            for counter in sorted(set(base[family]) - set(cur[family])):
+                missing.append(f"{name} [{counter}]")
 
     width = max((len(r[0]) for r in rows), default=9)
     print(f"{'benchmark':<{width}}  {'baseline':>14}  {'current':>14}  delta")
@@ -233,8 +248,8 @@ def main():
         delta_str = "(new)" if delta is None else f"{delta:+7.1%}"
         flag = "  <-- REGRESSION" if flagged else ""
         print(f"{label:<{width}}  {base_str:>14}  {cur_str:>14}  {delta_str}{flag}")
-    for name in sorted(set(baseline) - set(current)):
-        print(f"{name:<{width}}  (missing from current run)")
+    for label in missing:
+        print(f"{label:<{width}}  (missing from current run)")
 
     if regressions:
         for label, base_str, cur_str, delta in regressions:
@@ -243,10 +258,19 @@ def main():
                 f"{base_str} -> {cur_str} ({delta:+.1%}, "
                 f"threshold {args.threshold:.0%})"
             )
-        if args.fail:
-            return 1
     else:
         print(f"\nno regressions beyond {args.threshold:.0%}")
+    if missing:
+        for label in missing:
+            print(
+                f"::error title=bench metric vanished::{label} exists in the "
+                f"baseline {args.baseline} but is missing from the current "
+                "run — a lost row/counter silently disables the regression "
+                "guard; fix the bench or regenerate the baseline"
+            )
+        return 1
+    if regressions and args.fail:
+        return 1
     return 0
 
 

@@ -12,6 +12,14 @@ namespace doct {
 
 class IdGenerator {
  public:
+  IdGenerator() = default;
+  // Multi-process clusters: each node process seeds its counter with a
+  // node-distinct base (node id in bits 40..47) so plain ids (CallId,
+  // GroupId, ...) minted in different OS processes never collide.  The base
+  // stays inside the 48-bit sequence field of thread/object ids, so the
+  // root-node-in-top-16-bits encoding is unaffected.
+  explicit IdGenerator(std::uint64_t start) : counter_(start) {}
+
   template <typename Tag>
   [[nodiscard]] TypedId<Tag> next() {
     return TypedId<Tag>{counter_.fetch_add(1, std::memory_order_relaxed)};

@@ -41,7 +41,7 @@ std::uint64_t coalesce_key(std::uint64_t salt, std::uint64_t a,
 
 }  // namespace
 
-Kernel::Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
+Kernel::Kernel(net::Transport& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
                NodeId self, IdGenerator& ids, KernelConfig config)
     : network_(network),
       rpc_(rpc),

@@ -41,7 +41,7 @@
 #include "kernel/location_cache.hpp"
 #include "kernel/thread_context.hpp"
 #include "net/demux.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 
@@ -111,7 +111,7 @@ struct SpawnOptions {
 
 class Kernel {
  public:
-  Kernel(net::Network& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
+  Kernel(net::Transport& network, net::Demux& demux, rpc::RpcEndpoint& rpc,
          NodeId self, IdGenerator& ids, KernelConfig config = {});
   ~Kernel();
 
@@ -325,7 +325,7 @@ class Kernel {
 
   [[nodiscard]] rpc::Payload serialize_context_core(ThreadContext& ctx);
 
-  net::Network& network_;
+  net::Transport& network_;
   rpc::RpcEndpoint& rpc_;
   NodeId self_;
   IdGenerator& ids_;

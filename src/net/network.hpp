@@ -41,9 +41,21 @@
 #include "common/rng.hpp"
 #include "net/fault.hpp"
 #include "net/message.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 
 namespace doct::net {
+
+// Which Transport backend a runtime::Cluster assembles its nodes on.  The
+// simulator stays the default (determinism, fault injection, quiesce); the
+// socket kinds put every node behind a real SocketTransport — same semantics
+// a multi-process deployment sees, inside one process.  Overridable at
+// Cluster construction via DOCT_TRANSPORT=inprocess|unix|tcp.
+enum class TransportKind : std::uint8_t {
+  kInProcess = 0,
+  kUnixSocket = 1,
+  kTcp = 2,
+};
 
 struct NetworkConfig {
   Duration base_latency{0};        // one-way latency applied to every message
@@ -60,6 +72,18 @@ struct NetworkConfig {
   // instead of growing the queue without limit — the network-layer end of
   // the node executor's bounded-lane story.
   std::size_t mailbox_capacity = 0;
+
+  // --- transport selection (runtime::Cluster) ------------------------------
+  // Everything below is read by runtime::Cluster, not by Network itself: the
+  // simulator's knobs above apply only when transport == kInProcess.
+  TransportKind transport = TransportKind::kInProcess;
+  // Socket modes: base listen spec.  "" = auto ("unix:<fresh tmpdir>/n<id>
+  // .sock" for kUnixSocket, "tcp:127.0.0.1:0" ephemeral ports for kTcp).
+  std::string listen;
+  // Per-peer reconnect backoff (socket modes): first retry delay, doubling
+  // to the cap while a peer stays unreachable.
+  Duration reconnect_backoff_initial{std::chrono::milliseconds(10)};
+  Duration reconnect_backoff_max{std::chrono::seconds(1)};
 };
 
 struct NetworkStats {
@@ -92,10 +116,10 @@ struct NetworkStats {
   std::uint64_t restarts = 0;
 };
 
-class Network {
+class Network final : public Transport {
  public:
   explicit Network(NetworkConfig config = {});
-  ~Network();
+  ~Network() override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -105,23 +129,23 @@ class Network {
   // another node's handler completing (deadlock is the caller's bug, as on a
   // real kernel's interrupt path) — long work should be queued to node-local
   // worker threads.
-  Status register_node(NodeId node, MessageHandler handler);
-  Status unregister_node(NodeId node);
+  Status register_node(NodeId node, MessageHandler handler) override;
+  Status unregister_node(NodeId node) override;
 
   // Point-to-point.  Ok means "accepted for transmission" — delivery is
   // asynchronous and may still be dropped (datagram semantics).
-  Status send(Message message);
+  Status send(Message message) override;
 
   // Delivers to every registered node except the sender.  All fan-out legs
   // share the sender's payload buffer (SharedPayload): one marshal per
   // broadcast, not one per destination.
-  Status broadcast(Message message);
+  Status broadcast(Message message) override;
 
   // Multicast groups.
-  Status create_multicast_group(GroupId group);
-  Status join(GroupId group, NodeId node);
-  Status leave(GroupId group, NodeId node);
-  Status multicast(GroupId group, Message message);
+  Status create_multicast_group(GroupId group) override;
+  Status join(GroupId group, NodeId node) override;
+  Status leave(GroupId group, NodeId node) override;
+  Status multicast(GroupId group, Message message) override;
 
   // Fault injection: a partitioned pair silently drops traffic both ways.
   void partition(NodeId a, NodeId b);
@@ -149,7 +173,7 @@ class Network {
   [[nodiscard]] NetworkStats stats() const;
   void reset_stats();
 
-  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] std::vector<NodeId> nodes() const override;
 
   // Blocks until every queued message (wire + mailboxes) has been delivered
   // and handled.  Tests use this instead of sleeps.

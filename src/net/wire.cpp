@@ -1,0 +1,167 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace doct::net::wire {
+namespace {
+
+// Little-endian scalar writes/reads independent of host byte order.
+template <typename T>
+void put_le(std::uint8_t* out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * i));
+  }
+}
+
+template <typename T>
+[[nodiscard]] T get_le(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return static_cast<T>(value);
+}
+
+}  // namespace
+
+EncodedHeader encode_header(const Message& message) {
+  EncodedHeader header;
+  const bool traced = message.trace_id != 0;
+  std::uint8_t* p = header.bytes.data();
+  put_le<std::uint32_t>(p + 0, kMagic);
+  p[4] = kVersion;
+  p[5] = traced ? kFlagTrace : 0;
+  put_le<std::uint16_t>(p + 6, message.kind);
+  put_le<std::uint64_t>(p + 8, message.from.value());
+  put_le<std::uint64_t>(p + 16, message.to.value());
+  put_le<std::uint64_t>(p + 24, message.call.value());
+  put_le<std::uint64_t>(p + 32,
+                        static_cast<std::uint64_t>(message.sent_at_us));
+  put_le<std::uint32_t>(p + 40,
+                        static_cast<std::uint32_t>(message.payload.size()));
+  header.size = kHeaderBytes;
+  if (traced) {
+    put_le<std::uint64_t>(p + 44, message.trace_id);
+    put_le<std::uint64_t>(p + 52, message.span_id);
+    header.size += kTraceExtBytes;
+  }
+  return header;
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  const EncodedHeader header = encode_header(message);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(header.size + message.payload.size());
+  frame.insert(frame.end(), header.bytes.data(),
+               header.bytes.data() + header.size);
+  frame.insert(frame.end(), message.payload.data(),
+               message.payload.data() + message.payload.size());
+  return frame;
+}
+
+Result<Message> decode(const std::vector<std::uint8_t>& frame) {
+  FrameDecoder decoder;
+  if (Status fed = decoder.feed(frame.data(), frame.size()); !fed.is_ok()) {
+    return fed;
+  }
+  std::optional<Message> message = decoder.next();
+  if (!message.has_value()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "truncated frame: " + std::to_string(frame.size()) +
+                      " bytes is not a complete message"};
+  }
+  if (decoder.buffered() != 0 || decoder.next().has_value()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "trailing bytes after one complete frame"};
+  }
+  return *message;
+}
+
+Status FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (!error_.is_ok()) return error_;
+  if (len > 0) buffer_.insert(buffer_.end(), data, data + len);
+  drain();
+  return error_;
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (ready_pos_ < ready_.size()) {
+    Message out = std::move(ready_[ready_pos_++]);
+    if (ready_pos_ == ready_.size()) {
+      ready_.clear();
+      ready_pos_ = 0;
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+void FrameDecoder::drain() {
+  while (error_.is_ok()) {
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < kHeaderBytes) break;
+    const std::uint8_t* p = buffer_.data() + pos_;
+
+    // Validate everything in the fixed header BEFORE trusting any length:
+    // a corrupted stream must produce a Status, never a wild allocation.
+    if (get_le<std::uint32_t>(p + 0) != kMagic) {
+      error_ = Status{StatusCode::kInvalidArgument, "bad wire magic"};
+      break;
+    }
+    const std::uint8_t version = p[4];
+    if (version < kMinVersion || version > kVersion) {
+      error_ = Status{StatusCode::kInvalidArgument,
+                      "unsupported wire version " + std::to_string(version) +
+                          " (speak " + std::to_string(kMinVersion) + ".." +
+                          std::to_string(kVersion) + ")"};
+      break;
+    }
+    const std::uint8_t flags = p[5];
+    if ((flags & ~kFlagTrace) != 0) {
+      error_ = Status{StatusCode::kInvalidArgument,
+                      "reserved wire flag bits set"};
+      break;
+    }
+    const auto payload_len = get_le<std::uint32_t>(p + 40);
+    if (payload_len > max_payload_) {
+      error_ = Status{StatusCode::kResourceExhausted,
+                      "payload length " + std::to_string(payload_len) +
+                          " exceeds cap " + std::to_string(max_payload_)};
+      break;
+    }
+    const bool traced = (flags & kFlagTrace) != 0;
+    const std::size_t header_len =
+        kHeaderBytes + (traced ? kTraceExtBytes : 0);
+    const std::size_t frame_len = header_len + payload_len;
+    if (available < frame_len) break;  // wait for more bytes
+
+    Message message;
+    message.kind = get_le<std::uint16_t>(p + 6);
+    message.from = NodeId{get_le<std::uint64_t>(p + 8)};
+    message.to = NodeId{get_le<std::uint64_t>(p + 16)};
+    message.call = CallId{get_le<std::uint64_t>(p + 24)};
+    message.sent_at_us =
+        static_cast<std::int64_t>(get_le<std::uint64_t>(p + 32));
+    if (traced) {
+      message.trace_id = get_le<std::uint64_t>(p + 44);
+      message.span_id = get_le<std::uint64_t>(p + 52);
+    }
+    if (payload_len > 0) {
+      message.payload = SharedPayload{std::vector<std::uint8_t>(
+          p + header_len, p + header_len + payload_len)};
+    }
+    ready_.push_back(std::move(message));
+    pos_ += frame_len;
+  }
+
+  // Compact once the consumed prefix dominates, so the buffer does not grow
+  // with the lifetime of the connection.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace doct::net::wire

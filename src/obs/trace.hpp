@@ -60,6 +60,20 @@ class Tracer {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Multi-process runs: every process mints ids from the same counter start,
+  // so two OS processes would reuse the same trace ids and stitching their
+  // exported traces would conflate unrelated chains.  A node process seeds
+  // its id space with the node id in the top bits (doct-node does this at
+  // startup) to make ids globally disjoint.  Monotonic: never moves the
+  // counter backwards.
+  void seed_ids(std::uint64_t first) {
+    std::uint64_t current = next_id_.load(std::memory_order_relaxed);
+    while (current < first &&
+           !next_id_.compare_exchange_weak(current, first,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
   void record(Span span);
 
   [[nodiscard]] std::vector<Span> snapshot() const;

@@ -42,7 +42,7 @@ bool PendingCall::ready() const {
   return state_->result.has_value();
 }
 
-RpcEndpoint::RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
+RpcEndpoint::RpcEndpoint(net::Transport& network, net::Demux& demux, NodeId self,
                          IdGenerator& ids, RpcConfig config,
                          exec::Executor* executor)
     : network_(network),

@@ -54,7 +54,7 @@
 #include "common/serialize.hpp"
 #include "exec/executor.hpp"
 #include "net/demux.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -127,7 +127,7 @@ class RpcEndpoint {
   // private one (standalone endpoints in tests).  A shared executor must be
   // shut down (drained) before the endpoint is destroyed — NodeRuntime does
   // this in its destructor body, while every subsystem is still alive.
-  RpcEndpoint(net::Network& network, net::Demux& demux, NodeId self,
+  RpcEndpoint(net::Transport& network, net::Demux& demux, NodeId self,
               IdGenerator& ids, RpcConfig config = {},
               exec::Executor* executor = nullptr);
   ~RpcEndpoint();
@@ -228,7 +228,7 @@ class RpcEndpoint {
   };
   void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
 
-  net::Network& network_;
+  net::Transport& network_;
   NodeId self_;
   IdGenerator& ids_;
   RpcConfig config_;

@@ -1,0 +1,90 @@
+#include "runtime/launcher.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+extern char** environ;
+
+namespace doct::runtime {
+
+ProcessGroup::~ProcessGroup() {
+  for (pid_t pid : children_) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+Result<pid_t> ProcessGroup::spawn(const std::string& binary,
+                                  const std::vector<std::string>& argv,
+                                  const std::string& log_path) {
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO, log_path.c_str(),
+                                   O_CREAT | O_WRONLY | O_APPEND, 0644);
+  posix_spawn_file_actions_adddup2(&actions, STDOUT_FILENO, STDERR_FILENO);
+
+  std::vector<char*> args;
+  args.push_back(const_cast<char*>(binary.c_str()));
+  for (const std::string& arg : argv) {
+    args.push_back(const_cast<char*>(arg.c_str()));
+  }
+  args.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, binary.c_str(), &actions, nullptr,
+                               args.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  if (rc != 0) {
+    return Status{StatusCode::kInternal,
+                  "posix_spawn " + binary + ": " + std::strerror(rc)};
+  }
+  children_.push_back(pid);
+  return pid;
+}
+
+Status ProcessGroup::signal(pid_t pid, int signo) {
+  if (::kill(pid, signo) != 0) {
+    return {StatusCode::kNoSuchNode,
+            "kill " + std::to_string(pid) + ": " + std::strerror(errno)};
+  }
+  return Status::ok();
+}
+
+Result<int> ProcessGroup::wait(pid_t pid, Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    int status = 0;
+    const pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      children_.erase(std::remove(children_.begin(), children_.end(), pid),
+                      children_.end());
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+      return Status{StatusCode::kInternal, "unexpected wait status"};
+    }
+    if (done < 0) {
+      return Status{StatusCode::kNoSuchNode,
+                    "waitpid " + std::to_string(pid) + ": " +
+                        std::strerror(errno)};
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status{StatusCode::kTimeout,
+                    "pid " + std::to_string(pid) + " still running"};
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::vector<pid_t> ProcessGroup::running() const { return children_; }
+
+}  // namespace doct::runtime

@@ -1,0 +1,46 @@
+// Child-process management for multi-process clusters: the driver side of
+// examples/multiprocess and the socket soak.  Spawns doct-node binaries with
+// stdout+stderr redirected to per-process log files, waits with a deadline,
+// and SIGKILLs stragglers on destruction so a wedged child never hangs CI.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace doct::runtime {
+
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ~ProcessGroup();  // SIGKILLs and reaps anything still running
+
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  // Starts `binary argv...` with stdout and stderr appended to `log_path`
+  // (the artifact CI uploads on failure).  argv excludes argv[0].
+  Result<pid_t> spawn(const std::string& binary,
+                      const std::vector<std::string>& argv,
+                      const std::string& log_path);
+
+  Status signal(pid_t pid, int signo);
+
+  // Waits for one child.  Ok value: the exit code for a normal exit, or
+  // 128 + signal number when the child died to a signal (shell convention,
+  // so a driver can assert "exit 0" and "died to SIGKILL" the same way).
+  // kTimeout if the deadline passes — the child keeps running.
+  Result<int> wait(pid_t pid, Duration timeout);
+
+  // Pids spawned and not yet reaped.
+  [[nodiscard]] std::vector<pid_t> running() const;
+
+ private:
+  std::vector<pid_t> children_;
+};
+
+}  // namespace doct::runtime

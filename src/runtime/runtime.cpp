@@ -1,6 +1,38 @@
 #include "runtime/runtime.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
 namespace doct::runtime {
+
+namespace {
+
+// DOCT_TRANSPORT=inprocess|unix|tcp overrides ClusterConfig at construction
+// time, so the same example binary exercises all three backends from CI.
+net::TransportKind resolve_transport(net::TransportKind configured) {
+  const char* env = std::getenv("DOCT_TRANSPORT");
+  if (env == nullptr || *env == '\0') return configured;
+  const std::string value = env;
+  if (value == "inprocess") return net::TransportKind::kInProcess;
+  if (value == "unix") return net::TransportKind::kUnixSocket;
+  if (value == "tcp") return net::TransportKind::kTcp;
+  throw std::runtime_error("DOCT_TRANSPORT must be inprocess|unix|tcp, got " +
+                           value);
+}
+
+// Distinct unix paths across clusters in one process and across processes.
+std::string unix_listen_path(NodeId node) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return "unix:/tmp/doct-" + std::to_string(::getpid()) + "-" +
+         std::to_string(n) + "-n" + std::to_string(node.value()) + ".sock";
+}
+
+}  // namespace
 
 NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
                          const NodeConfig& config)
@@ -8,19 +40,19 @@ NodeRuntime::NodeRuntime(Cluster& cluster, NodeId node_id,
       executor(config.kernel.executor,
                "node" + std::to_string(node_id.value()) + ".exec",
                node_id.value()),
-      rpc(cluster.network_, demux, node_id, cluster.ids_, config.rpc,
-          &executor),
+      rpc(cluster.transport_for(node_id), demux, node_id, cluster.ids_,
+          config.rpc, &executor),
       dsm(rpc, node_id, config.dsm),
-      kernel(cluster.network_, demux, rpc, node_id, cluster.ids_,
-             config.kernel),
+      kernel(cluster.transport_for(node_id), demux, rpc, node_id,
+             cluster.ids_, config.kernel),
       objects(kernel, rpc),
       store(objects, factory, std::make_unique<objects::MemoryBackend>()),
       events(kernel, objects, rpc, cluster.registry_, cluster.procedures_,
              config.events),
-      network_(cluster.network_) {
+      network_(cluster.transport_for(node_id)) {
   if (config.health.enabled) {
     health_ = std::make_unique<services::FailureDetector>(
-        cluster.network_, demux, events, id, config.health);
+        network_, demux, events, id, config.health);
     // Census fast-path: a confirmed-dead peer will never reply, so stop
     // waiting on it.
     health_->on_node_down([this](NodeId peer) { kernel.note_peer_down(peer); });
@@ -45,13 +77,60 @@ NodeRuntime::~NodeRuntime() {
   executor.shutdown();
 }
 
-Cluster::Cluster(std::size_t num_nodes, ClusterConfig config)
-    : network_(config.network) {
+Cluster::Cluster(std::size_t num_nodes, ClusterConfig config) {
+  const net::TransportKind kind = resolve_transport(config.network.transport);
+  if (kind == net::TransportKind::kInProcess) {
+    network_ = std::make_unique<net::Network>(config.network);
+  } else {
+    // Two-phase mesh setup: bind every transport first (learning the real
+    // address — required for tcp:127.0.0.1:0 ephemeral ports), then hand
+    // each one the full peer map.
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      const NodeId id{i + 1};
+      net::SocketTransportConfig sc;
+      sc.self = id;
+      sc.listen = kind == net::TransportKind::kUnixSocket
+                      ? unix_listen_path(id)
+                      : "tcp:127.0.0.1:0";
+      sc.reconnect_backoff_initial = config.network.reconnect_backoff_initial;
+      sc.reconnect_backoff_max = config.network.reconnect_backoff_max;
+      sockets_.push_back(std::make_unique<net::SocketTransport>(sc));
+      const Status started = sockets_.back()->start();
+      if (!started.is_ok()) {
+        throw std::runtime_error("cluster socket transport: " +
+                                 started.to_string());
+      }
+    }
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      for (std::size_t j = 0; j < num_nodes; ++j) {
+        if (i == j) continue;
+        sockets_[i]->add_peer(NodeId{j + 1}, sockets_[j]->listen_address());
+      }
+    }
+  }
   nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<NodeRuntime>(
         *this, NodeId{i + 1}, config.node));
   }
+}
+
+Cluster::Cluster(NodeId self, std::unique_ptr<net::SocketTransport> transport,
+                 ClusterConfig config)
+    : remote_self_(self),
+      // Node-disjoint id spaces: plain ids (CallId, GroupId) carry the node
+      // in bits 40..47, trace ids in the top 16 — ids minted by different
+      // shards never collide, and stitched traces never conflate chains.
+      ids_(self.value() << 40) {
+  obs::tracer().seed_ids(self.value() << 48);
+  sockets_.push_back(std::move(transport));
+  nodes_.push_back(std::make_unique<NodeRuntime>(*this, self, config.node));
+}
+
+net::Transport& Cluster::transport_for(NodeId id) {
+  if (network_) return *network_;
+  if (remote_self_.valid()) return *sockets_.front();
+  return *sockets_.at(id.value() - 1);
 }
 
 }  // namespace doct::runtime

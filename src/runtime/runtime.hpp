@@ -19,6 +19,7 @@
 //   n0.kernel.join_thread(t);
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "kernel/kernel.hpp"
 #include "net/demux.hpp"
 #include "net/network.hpp"
+#include "net/socket_transport.hpp"
 #include "objects/manager.hpp"
 #include "objects/store.hpp"
 #include "obs/metrics.hpp"
@@ -81,7 +83,7 @@ class NodeRuntime {
   [[nodiscard]] services::FailureDetector* health() { return health_.get(); }
 
  private:
-  net::Network& network_;
+  net::Transport& network_;
   std::unique_ptr<services::FailureDetector> health_;
 };
 
@@ -92,14 +94,44 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  // N nodes on the backend NetworkConfig::transport selects (overridable via
+  // the DOCT_TRANSPORT env var: "inprocess" | "unix" | "tcp"):
+  //   * kInProcess — the simulator, exactly as before.
+  //   * kUnixSocket / kTcp — N SocketTransports in this one process, wired
+  //     into a full mesh (bind first, then exchange the real addresses, so
+  //     tcp:127.0.0.1:0 ephemeral ports work).  Same API, real syscalls.
+  // Throws std::runtime_error when a socket backend cannot bind.
   explicit Cluster(std::size_t num_nodes, ClusterConfig config = {});
+
+  // Remote shard: hosts exactly ONE node (`self`) of a cluster whose other
+  // nodes live in other OS processes, over an already-start()ed socket
+  // transport (the caller binds and exchanges peer addresses — see
+  // doct-node).  Seeds the id generator and tracer with node-disjoint bases
+  // so ids minted here never collide with other shards'.
+  Cluster(NodeId self, std::unique_ptr<net::SocketTransport> transport,
+          ClusterConfig config = {});
 
   [[nodiscard]] NodeRuntime& node(std::size_t index) {
     return *nodes_.at(index);
   }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
-  net::Network& network() { return network_; }
+  // The transport carrying node `id`'s traffic: the shared simulator, or
+  // that node's own SocketTransport.
+  [[nodiscard]] net::Transport& transport_for(NodeId id);
+
+  // The simulator backend — fault injection, partitions, quiesce().  Only
+  // meaningful when the cluster runs in-process (the default); asserts
+  // otherwise so misuse fails loudly in tests.
+  net::Network& network() {
+    assert(network_ && "network() requires the in-process backend");
+    return *network_;
+  }
+  // The socket backend for node index `index`, or nullptr in-process.
+  [[nodiscard]] net::SocketTransport* socket_transport(std::size_t index) {
+    return index < sockets_.size() ? sockets_[index].get() : nullptr;
+  }
+
   IdGenerator& ids() { return ids_; }
   events::EventRegistry& registry() { return registry_; }
   events::ProcedureRegistry& procedures() { return procedures_; }
@@ -120,7 +152,11 @@ class Cluster {
  private:
   friend class NodeRuntime;
 
-  net::Network network_;
+  // Exactly one backend is populated.  Nodes are declared last so they tear
+  // down (unregister, drain executors) while their transport is still alive.
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<net::SocketTransport>> sockets_;
+  NodeId remote_self_;  // valid only in remote-shard mode
   IdGenerator ids_;
   events::EventRegistry registry_;
   events::ProcedureRegistry procedures_;

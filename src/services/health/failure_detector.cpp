@@ -5,7 +5,7 @@
 
 namespace doct::services {
 
-FailureDetector::FailureDetector(net::Network& network, net::Demux& demux,
+FailureDetector::FailureDetector(net::Transport& network, net::Demux& demux,
                                  events::EventSystem& events, NodeId self,
                                  FailureDetectorConfig config)
     : network_(network), events_(events), self_(self), config_(config) {

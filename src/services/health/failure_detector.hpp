@@ -35,7 +35,7 @@
 #include "common/ids.hpp"
 #include "events/event_system.hpp"
 #include "net/demux.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 
 namespace doct::services {
@@ -58,7 +58,7 @@ struct FailureDetectorStats {
 
 class FailureDetector {
  public:
-  FailureDetector(net::Network& network, net::Demux& demux,
+  FailureDetector(net::Transport& network, net::Demux& demux,
                   events::EventSystem& events, NodeId self,
                   FailureDetectorConfig config = {});
   ~FailureDetector();
@@ -88,7 +88,7 @@ class FailureDetector {
   void on_heartbeat(const net::Message& message);
   void raise_transition(EventId event, NodeId peer);
 
-  net::Network& network_;
+  net::Transport& network_;
   events::EventSystem& events_;
   const NodeId self_;
   const FailureDetectorConfig config_;

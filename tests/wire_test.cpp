@@ -1,0 +1,271 @@
+// Wire-format round-trip and rejection properties.
+//
+// The seeded fuzz storm is the load-bearing test: decode(encode(m)) == m for
+// messages across every kind range, with and without trace context, payloads
+// from 0 bytes to 1 MiB, fed to the incremental FrameDecoder in adversarial
+// chunkings.  Truncations and corruptions of valid frames must come back as
+// Status — never UB — which the ASan/UBSan and TSan ctest lanes turn into a
+// hard check.  Replay a failure with DOCT_WIRE_SEED=<seed>.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "net/wire.hpp"
+
+using namespace doct;
+using namespace doct::net;
+
+namespace {
+
+std::uint64_t fuzz_seed() {
+  const char* env = std::getenv("DOCT_WIRE_SEED");
+  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 10);
+  return 0xD0C7;
+}
+
+Message random_message(SplitMix64& rng, std::size_t max_payload) {
+  static constexpr std::uint16_t kKinds[] = {
+      kRpcRequest,    kRpcResponse,     kLocateProbe, kLocateBroadcast,
+      kThreadMigrate, kGroupCensus,     kEventNotify, kEventAck,
+      kDsmPageRequest, kDsmInvalidate,  kHeartbeat,   0x0000,
+      0x7FFF,         wire::kCtrlHello, wire::kCtrlGroupJoin,
+  };
+  Message m;
+  m.from = NodeId{1 + rng.below(1000)};
+  m.to = NodeId{1 + rng.below(1000)};
+  m.kind = kKinds[rng.below(std::size(kKinds))];
+  m.call = rng.chance(0.5) ? CallId{rng.next()} : CallId{};
+  if (rng.chance(0.5)) {
+    m.trace_id = rng.next() | 1;  // non-zero => trace extension on the wire
+    m.span_id = rng.next();
+  }
+  if (rng.chance(0.5)) m.sent_at_us = static_cast<std::int64_t>(rng.below(1u << 30));
+  // Payload sizes hammer the boundaries: empty, 1, around the 64 KiB
+  // compaction threshold, and up to max_payload.
+  std::size_t size = 0;
+  switch (rng.below(4)) {
+    case 0: size = 0; break;
+    case 1: size = 1 + rng.below(16); break;
+    case 2: size = (64u << 10) - 8 + rng.below(16); break;
+    default: size = rng.below(max_payload + 1); break;
+  }
+  std::vector<std::uint8_t> payload(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<std::uint8_t>(rng.next());
+  }
+  m.payload = SharedPayload{std::move(payload)};
+  return m;
+}
+
+void expect_equal(const Message& a, const Message& b, const std::string& ctx) {
+  EXPECT_EQ(a.from, b.from) << ctx;
+  EXPECT_EQ(a.to, b.to) << ctx;
+  EXPECT_EQ(a.kind, b.kind) << ctx;
+  EXPECT_EQ(a.call, b.call) << ctx;
+  EXPECT_EQ(a.trace_id, b.trace_id) << ctx;
+  EXPECT_EQ(a.span_id, b.span_id) << ctx;
+  EXPECT_EQ(a.sent_at_us, b.sent_at_us) << ctx;
+  EXPECT_TRUE(a.payload == b.payload) << ctx;
+}
+
+TEST(Wire, HeaderLayoutIsStable) {
+  // The v1 layout is a public contract; a refactor that moves a field is a
+  // protocol break and must bump the version instead.
+  Message m;
+  m.from = NodeId{0x1122334455667788ULL};
+  m.to = NodeId{2};
+  m.kind = kEventNotify;
+  m.call = CallId{7};
+  m.sent_at_us = 9;
+  m.payload = SharedPayload{{0xAB, 0xCD}};
+  const std::vector<std::uint8_t> frame = wire::encode(m);
+  ASSERT_EQ(frame.size(), wire::kHeaderBytes + 2);
+  EXPECT_EQ(frame[0], 0xE1);  // magic, little-endian
+  EXPECT_EQ(frame[1], 0xA5);
+  EXPECT_EQ(frame[2], 0xC7);
+  EXPECT_EQ(frame[3], 0xD0);
+  EXPECT_EQ(frame[4], wire::kVersion);
+  EXPECT_EQ(frame[5], 0);  // no trace => no flag
+  EXPECT_EQ(frame[6], 0x00);  // kind 0x0300 LE
+  EXPECT_EQ(frame[7], 0x03);
+  EXPECT_EQ(frame[8], 0x88);  // from, LE low byte first
+  EXPECT_EQ(frame[15], 0x11);
+  EXPECT_EQ(frame[40], 2);  // payload_len
+  EXPECT_EQ(frame[44], 0xAB);
+  EXPECT_EQ(frame[45], 0xCD);
+}
+
+TEST(Wire, TraceExtensionOnlyWhenTraced) {
+  Message plain;
+  plain.from = NodeId{1};
+  plain.to = NodeId{2};
+  EXPECT_EQ(wire::encode(plain).size(), wire::kHeaderBytes);
+
+  Message traced = plain;
+  traced.trace_id = 42;
+  traced.span_id = 43;
+  const std::vector<std::uint8_t> frame = wire::encode(traced);
+  EXPECT_EQ(frame.size(), wire::kHeaderBytes + wire::kTraceExtBytes);
+  EXPECT_EQ(frame[5], wire::kFlagTrace);
+  auto decoded = wire::decode(frame);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  expect_equal(traced, decoded.value(), "trace ext");
+}
+
+TEST(Wire, FuzzRoundTripAllKindsAndChunkings) {
+  SplitMix64 rng(fuzz_seed());
+  constexpr std::size_t kMaxPayload = 1u << 20;  // 1 MiB
+  const std::string seed_note =
+      "replay: DOCT_WIRE_SEED=" + std::to_string(fuzz_seed());
+  for (int round = 0; round < 200; ++round) {
+    const Message m = random_message(rng, kMaxPayload);
+    const std::vector<std::uint8_t> frame = wire::encode(m);
+
+    // Whole-frame decode.
+    auto decoded = wire::decode(frame);
+    ASSERT_TRUE(decoded.is_ok())
+        << decoded.status().to_string() << " " << seed_note;
+    expect_equal(m, decoded.value(), seed_note);
+
+    // Incremental decode under a random chunking, several messages deep so
+    // frame boundaries land mid-chunk.
+    wire::FrameDecoder decoder;
+    const Message m2 = random_message(rng, 1u << 10);
+    std::vector<std::uint8_t> stream = frame;
+    const std::vector<std::uint8_t> frame2 = wire::encode(m2);
+    stream.insert(stream.end(), frame2.begin(), frame2.end());
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(8192), stream.size() - pos);
+      ASSERT_TRUE(decoder.feed(stream.data() + pos, chunk).is_ok())
+          << seed_note;
+      pos += chunk;
+    }
+    auto first = decoder.next();
+    auto second = decoder.next();
+    ASSERT_TRUE(first.has_value()) << seed_note;
+    ASSERT_TRUE(second.has_value()) << seed_note;
+    expect_equal(m, *first, seed_note);
+    expect_equal(m2, *second, seed_note);
+    EXPECT_FALSE(decoder.next().has_value()) << seed_note;
+    EXPECT_EQ(decoder.buffered(), 0u) << seed_note;
+  }
+}
+
+TEST(Wire, TruncationsNeverDecode) {
+  Message m;
+  m.from = NodeId{1};
+  m.to = NodeId{2};
+  m.kind = kRpcRequest;
+  m.trace_id = 5;
+  m.span_id = 6;
+  m.payload = SharedPayload{std::vector<std::uint8_t>(257, 0x5A)};
+  const std::vector<std::uint8_t> frame = wire::encode(m);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(frame.begin(),
+                                              frame.begin() + cut);
+    auto decoded = wire::decode(truncated);
+    EXPECT_FALSE(decoded.is_ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, CorruptedHeadersAreRejectedNotUB) {
+  SplitMix64 rng(fuzz_seed() + 1);
+  Message m;
+  m.from = NodeId{3};
+  m.to = NodeId{4};
+  m.kind = kEventNotify;
+  m.trace_id = 9;
+  m.span_id = 10;
+  m.payload = SharedPayload{std::vector<std::uint8_t>(64, 0x11)};
+  const std::vector<std::uint8_t> frame = wire::encode(m);
+  const std::string seed_note =
+      "replay: DOCT_WIRE_SEED=" + std::to_string(fuzz_seed());
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> corrupt = frame;
+    // Flip 1-4 random bytes somewhere in the header region.
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.below(wire::kMaxHeaderBytes);
+      corrupt[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    // Must not crash; may legitimately still parse if the flips cancel or
+    // only touch field bytes (from/to/kind are opaque u64/u16 values).
+    auto decoded = wire::decode(corrupt);
+    if (decoded.is_ok()) continue;
+    EXPECT_FALSE(decoded.status().is_ok()) << seed_note;
+  }
+
+  // Targeted corruptions that MUST be rejected.
+  {
+    std::vector<std::uint8_t> bad_magic = frame;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_FALSE(wire::decode(bad_magic).is_ok());
+  }
+  {
+    std::vector<std::uint8_t> bad_version = frame;
+    bad_version[4] = wire::kVersion + 1;
+    EXPECT_FALSE(wire::decode(bad_version).is_ok());
+  }
+  {
+    std::vector<std::uint8_t> reserved_flag = frame;
+    reserved_flag[5] |= 0x80;  // reserved bits must be zero in v1
+    EXPECT_FALSE(wire::decode(reserved_flag).is_ok());
+  }
+  {
+    std::vector<std::uint8_t> huge_len = frame;
+    huge_len[40] = 0xFF;  // payload_len far beyond the cap
+    huge_len[41] = 0xFF;
+    huge_len[42] = 0xFF;
+    huge_len[43] = 0xFF;
+    EXPECT_FALSE(wire::decode(huge_len).is_ok());
+  }
+}
+
+TEST(Wire, PoisonedDecoderStaysPoisoned) {
+  wire::FrameDecoder decoder;
+  std::vector<std::uint8_t> garbage(wire::kHeaderBytes, 0xEE);
+  EXPECT_FALSE(decoder.feed(garbage.data(), garbage.size()).is_ok());
+  EXPECT_TRUE(decoder.poisoned());
+  // A valid frame after the corruption must NOT resurrect the stream:
+  // framing sync is gone for good.
+  Message m;
+  m.from = NodeId{1};
+  m.to = NodeId{2};
+  const std::vector<std::uint8_t> frame = wire::encode(m);
+  EXPECT_FALSE(decoder.feed(frame.data(), frame.size()).is_ok());
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Wire, DecoderEnforcesPayloadCap) {
+  wire::FrameDecoder decoder(/*max_payload=*/128);
+  Message small;
+  small.from = NodeId{1};
+  small.to = NodeId{2};
+  small.payload = SharedPayload{std::vector<std::uint8_t>(128, 1)};
+  const std::vector<std::uint8_t> ok_frame = wire::encode(small);
+  ASSERT_TRUE(decoder.feed(ok_frame.data(), ok_frame.size()).is_ok());
+  EXPECT_TRUE(decoder.next().has_value());
+
+  Message big = small;
+  big.payload = SharedPayload{std::vector<std::uint8_t>(129, 1)};
+  const std::vector<std::uint8_t> big_frame = wire::encode(big);
+  EXPECT_FALSE(decoder.feed(big_frame.data(), big_frame.size()).is_ok());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(Wire, TrailingBytesRejectedByWholeFrameDecode) {
+  Message m;
+  m.from = NodeId{1};
+  m.to = NodeId{2};
+  std::vector<std::uint8_t> frame = wire::encode(m);
+  frame.push_back(0x00);
+  EXPECT_FALSE(wire::decode(frame).is_ok());
+}
+
+}  // namespace
