@@ -1,0 +1,150 @@
+// E13 — the always-on telemetry tax.
+//
+// The telemetry plane is designed to be left ON in production: metrics,
+// tracing, the flight-recorder ring, and a 100ms collector thread.  This
+// bench prices that posture against the obs-disabled baseline on the two
+// latency shapes operators care about:
+//
+//   * P2P        — the E9 latency floor: one rpc round trip to a no-op
+//                  method on a neighbour node (call_p50_us / call_p99_us).
+//   * Control    — the E10 guarantee: control-lane probe wait time while a
+//                  paced event load runs (probe_p50_us / probe_p99_us).
+//
+// Rows come in TelemetryOff / TelemetryOn pairs; scripts/check_telemetry.py
+// pairs them and fails the build when the On arm's p99 exceeds Off by more
+// than 3% AND more than a small absolute floor (shields the ratio test from
+// sub-microsecond noise).  The Off rows also feed compare_benches.py against
+// bench/baseline/ like every other experiment.
+//
+// Off rows are REGISTERED (and therefore run) before On rows: the flight
+// recorder has no disable switch — its production posture is "configured at
+// boot, on for the process lifetime" — so the Off arms must run first.
+#include "bench_util.hpp"
+
+#include <thread>
+
+#include "obs/flight.hpp"
+
+namespace doct::bench {
+namespace {
+
+constexpr auto kCollectPeriod = 100ms;
+constexpr int kProbes = 400;
+constexpr auto kProbeGap = 500us;
+constexpr auto kLoadGap = 100us;  // paced background raises during Control
+
+void set_telemetry(bool on) {
+  obs::set_metrics_enabled(on);
+  obs::set_tracing_enabled(on);
+  if (on) {
+    // Ring only: breadcrumbs record, nothing dumps.  Once configured the
+    // recorder stays on for the process — see the header comment.
+    obs::flight().configure(1, "/tmp");
+  }
+}
+
+runtime::ClusterConfig telemetry_config(bool on) {
+  runtime::ClusterConfig config;
+  config.telemetry.collector = on;
+  config.telemetry.period = kCollectPeriod;
+  return config;
+}
+
+void run_p2p(benchmark::State& state, bool on) {
+  set_telemetry(on);
+  runtime::Cluster cluster(2, telemetry_config(on));
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  n1.rpc.register_method("bench.noop",
+                         [](NodeId, Reader&) -> Result<rpc::Payload> {
+                           return rpc::Payload{};
+                         });
+  const rpc::Payload args(32, 0x42);
+  LatencyPercentiles lat;
+  for (auto _ : state) {
+    const std::int64_t t0 = lat.begin();
+    auto reply = n0.rpc.call(n1.id, "bench.noop", args);
+    if (!reply.is_ok()) {
+      state.SkipWithError(
+          ("p2p call failed: " + reply.status().to_string()).c_str());
+      break;
+    }
+    lat.end(t0);
+  }
+  lat.flush(state, "call");
+  set_telemetry(false);
+}
+
+void run_control(benchmark::State& state, bool on) {
+  set_telemetry(on);
+  runtime::Cluster cluster(1, telemetry_config(on));
+  auto& n0 = cluster.node(0);
+
+  auto handled = std::make_shared<std::atomic<long>>(0);
+  const EventId load = n0.events.registry().register_event("E13_LOAD");
+  const ObjectId target =
+      n0.objects.add_object(make_counting_object("E13_LOAD", handled));
+
+  for (auto _ : state) {
+    // Paced background event load: enough traffic that delivery, handler
+    // dispatch, and (on the On arm) their metrics/trace/breadcrumb sites all
+    // run hot — but below lane capacity, so probes measure overhead, not
+    // queueing.
+    std::atomic<bool> stop{false};
+    long raised = 0;
+    std::thread raiser([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (n0.events.raise(load, target).is_ok()) ++raised;
+        std::this_thread::sleep_for(kLoadGap);
+      }
+    });
+
+    LatencyPercentiles lat;
+    std::atomic<int> probes_done{0};
+    for (int i = 0; i < kProbes; ++i) {
+      const std::int64_t t0 = obs::now_us();
+      const Status admitted =
+          n0.executor.try_submit(exec::Lane::kControl, [t0, &lat,
+                                                        &probes_done] {
+            lat.record_us(obs::now_us() - t0);
+            probes_done.fetch_add(1);
+          });
+      if (!admitted.is_ok()) probes_done.fetch_add(1);
+      std::this_thread::sleep_for(kProbeGap);
+    }
+    while (probes_done.load() < kProbes) std::this_thread::sleep_for(1ms);
+
+    stop = true;
+    raiser.join();
+    spin_until(*handled, raised);
+    lat.flush(state, "probe");
+    state.counters["raises"] = static_cast<double>(raised);
+  }
+  set_telemetry(false);
+}
+
+void BM_E13_P2P_TelemetryOff(benchmark::State& state) {
+  run_p2p(state, false);
+}
+void BM_E13_Control_TelemetryOff(benchmark::State& state) {
+  run_control(state, false);
+}
+void BM_E13_P2P_TelemetryOn(benchmark::State& state) { run_p2p(state, true); }
+void BM_E13_Control_TelemetryOn(benchmark::State& state) {
+  run_control(state, true);
+}
+
+// Off before On — see the header comment on flight-recorder ordering.
+BENCHMARK(BM_E13_P2P_TelemetryOff)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_E13_Control_TelemetryOff)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(1);
+BENCHMARK(BM_E13_P2P_TelemetryOn)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_E13_Control_TelemetryOn)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace doct::bench
+
+BENCHMARK_MAIN();

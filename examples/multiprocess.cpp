@@ -3,6 +3,7 @@
 //
 //   ./build/examples/multiprocess [--nodes=N] [--transport=unix|tcp]
 //       [--doct-node=PATH] [--logs=DIR] [--obs-dump=DIR] [--kill]
+//       [--doct-top=PATH] [--flight-dir=DIR]
 //
 // The driver spawns N doct-node processes wired into a full mesh (Unix
 // sockets by default; --transport=tcp uses loopback TCP with driver-probed
@@ -14,6 +15,11 @@
 // down cleanly.  With --obs-dump it checks the per-process trace dumps
 // stitch: at least one trace id minted on one node must appear in another
 // node's dump (the wire spans cross process boundaries).
+//
+// With --doct-top the driver attaches the live viewer to the coordinator
+// after the storm and asserts it prints one row per node; with --flight-dir
+// each node records its flight ring there, and the --kill phase asserts
+// every survivor dumped a peer-down flight file for the victim.
 //
 // Exit 0 = every assertion held.  Non-zero prints "MP-DRIVER-FAIL <why>" —
 // CI turns that plus the uploaded per-node logs into the failure artifact.
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
   std::string doct_node;
   std::string logs = "mp-logs";
   std::string obs_dump;
+  std::string doct_top;
+  std::string flight_dir;
   bool kill_phase = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +133,10 @@ int main(int argc, char** argv) {
       logs = v;
     } else if (const char* v = value("--obs-dump=")) {
       obs_dump = v;
+    } else if (const char* v = value("--doct-top=")) {
+      doct_top = v;
+    } else if (const char* v = value("--flight-dir=")) {
+      flight_dir = v;
     } else if (arg == "--kill") {
       kill_phase = true;
     } else {
@@ -148,6 +160,7 @@ int main(int argc, char** argv) {
   }
   ::mkdir(logs.c_str(), 0755);
   if (!obs_dump.empty()) ::mkdir(obs_dump.c_str(), 0755);
+  if (!flight_dir.empty()) ::mkdir(flight_dir.c_str(), 0755);
 
   // Assign every node's listen address up front so each process can be
   // handed the full peer map on its command line.
@@ -181,6 +194,12 @@ int main(int argc, char** argv) {
       args.push_back("--kill-victim=" + std::to_string(victim.value()));
     }
     if (!obs_dump.empty()) args.push_back("--obs-dump=" + obs_dump);
+    if (!flight_dir.empty()) args.push_back("--flight-dir=" + flight_dir);
+    if (!doct_top.empty()) {
+      // Hold the cluster up after the scenario so the viewer can attach to
+      // live processes (the coordinator is the only reader of this flag).
+      args.push_back("--hold-ms=15000");
+    }
     node_logs[n] = logs + "/node" + std::to_string(n) + ".log";
     auto pid = procs.spawn(doct_node, args, node_logs[n]);
     if (!pid.is_ok()) return fail("spawn: " + pid.status().to_string());
@@ -197,6 +216,33 @@ int main(int argc, char** argv) {
                   "\" (see " + node_logs[1] + ")");
     }
     std::cout << "coordinator: " << marker << std::endl;
+  }
+
+  if (!doct_top.empty()) {
+    // Attach the live viewer to the (still running) coordinator and assert
+    // it renders one row per node from the merged collector snapshot.
+    const std::string top_log = logs + "/doct-top.log";
+    auto pid = procs.spawn(doct_top,
+                           {"--connect=" + addresses[1], "--once"}, top_log);
+    if (!pid.is_ok()) {
+      return fail("doct-top spawn: " + pid.status().to_string());
+    }
+    auto rc = procs.wait(pid.value(), 60s);
+    if (!rc.is_ok() || rc.value() != 0) {
+      return fail("doct-top exited " +
+                  (rc.is_ok() ? std::to_string(rc.value())
+                              : rc.status().to_string()) +
+                  " (see " + top_log + ")");
+    }
+    const std::string output = read_file(top_log);
+    for (std::uint64_t n = 1; n <= nodes; ++n) {
+      // Rows are left-justified node ids at line starts.
+      if (output.find("\n" + std::to_string(n) + " ") == std::string::npos) {
+        return fail("doct-top output has no row for node " +
+                    std::to_string(n) + " (see " + top_log + ")");
+      }
+    }
+    std::cout << "doct-top rendered " << nodes << " node rows" << std::endl;
   }
 
   if (kill_phase) {
@@ -216,6 +262,28 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "all survivors reported " << down_marker << std::endl;
+
+    if (!flight_dir.empty()) {
+      // The black box: every survivor must have frozen its flight ring to
+      // disk when its failure detector reported the victim down.
+      for (std::uint64_t n = 1; n <= nodes; ++n) {
+        if (n == victim.value()) continue;
+        const std::string dump = flight_dir + "/flight-node" +
+                                 std::to_string(n) + "-peer-down-n" +
+                                 std::to_string(victim.value()) + ".json";
+        const auto deadline = std::chrono::steady_clock::now() + 30s;
+        std::string body;
+        while (body.find("\"entries\"") == std::string::npos) {
+          if (std::chrono::steady_clock::now() >= deadline) {
+            return fail("no flight dump from survivor " + std::to_string(n) +
+                        " at " + dump);
+          }
+          std::this_thread::sleep_for(100ms);
+          body = read_file(dump);
+        }
+      }
+      std::cout << "flight dumps present from all survivors" << std::endl;
+    }
   }
 
   if (!wait_for_marker(node_logs[1], "MP-OK done", 60s)) {

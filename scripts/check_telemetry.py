@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Always-on telemetry tax gate for bench_e13_telemetry results.
+
+Pairs benchmark rows by name — ``...TelemetryOn`` vs ``...TelemetryOff`` —
+and compares their latency-percentile user counters (``*_p50_us`` /
+``*_p90_us`` / ``*_p99_us``).  The On arm runs with metrics, tracing, the
+flight-recorder ring, AND the collector thread live; the Off arm is the
+obs-disabled baseline from the same binary in the same process.
+
+A pair FAILS when the On value exceeds Off by more than ``--pct`` (relative)
+AND more than ``--floor-us`` (absolute).  Both conditions must hold: the
+percentage alone would flag sub-microsecond scheduler noise on a ~40us
+round trip, and the absolute floor alone would let a large slow path hide
+inside a big baseline.  ``*_max_us`` is reported but never gated (a single
+scheduler hiccup moves it by orders of magnitude).
+
+Exit codes:
+  0  every pair within budget
+  1  at least one pair over budget, or an On row without its Off twin
+  2  results file missing/unreadable
+
+Usage:
+  check_telemetry.py RESULTS.json [--pct 0.03] [--floor-us 25]
+"""
+
+import argparse
+import json
+import sys
+
+_GATED_SUFFIXES = ("_p50_us", "_p90_us", "_p99_us")
+_SHOWN_SUFFIXES = ("_max_us",)
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # Strip google-benchmark's argument suffixes: the pairing key is the
+        # function name ("BM_E13_P2P_TelemetryOn").
+        name = bench["name"].split("/")[0]
+        rows[name] = bench
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results")
+    parser.add_argument("--pct", type=float, default=0.03,
+                        help="relative overhead budget (default 3%%)")
+    parser.add_argument("--floor-us", type=float, default=25.0,
+                        help="absolute overhead floor in us (default 25)")
+    args = parser.parse_args()
+
+    try:
+        rows = load_rows(args.results)
+    except (OSError, ValueError) as e:
+        print(f"check_telemetry: cannot read {args.results}: {e}")
+        return 2
+
+    pairs = 0
+    failures = 0
+    for name, on_row in sorted(rows.items()):
+        if "TelemetryOn" not in name:
+            continue
+        off_name = name.replace("TelemetryOn", "TelemetryOff")
+        off_row = rows.get(off_name)
+        if off_row is None:
+            print(f"FAIL {name}: no {off_name} twin in results")
+            failures += 1
+            continue
+        pairs += 1
+        for key, on_value in sorted(on_row.items()):
+            if not isinstance(on_value, (int, float)):
+                continue
+            if not key.endswith(_GATED_SUFFIXES + _SHOWN_SUFFIXES):
+                continue
+            off_value = off_row.get(key)
+            if not isinstance(off_value, (int, float)):
+                print(f"FAIL {name}.{key}: missing from {off_name}")
+                failures += 1
+                continue
+            delta = on_value - off_value
+            rel = delta / off_value if off_value > 0 else 0.0
+            gated = key.endswith(_GATED_SUFFIXES)
+            over = gated and delta > args.floor_us and rel > args.pct
+            tag = "FAIL" if over else "  ok"
+            if over:
+                failures += 1
+            print(f"{tag} {name}.{key}: off={off_value:.1f}us "
+                  f"on={on_value:.1f}us ({rel:+.1%})"
+                  f"{'' if gated else ' [not gated]'}")
+
+    if pairs == 0:
+        print("check_telemetry: no TelemetryOn/Off pairs found")
+        return 1
+    if failures:
+        print(f"check_telemetry: {failures} metric(s) over the "
+              f"{args.pct:.0%}+{args.floor_us:.0f}us budget")
+        return 1
+    print(f"check_telemetry: {pairs} pair(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,16 @@ that it contains complete ("X") spans, and — unless --allow-local is given —
 that at least one trace id has spans on two or more nodes (pids), i.e. the
 causal context actually crossed the wire.
 
+With --check-nesting it additionally validates the parent/child structure:
+span ids are unique, parent links never form a cycle, and every child whose
+parent lives on the SAME node is time-contained within the parent (with a
+slack allowance for clock reads taken on either side of a queue hop).
+Cross-node children are exempt from containment — the child's wall clock is
+a different process's clock.
+
 Usage:
-  check_trace.py TRACE.json [--allow-local]
+  check_trace.py TRACE.json [--allow-local] [--check-nesting]
+                 [--slack-us 1000]
 """
 
 import argparse
@@ -23,6 +31,18 @@ def main():
         "--allow-local",
         action="store_true",
         help="don't require a cross-node trace (single-node scenarios)",
+    )
+    parser.add_argument(
+        "--check-nesting",
+        action="store_true",
+        help="validate span-id uniqueness, acyclic parents, and same-node "
+        "parent/child time containment",
+    )
+    parser.add_argument(
+        "--slack-us",
+        type=int,
+        default=1000,
+        help="containment slack in microseconds (default 1000)",
     )
     args = parser.parse_args()
 
@@ -49,7 +69,63 @@ def main():
             "spanning two nodes"
         )
         return 1
+
+    if args.check_nesting and not check_nesting(spans, args.slack_us):
+        return 1
     return 0
+
+
+def check_nesting(spans, slack_us):
+    by_id = {}
+    for span in spans:
+        sid = span["args"]["span_id"]
+        if sid in by_id:
+            print(f"::error title=duplicate span id::span_id {sid} appears "
+                  "more than once")
+            return False
+        by_id[sid] = span
+
+    contained = 0
+    for span in spans:
+        parent_id = span["args"].get("parent", "0")
+        if parent_id == "0":
+            continue
+        # Walk the parent chain to the root; a revisited span is a cycle.
+        seen = set()
+        cursor = span
+        while cursor is not None:
+            sid = cursor["args"]["span_id"]
+            if sid in seen:
+                print(f"::error title=parent cycle::span_id {sid} is its "
+                      "own ancestor")
+                return False
+            seen.add(sid)
+            cursor = by_id.get(cursor["args"].get("parent", "0"))
+
+        parent = by_id.get(parent_id)
+        if parent is None:
+            # The parent span may legitimately be missing: ring eviction, or
+            # a dump taken from one process of a multi-process trace.
+            continue
+        if parent["pid"] != span["pid"]:
+            continue  # cross-node child: different process clock
+        if span["args"]["trace_id"] != parent["args"]["trace_id"]:
+            print(f"::error title=trace mismatch::span "
+                  f"{span['args']['span_id']} and parent {parent_id} carry "
+                  "different trace ids")
+            return False
+        lo = parent["ts"] - slack_us
+        hi = parent["ts"] + parent["dur"] + slack_us
+        if span["ts"] < lo or span["ts"] + span["dur"] > hi:
+            print(f"::error title=nesting violation::span "
+                  f"{span['args']['span_id']} [{span['ts']}, "
+                  f"{span['ts'] + span['dur']}] escapes same-node parent "
+                  f"{parent_id} [{parent['ts']}, "
+                  f"{parent['ts'] + parent['dur']}] beyond {slack_us}us")
+            return False
+        contained += 1
+    print(f"nesting ok: {contained} same-node parent/child containments")
+    return True
 
 
 if __name__ == "__main__":

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Golden trace coverage: drive an example, validate its Perfetto export.
+
+Two modes, both run under ctest:
+
+* ``--mode=local`` runs the observability example in a scratch directory and
+  validates obs_trace.json: parses as Chrome trace-event JSON, has at least
+  one cross-node trace, and every same-node parent/child pair nests in time
+  (check_trace.py --check-nesting).
+
+* ``--mode=multiprocess`` runs the multiprocess driver with --obs-dump so
+  every doct-node process writes its own trace dump, merges the per-process
+  dumps into one document (trace-id spaces are node-disjoint, so merging is
+  a plain concatenation), and validates the STITCHED trace the same way —
+  proving causal context survives the real socket wire.
+
+Usage:
+  run_trace_golden.py --mode=local --observability=PATH
+  run_trace_golden.py --mode=multiprocess --driver=PATH --doct-node=PATH
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+CHECK_TRACE = os.path.join(SCRIPTS, "check_trace.py")
+
+
+def run(cmd, cwd):
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, cwd=cwd)
+    return proc.returncode
+
+
+def merge_traces(paths, out_path):
+    # The coordinator's collector pulls trace deltas from every shard, so its
+    # dump legitimately REPLICATES worker spans; dedup by span id (metadata
+    # records have none and always pass through).
+    events = []
+    seen = set()
+    for path in paths:
+        with open(path) as f:
+            for event in json.load(f)["traceEvents"]:
+                sid = event.get("args", {}).get("span_id")
+                if sid is not None:
+                    if sid in seen:
+                        continue
+                    seen.add(sid)
+                events.append(event)
+    with open(out_path, "w") as f:
+        json.dump({"traceEvents": events}, f)
+    print(f"merged {len(paths)} dumps -> {out_path} ({len(events)} events)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=["local", "multiprocess"],
+                        required=True)
+    parser.add_argument("--observability", help="observability example binary")
+    parser.add_argument("--driver", help="multiprocess driver binary")
+    parser.add_argument("--doct-node", help="doct-node binary")
+    parser.add_argument("--nodes", type=int, default=3)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="doct-trace-golden-") as tmp:
+        if args.mode == "local":
+            if not args.observability:
+                parser.error("--mode=local requires --observability")
+            if run([args.observability], cwd=tmp) != 0:
+                print("::error::observability example failed")
+                return 1
+            return run([sys.executable, CHECK_TRACE,
+                        os.path.join(tmp, "obs_trace.json"),
+                        "--check-nesting"], cwd=tmp)
+
+        if not args.driver or not args.doct_node:
+            parser.error("--mode=multiprocess requires --driver and "
+                         "--doct-node")
+        dump = os.path.join(tmp, "obs")
+        if run([args.driver, f"--nodes={args.nodes}",
+                f"--doct-node={args.doct_node}",
+                f"--obs-dump={dump}", f"--logs={tmp}/logs"], cwd=tmp) != 0:
+            print("::error::multiprocess driver failed")
+            return 1
+        dumps = [os.path.join(dump, f"trace-node{n}.json")
+                 for n in range(1, args.nodes + 1)]
+        missing = [p for p in dumps if not os.path.exists(p)]
+        if missing:
+            print(f"::error::missing trace dumps: {missing}")
+            return 1
+        merged = os.path.join(tmp, "merged_trace.json")
+        merge_traces(dumps, merged)
+        return run([sys.executable, CHECK_TRACE, merged, "--check-nesting"],
+                   cwd=tmp)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 
 namespace doct::exec {
 
@@ -65,11 +66,19 @@ Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
     depth_gauge_[i] = &obs::metrics().gauge("exec.lane_depth." + lane);
     wait_us_[i] = &obs::metrics().histogram("exec.lane_wait_us." + lane);
   }
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    const std::string lane = lane_name(static_cast<Lane>(i));
+    depth_sampled_[i] =
+        &obs::metrics().histogram("exec.lane_depth_sampled." + lane);
+  }
   shed_counter_ = &obs::metrics().counter("exec.shed_total");
   reservation_blocked_us_ =
       &obs::metrics().histogram("exec.reservation_blocked_us");
   reservation_conflict_counter_ =
       &obs::metrics().counter("exec.reservation_conflicts");
+  claimed_sampled_ =
+      &obs::metrics().histogram("exec.reservation_claimed_sampled");
+  claimed_gauge_ = &obs::metrics().gauge("exec.reservation_claimed");
   metrics_source_ = obs::metrics().register_source(std::move(name), [this] {
     const ExecutorStats s = stats();
     std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -79,10 +88,16 @@ Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
       out.emplace_back(lane + "_executed", s.lanes[i].executed);
       out.emplace_back(lane + "_shed", s.lanes[i].shed);
       out.emplace_back(lane + "_coalesced", s.lanes[i].coalesced);
+      // Live depth rides in the source so per-node rows keep per-node
+      // depths even in-process, where the "exec.lane_depth.*" gauges are
+      // shared by every node in the process.
+      out.emplace_back(lane + "_depth",
+                       lane_depth(static_cast<Lane>(i)));
     }
     out.emplace_back("shed_total", s.shed_total());
     out.emplace_back("reservation_acquired", s.reservation_acquired);
     out.emplace_back("reservation_conflicts", s.reservation_conflicts);
+    out.emplace_back("reservation_claimed", claimed_keys());
     return out;
   });
 
@@ -403,6 +418,39 @@ void Executor::reset_stats() {
   }
   reservation_acquired_.store(0, std::memory_order_relaxed);
   reservation_conflicts_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Executor::claimed_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claimed_.size();
+}
+
+void Executor::sample_telemetry() {
+  std::size_t depths[kLaneCount];
+  std::size_t claimed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+      depths[i] = lanes_[i].queue.size();
+    }
+    claimed = claimed_.size();
+  }
+  if (obs::metrics_enabled()) {
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+      depth_sampled_[i]->record(depths[i]);
+      depth_gauge_[i]->set(static_cast<std::int64_t>(depths[i]));
+    }
+    claimed_sampled_->record(claimed);
+    claimed_gauge_->set(static_cast<std::int64_t>(claimed));
+  }
+  auto& recorder = obs::flight();
+  if (recorder.enabled()) {
+    recorder.note("lanes",
+                  "depth c/e/b=" + std::to_string(depths[0]) + "/" +
+                      std::to_string(depths[1]) + "/" +
+                      std::to_string(depths[2]),
+                  node_, claimed);
+  }
 }
 
 }  // namespace doct::exec

@@ -216,6 +216,18 @@ class Executor {
   [[nodiscard]] ExecutorStats stats() const;
   void reset_stats();
 
+  // Reservation keys currently claimed by running tasks (executor-wide).
+  [[nodiscard]] std::size_t claimed_keys() const;
+
+  // Telemetry sampling hook: records each lane's live queue depth and the
+  // claimed-reservation-key count into "exec.lane_depth_sampled.<lane>" /
+  // "exec.reservation_claimed_sampled" histograms (gauges only show the
+  // instant; the sampled histograms give the collector a depth
+  // distribution), and drops a lane-depth breadcrumb into the flight
+  // recorder.  Called by the cluster collector at its pull period — cheap
+  // enough for 100ms periods, not meant for hot paths.
+  void sample_telemetry();
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -287,9 +299,12 @@ class Executor {
   // Resolved once; hot paths record without a registry lookup.
   obs::Gauge* depth_gauge_[kLaneCount] = {};
   obs::Histogram* wait_us_[kLaneCount] = {};
+  obs::Histogram* depth_sampled_[kLaneCount] = {};
   obs::ShardedCounter* shed_counter_ = nullptr;
   obs::Histogram* reservation_blocked_us_ = nullptr;
   obs::ShardedCounter* reservation_conflict_counter_ = nullptr;
+  obs::Histogram* claimed_sampled_ = nullptr;
+  obs::Gauge* claimed_gauge_ = nullptr;
   // Last member: unregisters before the stats it reads are destroyed.
   obs::MetricsRegistry::SourceHandle metrics_source_;
 };

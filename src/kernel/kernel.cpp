@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace doct::kernel {
@@ -547,6 +548,13 @@ Status Kernel::deliver_local(const EventNotice& notice, bool urgent) {
     ctx->enqueue(notice, urgent);
   }
   bump(&AtomicStats::notices_delivered);
+  {
+    auto& recorder = obs::flight();
+    if (recorder.enabled()) {
+      recorder.note("deliver", notice.event_name, self_.value(),
+                    notice.target_thread.value());
+    }
+  }
   return Status::ok();
 }
 

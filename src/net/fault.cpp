@@ -1,8 +1,10 @@
 #include "net/fault.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "net/message.hpp"
+#include "obs/flight.hpp"
 
 namespace doct::net {
 
@@ -25,6 +27,24 @@ std::uint64_t mix(std::uint64_t seed, std::uint64_t from, std::uint64_t to,
 
 // Combined probability of at least one of two independent fault sources.
 double combine(double p1, double p2) { return 1.0 - (1.0 - p1) * (1.0 - p2); }
+
+// Non-clean decisions leave a breadcrumb in the flight recorder: a crashed
+// chaos run's black box shows which injected faults preceded the failure.
+void note_flight(const FaultDecision& decision, NodeId from, NodeId to,
+                 std::uint16_t kind) {
+  if (!decision.drop && !decision.duplicate && !decision.reorder &&
+      !decision.delay_spike) {
+    return;
+  }
+  auto& recorder = obs::flight();
+  if (!recorder.enabled()) return;
+  char detail[48];
+  std::snprintf(detail, sizeof(detail), "%s%s%s%s kind=0x%x",
+                decision.drop ? "drop" : "", decision.duplicate ? "dup" : "",
+                decision.reorder ? "reorder" : "",
+                decision.delay_spike ? "spike" : "", kind);
+  recorder.note("fault", detail, from.value(), to.value());
+}
 
 }  // namespace
 
@@ -122,6 +142,7 @@ FaultDecision FaultInjector::decide(NodeId from, NodeId to, std::uint16_t kind,
   // Fixed draw order: drop, duplicate, reorder, spike, spike magnitude.
   if (rng.chance(faults.drop_probability)) {
     decision.drop = true;
+    note_flight(decision, from, to, kind);
     return decision;  // nothing else matters for a dropped message
   }
   decision.duplicate = rng.chance(faults.duplicate_probability);
@@ -135,6 +156,7 @@ FaultDecision FaultInjector::decide(NodeId from, NodeId to, std::uint16_t kind,
     decision.extra_delay +=
         Duration{lo + static_cast<Duration::rep>(rng.below(span))};
   }
+  note_flight(decision, from, to, kind);
   return decision;
 }
 

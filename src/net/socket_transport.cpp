@@ -566,6 +566,14 @@ std::vector<std::uint8_t> SocketTransport::hello_payload() const {
   }
   put_u32(out, static_cast<std::uint32_t>(member_of.size()));
   for (std::uint64_t group : member_of) put_u64(out, group);
+  // v1-compatible trailing extension (v1 readers ignore bytes past the
+  // group list): the sender's listen address.  A receiver that does not
+  // know this peer — a doct-top observer attaching to the mesh — adds it
+  // and thereby gains a reply path for RPC responses.
+  put_u32(out, static_cast<std::uint32_t>(bound_address_.size()));
+  for (const char c : bound_address_) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
   return out;
 }
 
@@ -604,11 +612,26 @@ bool SocketTransport::handle_control(const Message& message) {
                         << int{peer_max} << "] does not overlap ours";
         return false;
       }
-      std::lock_guard<std::mutex> lock(groups_mu_);
-      for (std::uint32_t i = 0; i < ngroups; ++i) {
-        const std::uint64_t group = reader.u64();
-        if (!reader.ok) return false;
-        groups_[GroupId{group}].insert(NodeId{node});
+      {
+        std::lock_guard<std::mutex> lock(groups_mu_);
+        for (std::uint32_t i = 0; i < ngroups; ++i) {
+          const std::uint64_t group = reader.u64();
+          if (!reader.ok) return false;
+          groups_[GroupId{group}].insert(NodeId{node});
+        }
+      }
+      // Optional trailing extension: the sender's listen address.  Unknown
+      // senders (observer processes outside the configured mesh) become
+      // peers so replies to them have somewhere to go; configured mesh
+      // members keep their addresses (add_peer is first-write-wins).
+      if (reader.pos + 4 <= reader.size) {
+        const std::uint32_t len = reader.u32();
+        if (reader.ok && len > 0 && len <= 512 &&
+            reader.pos + len <= reader.size) {
+          const std::string address(
+              reinterpret_cast<const char*>(reader.data + reader.pos), len);
+          add_peer(NodeId{node}, address);
+        }
       }
       return true;
     }

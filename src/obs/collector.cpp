@@ -1,0 +1,391 @@
+#include "obs/collector.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace doct::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON reader.
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    JsonValue value;
+    const Status parsed = parse_value(value);
+    if (!parsed.is_ok()) return parsed;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing bytes after document");
+    }
+    return value;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return Status(StatusCode::kInvalidArgument,
+                  "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_value(JsonValue& out) {
+    if (++depth_ > 64) return error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end");
+    const char c = text_[pos_];
+    Status status;
+    if (c == '{') {
+      status = parse_object(out);
+    } else if (c == '[') {
+      status = parse_array(out);
+    } else if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      status = parse_string(out.string);
+    } else if (c == 't' || c == 'f') {
+      status = parse_literal(c == 't' ? "true" : "false");
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = c == 't';
+    } else if (c == 'n') {
+      status = parse_literal("null");
+      out.kind = JsonValue::Kind::kNull;
+    } else {
+      status = parse_number(out);
+    }
+    --depth_;
+    return status;
+  }
+
+  Status parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return error("bad literal");
+    pos_ += word.size();
+    return Status::ok();
+  }
+
+  Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return error("bad number");
+    out.kind = JsonValue::Kind::kNumber;
+    return Status::ok();
+  }
+
+  Status parse_string(std::string& out) {
+    if (!consume('"')) return error("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long cp = std::strtol(hex.c_str(), nullptr, 16);
+          // Our own writer only escapes control characters; anything in the
+          // BMP round-trips as UTF-8 well enough for display purposes.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else {
+            out.push_back('?');
+          }
+          break;
+        }
+        default:
+          return error("bad escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_object(JsonValue& out) {
+    if (!consume('{')) return error("expected object");
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return Status::ok();
+    while (true) {
+      std::string key;
+      const Status key_status = parse_string(key);
+      if (!key_status.is_ok()) return key_status;
+      if (!consume(':')) return error("expected ':'");
+      JsonValue value;
+      const Status value_status = parse_value(value);
+      if (!value_status.is_ok()) return value_status;
+      out.object.emplace(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return Status::ok();
+      return error("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(JsonValue& out) {
+    if (!consume('[')) return error("expected array");
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return Status::ok();
+    while (true) {
+      JsonValue value;
+      const Status value_status = parse_value(value);
+      if (!value_status.is_ok()) return value_status;
+      out.array.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) return Status::ok();
+      return error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+// Splits "node<N>.rest" into (N, "rest"); returns false for un-prefixed
+// names (they belong to the document's source node).
+bool split_node_prefix(const std::string& name, std::uint64_t& node,
+                       std::string& rest) {
+  if (name.rfind("node", 0) != 0) return false;
+  std::size_t i = 4;
+  std::uint64_t parsed = 0;
+  bool any = false;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+    parsed = parsed * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any || i >= name.size() || name[i] != '.') return false;
+  node = parsed;
+  rest = name.substr(i + 1);
+  return true;
+}
+
+void append_number(std::ostringstream& out, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    out << static_cast<std::int64_t>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::num_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+Status Collector::ingest(std::uint64_t source_node,
+                         std::string_view metrics_json) {
+  auto parsed = parse_json(metrics_json);
+  if (!parsed.is_ok()) return parsed.status();
+  const JsonValue doc = std::move(parsed).value();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    return Status(StatusCode::kInvalidArgument, "collector: not an object");
+  }
+
+  const JsonValue* meta = doc.find("meta");
+  std::int64_t doc_wall_ms = 0;
+  std::uint64_t doc_seq = 0;
+  std::int64_t doc_uptime_us = 0;
+  if (meta != nullptr) {
+    doc_wall_ms = static_cast<std::int64_t>(meta->num_or("wall_ms", 0));
+    doc_seq = static_cast<std::uint64_t>(meta->num_or("seq", 0));
+    doc_uptime_us = static_cast<std::int64_t>(meta->num_or("uptime_us", 0));
+    const auto meta_node = static_cast<std::uint64_t>(meta->num_or("node", 0));
+    if (meta_node != 0) source_node = meta_node;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  collected_wall_ms_ = doc_wall_ms;
+
+  // Stash the counters each row carried BEFORE this ingest so rates can be
+  // computed per touched row afterwards.
+  std::map<std::uint64_t, std::map<std::string, double>> previous;
+  std::map<std::uint64_t, std::int64_t> previous_wall;
+  auto touch = [&](std::uint64_t node) -> NodeRow& {
+    if (previous.find(node) == previous.end()) {
+      NodeRow& row = rows_[node];
+      previous[node] = row.counters;
+      previous_wall[node] = row.wall_ms;
+      row.seq = doc_seq;
+      row.wall_ms = doc_wall_ms;
+      if (node == source_node) row.uptime_us = doc_uptime_us;
+    }
+    return rows_[node];
+  };
+
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, value] : counters->object) {
+      std::uint64_t node = source_node;
+      std::string rest;
+      const bool prefixed = split_node_prefix(name, node, rest);
+      touch(node).counters[prefixed ? rest : name] = value.number;
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, value] : gauges->object) {
+      std::uint64_t node = source_node;
+      std::string rest;
+      const bool prefixed = split_node_prefix(name, node, rest);
+      touch(node).gauges[prefixed ? rest : name] = value.number;
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms")) {
+    for (const auto& [name, value] : hists->object) {
+      std::uint64_t node = source_node;
+      std::string rest;
+      const bool prefixed = split_node_prefix(name, node, rest);
+      HistogramRow row;
+      row.count = static_cast<std::uint64_t>(value.num_or("count", 0));
+      row.mean = value.num_or("mean", 0);
+      row.p50 = value.num_or("p50", 0);
+      row.p90 = value.num_or("p90", 0);
+      row.p99 = value.num_or("p99", 0);
+      row.max = static_cast<std::uint64_t>(value.num_or("max", 0));
+      touch(node).histograms[prefixed ? rest : name] = row;
+    }
+  }
+
+  // Rate conversion for every row this document touched.
+  for (auto& [node, prev_counters] : previous) {
+    NodeRow& row = rows_[node];
+    const std::int64_t prev_wall = previous_wall[node];
+    const std::int64_t dt_ms = doc_wall_ms - prev_wall;
+    if (prev_wall == 0 || dt_ms <= 0) {
+      // First sighting (or clock went nowhere): keep any prior rates.
+      row.prev_wall_ms = doc_wall_ms;
+      row.prev_counters = row.counters;
+      continue;
+    }
+    row.rates.clear();
+    for (const auto& [name, value] : row.counters) {
+      const auto it = prev_counters.find(name);
+      if (it == prev_counters.end()) continue;
+      const double delta = value - it->second;
+      if (delta < 0) continue;  // process restarted; skip this interval
+      row.rates[name] = delta * 1000.0 / static_cast<double>(dt_ms);
+    }
+    row.prev_wall_ms = doc_wall_ms;
+    row.prev_counters = row.counters;
+  }
+  return Status::ok();
+}
+
+std::vector<std::uint64_t> Collector::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(rows_.size());
+  for (const auto& [node, row] : rows_) out.push_back(node);
+  return out;
+}
+
+std::string Collector::cluster_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"collected_wall_ms\":" << collected_wall_ms_ << ",\"nodes\":{";
+  bool first_node = true;
+  for (const auto& [node, row] : rows_) {
+    if (!first_node) out << ",";
+    first_node = false;
+    out << "\"" << node << "\":{\"seq\":" << row.seq
+        << ",\"wall_ms\":" << row.wall_ms
+        << ",\"uptime_us\":" << row.uptime_us << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : row.counters) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":";
+      append_number(out, value);
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : row.gauges) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":";
+      append_number(out, value);
+    }
+    out << "},\"rates\":{";
+    first = true;
+    for (const auto& [name, value] : row.rates) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":";
+      append_number(out, value);
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, hist] : row.histograms) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << name << "\":{\"count\":" << hist.count << ",\"mean\":";
+      append_number(out, hist.mean);
+      out << ",\"p50\":";
+      append_number(out, hist.p50);
+      out << ",\"p90\":";
+      append_number(out, hist.p90);
+      out << ",\"p99\":";
+      append_number(out, hist.p99);
+      out << ",\"max\":" << hist.max << "}";
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace doct::obs

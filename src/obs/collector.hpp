@@ -1,0 +1,95 @@
+// Cluster-wide telemetry merge — the designated-node Collector ingests each
+// node's metrics snapshot (the JSON documents MetricsRegistry emits, pulled
+// over the monitor service in-process or over RPC for remote shards) and
+// folds them into one node-labelled cluster document:
+//
+//   * names prefixed "node<N>." are re-homed to node N's row (prefix
+//     stripped), so in-process shards sharing one registry still split out;
+//   * un-prefixed (process-global) names land on the row of the node the
+//     document came from — exactly right in multi-process mode where each
+//     process hosts one node;
+//   * counter deltas between successive ingests of the same node divide by
+//     the snapshot meta's wall_ms delta → per-second rates;
+//   * histograms keep their {count,mean,p50,p90,p99,max} summary per node.
+//
+// Includes the minimal JSON reader the obs plane needs for its own
+// documents (objects/arrays/strings/numbers/bools; no external dependency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace doct::obs {
+
+// Minimal JSON value — enough to read back what this layer writes (and any
+// well-formed document; numbers collapse to double).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const;
+};
+
+[[nodiscard]] Result<JsonValue> parse_json(std::string_view text);
+
+struct HistogramRow {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  std::uint64_t max = 0;
+};
+
+class Collector {
+ public:
+  // Folds one process snapshot (MetricsRegistry::snapshot_json output) into
+  // the cluster view; `source_node` labels the document's un-prefixed
+  // metrics (and is the fallback when the meta lacks a node id).
+  Status ingest(std::uint64_t source_node, std::string_view metrics_json);
+
+  // Node ids with at least one ingested snapshot, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> nodes() const;
+
+  // The merged cluster document:
+  //   {"collected_wall_ms":...,"nodes":{"1":{"seq":..,"wall_ms":..,
+  //    "uptime_us":..,"counters":{..},"gauges":{..},"rates":{..},
+  //    "histograms":{name:{count,mean,p50,p90,p99,max}}}, ...}}
+  // "rates" holds per-second counter deltas; empty until a node has been
+  // ingested twice.
+  [[nodiscard]] std::string cluster_json() const;
+
+ private:
+  struct NodeRow {
+    std::uint64_t seq = 0;
+    std::int64_t wall_ms = 0;
+    std::int64_t uptime_us = 0;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramRow> histograms;
+    std::map<std::string, double> rates;
+    // Previous-ingest state for rate conversion.
+    std::int64_t prev_wall_ms = 0;
+    std::map<std::string, double> prev_counters;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, NodeRow> rows_;
+  std::int64_t collected_wall_ms_ = 0;
+};
+
+}  // namespace doct::obs

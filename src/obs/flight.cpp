@@ -1,0 +1,278 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace doct::obs {
+namespace {
+
+constexpr std::size_t kDefaultRing = 4096;
+
+// Bounded copy into a fixed char field; always NUL-terminated, and any byte
+// that would break the (hand-rolled, signal-safe) JSON emitter is replaced.
+template <std::size_t N>
+void copy_field(char (&dst)[N], std::string_view src) {
+  const std::size_t n = std::min(src.size(), N - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = src[i];
+    dst[i] = (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+                 ? '.'
+                 : c;
+  }
+  dst[n] = '\0';
+}
+
+// write(2) a NUL-terminated string, retrying on short writes; signal-safe.
+void write_str(int fd, const char* s) {
+  std::size_t len = std::strlen(s);
+  const char* p = s;
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) return;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Minimal unsigned/signed decimal rendering into a caller buffer
+// (snprintf is not on the async-signal-safe list; this is).
+const char* format_u64(std::uint64_t v, char* buf, std::size_t cap) {
+  char tmp[24];
+  std::size_t i = 0;
+  do {
+    tmp[i++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && i < sizeof(tmp));
+  std::size_t o = 0;
+  while (i > 0 && o + 1 < cap) buf[o++] = tmp[--i];
+  buf[o] = '\0';
+  return buf;
+}
+
+const char* format_i64(std::int64_t v, char* buf, std::size_t cap) {
+  if (v < 0 && cap > 1) {
+    buf[0] = '-';
+    format_u64(static_cast<std::uint64_t>(-v), buf + 1, cap - 1);
+    return buf;
+  }
+  return format_u64(static_cast<std::uint64_t>(v), buf, cap);
+}
+
+struct sigaction g_prev_actions[NSIG];
+std::atomic<bool> g_handlers_installed{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void crash_handler(int sig) {
+  char reason[32] = "sig-";
+  format_i64(sig, reason + 4, sizeof(reason) - 4);
+  FlightRecorder::global().dump_signal(reason);
+  // Restore the previous disposition and re-raise so the default action
+  // (core dump, nonzero exit) still happens.
+  if (sig > 0 && sig < NSIG) {
+    ::sigaction(sig, &g_prev_actions[sig], nullptr);
+  }
+  ::raise(sig);
+}
+
+[[noreturn]] void terminate_handler() {
+  FlightRecorder::global().dump_signal("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = new FlightRecorder();  // never destroyed
+  return *instance;
+}
+
+void FlightRecorder::configure(std::uint64_t node, std::string dir,
+                               std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    dir_ = std::move(dir);
+  }
+  node_.store(node, std::memory_order_relaxed);
+  if (!ring_) {
+    if (capacity == 0) {
+      if (const char* env = std::getenv("DOCT_FLIGHT_RING")) {
+        capacity = std::strtoull(env, nullptr, 10);
+      }
+      if (capacity == 0) capacity = kDefaultRing;
+    }
+    capacity_ = capacity;
+    ring_ = std::make_unique<FlightEntry[]>(capacity_);
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+bool FlightRecorder::configure_from_env(std::uint64_t node) {
+  const char* dir = std::getenv("DOCT_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0') return enabled();
+  configure(node, dir);
+  return true;
+}
+
+void FlightRecorder::note(const char* kind, std::string_view detail,
+                          std::uint64_t a, std::uint64_t b) {
+  if (!enabled()) return;
+  const std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  FlightEntry& slot = ring_[i % capacity_];
+  // Unpublish, write the body, republish.  A dump racing this write sees
+  // seq == 0 and skips the slot instead of reading a torn entry.
+  slot.seq = 0;
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts_us = now_us();
+  slot.a = a;
+  slot.b = b;
+  copy_field(slot.kind, kind);
+  copy_field(slot.detail, detail);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq = i + 1;
+}
+
+std::vector<FlightEntry> FlightRecorder::entries() const {
+  std::vector<FlightEntry> out;
+  if (!ring_) return out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (ring_[i].seq != 0) out.push_back(ring_[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEntry& x, const FlightEntry& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::dir() const {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  return dir_;
+}
+
+Status FlightRecorder::dump(const std::string& reason) {
+  const std::string base = dir();
+  if (base.empty()) {
+    return Status(StatusCode::kInvalidArgument, "flight: no dump dir");
+  }
+  return dump_to(base + "/flight-node" + std::to_string(node()) + "-" +
+                     reason + ".json",
+                 reason);
+}
+
+Status FlightRecorder::dump_to(const std::string& path,
+                               const std::string& reason) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kInternal, "flight: cannot open " + path);
+  }
+  out << "{\"node\":" << node() << ",\"reason\":\"" << reason
+      << "\",\"signal\":false,\"noted_total\":" << noted_total()
+      << ",\"entries\":[";
+  bool first = true;
+  for (const FlightEntry& e : entries()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"seq\":" << e.seq << ",\"ts_us\":" << e.ts_us << ",\"kind\":\""
+        << e.kind << "\",\"detail\":\"" << e.detail << "\",\"a\":" << e.a
+        << ",\"b\":" << e.b << "}";
+  }
+  // Full-fidelity context: the whole metrics document and Chrome trace ride
+  // along (cheap here — this path only runs on rare, interesting events).
+  out << "],\"metrics\":" << metrics().snapshot_json()
+      << ",\"trace\":" << tracer().to_chrome_json() << "}";
+  return out ? Status::ok()
+             : Status(StatusCode::kInternal, "flight: write failed");
+}
+
+void FlightRecorder::dump_signal(const char* reason) {
+  if (!ring_) return;
+  // Compose the path with signal-safe primitives only.
+  static char path[512];
+  {
+    std::size_t o = 0;
+    // dir_ without the mutex: configure() happens before handlers can fire
+    // in practice, and a torn read here at worst garbles the filename.
+    const std::string& base = dir_;
+    if (base.empty()) return;
+    const std::size_t n = std::min(base.size(), sizeof(path) - 96);
+    std::memcpy(path, base.data(), n);
+    o = n;
+    const char* mid = "/flight-node";
+    std::memcpy(path + o, mid, std::strlen(mid));
+    o += std::strlen(mid);
+    char num[24];
+    format_u64(node(), num, sizeof(num));
+    std::memcpy(path + o, num, std::strlen(num));
+    o += std::strlen(num);
+    path[o++] = '-';
+    const std::size_t rn = std::min(std::strlen(reason), std::size_t{32});
+    std::memcpy(path + o, reason, rn);
+    o += rn;
+    const char* ext = ".json";
+    std::memcpy(path + o, ext, std::strlen(ext));
+    o += std::strlen(ext);
+    path[o] = '\0';
+  }
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  char num[24];
+  write_str(fd, "{\"node\":");
+  write_str(fd, format_u64(node(), num, sizeof(num)));
+  write_str(fd, ",\"reason\":\"");
+  write_str(fd, reason);
+  write_str(fd, "\",\"signal\":true,\"entries\":[");
+  // Oldest-first scan without sorting: walk the ring from the current head.
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  bool first = true;
+  for (std::size_t k = 0; k < capacity_; ++k) {
+    const FlightEntry& e = ring_[(head + k) % capacity_];
+    if (e.seq == 0) continue;
+    if (!first) write_str(fd, ",");
+    first = false;
+    write_str(fd, "{\"seq\":");
+    write_str(fd, format_u64(e.seq, num, sizeof(num)));
+    write_str(fd, ",\"ts_us\":");
+    write_str(fd, format_i64(e.ts_us, num, sizeof(num)));
+    write_str(fd, ",\"kind\":\"");
+    write_str(fd, e.kind);  // copy_field already stripped JSON-unsafe bytes
+    write_str(fd, "\",\"detail\":\"");
+    write_str(fd, e.detail);
+    write_str(fd, "\",\"a\":");
+    write_str(fd, format_u64(e.a, num, sizeof(num)));
+    write_str(fd, ",\"b\":");
+    write_str(fd, format_u64(e.b, num, sizeof(num)));
+    write_str(fd, "}");
+  }
+  write_str(fd, "]}");
+  ::close(fd);
+}
+
+void install_crash_handlers() {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, &g_prev_actions[sig]);
+  }
+  g_prev_terminate = std::set_terminate(terminate_handler);
+}
+
+}  // namespace doct::obs

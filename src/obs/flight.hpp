@@ -1,0 +1,104 @@
+// Per-node flight recorder — an always-on bounded ring of fixed-size POD
+// breadcrumbs (recent trace spans, delivered events, lane-depth samples,
+// fault-injector decisions) that survives to a dump file when the process
+// dies violently.  Every chaos/nightly failure gets a black box: the ring
+// dumps to DOCT_FLIGHT_DIR on SIGSEGV/SIGABRT/std::terminate (async-signal-
+// safe path), on NODE_DOWN observation in surviving doct-node processes,
+// and on demand.
+//
+// Cost contract mirrors the rest of obs: note() behind a relaxed atomic
+// check when disarmed; armed, one relaxed fetch_add + a bounded memcpy into
+// a preallocated slot — no locks, no allocation, safe from any thread.
+// Readers (dump paths) tolerate torn slots: a slot's seq is zeroed before
+// the body is rewritten and republished last, so a half-written slot is
+// skipped, never misparsed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace doct::obs {
+
+struct FlightEntry {
+  std::int64_t ts_us = 0;   // steady clock (obs::now_us)
+  std::uint64_t a = 0;      // kind-specific operands (node ids, depths, ...)
+  std::uint64_t b = 0;
+  std::uint64_t seq = 0;    // publish order; 0 = slot never fully written
+  char kind[16] = {};       // short vocabulary: "span", "deliver", "fault"...
+  char detail[72] = {};     // truncated free text (event name, lane, reason)
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  // Arms the recorder: allocates the ring (capacity is fixed at first
+  // configure; later calls keep it), remembers the node label and the dump
+  // directory.  An empty dir still records — dumps then need an explicit
+  // path.  Reads DOCT_FLIGHT_RING for the capacity when `capacity` is 0
+  // (default 4096 entries).
+  void configure(std::uint64_t node, std::string dir, std::size_t capacity = 0);
+
+  // Arms from DOCT_FLIGHT_DIR / DOCT_FLIGHT_RING if set; no-op otherwise.
+  // Returns whether the recorder is armed afterwards.
+  bool configure_from_env(std::uint64_t node);
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void note(const char* kind, std::string_view detail, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  // Full-fidelity dump (ring + metrics + trace JSON) to
+  // <dir>/flight-node<N>-<reason>.json.  NOT async-signal-safe.
+  Status dump(const std::string& reason);
+  Status dump_to(const std::string& path, const std::string& reason);
+
+  // Async-signal-safe dump: ring only, open(2)/write(2), static buffers.
+  // Called from the crash handlers; safe to call anywhere.
+  void dump_signal(const char* reason);
+
+  [[nodiscard]] std::uint64_t node() const {
+    return node_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string dir() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t noted_total() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  // Live slots in publish order, oldest first (skips torn/unwritten slots).
+  [[nodiscard]] std::vector<FlightEntry> entries() const;
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> node_{0};
+  std::atomic<std::uint64_t> head_{0};
+  std::unique_ptr<FlightEntry[]> ring_;
+  std::size_t capacity_ = 0;
+  // dir_ is written once under configure's caller discipline and read from
+  // dump paths; guarded by a tiny spin on the enabled_ flag ordering.
+  mutable std::mutex dir_mu_;
+  std::string dir_;
+};
+
+[[nodiscard]] inline FlightRecorder& flight() {
+  return FlightRecorder::global();
+}
+
+// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers and a std::terminate
+// handler that write the async-signal-safe flight dump and then re-raise so
+// the default disposition (core, nonzero exit) still happens.  Idempotent.
+void install_crash_handlers();
+
+}  // namespace doct::obs

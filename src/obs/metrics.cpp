@@ -40,6 +40,29 @@ std::int64_t now_us() {
       .count();
 }
 
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+// Anchored at the first obs use in the process (static init of this TU is
+// close enough — the error is microseconds against uptimes of seconds).
+const std::int64_t g_process_start_us = now_us();
+std::atomic<std::uint64_t> g_self_node{0};
+}  // namespace
+
+std::int64_t uptime_us() { return now_us() - g_process_start_us; }
+
+void set_self_node(std::uint64_t node) {
+  g_self_node.store(node, std::memory_order_relaxed);
+}
+
+std::uint64_t self_node() {
+  return g_self_node.load(std::memory_order_relaxed);
+}
+
 std::size_t ShardedCounter::shard() {
   // Thread-id hash computed once per thread; threads spread across cells so
   // concurrent add()s rarely share a cache line.
@@ -221,7 +244,10 @@ std::string MetricsRegistry::snapshot_json() const {
   }
 
   std::ostringstream out;
-  out << "{\"counters\":{";
+  out << "{\"meta\":{\"seq\":"
+      << snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1
+      << ",\"wall_ms\":" << wall_ms() << ",\"uptime_us\":" << uptime_us()
+      << ",\"node\":" << self_node() << "},\"counters\":{";
   bool first = true;
   {
     std::lock_guard<std::mutex> lock(mu_);

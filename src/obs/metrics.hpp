@@ -41,6 +41,22 @@ void set_metrics_enabled(bool enabled);
 // Steady-clock microseconds (shared by metrics and tracing timestamps).
 [[nodiscard]] std::int64_t now_us();
 
+// Wall-clock milliseconds since the Unix epoch (snapshot timestamps only —
+// never used for latency math, which stays on the steady clock).
+[[nodiscard]] std::int64_t wall_ms();
+
+// Microseconds this process has been alive (steady clock, anchored at the
+// first obs use).  Appears in snapshot metadata so consumers can
+// rate-convert without guessing the observation window.
+[[nodiscard]] std::int64_t uptime_us();
+
+// Node identity stamped into snapshot metadata.  0 = unset (single-process
+// runs where per-node attribution comes from source prefixes instead);
+// multi-process shards set their own node id at startup so a remote
+// collector can label the whole document.
+void set_self_node(std::uint64_t node);
+[[nodiscard]] std::uint64_t self_node();
+
 // Monotonic counter sharded across cache-line-padded atomic cells: writers
 // pick a cell by OS-thread hash and never contend on a single line.
 class ShardedCounter {
@@ -183,8 +199,11 @@ class MetricsRegistry {
   [[nodiscard]] SourceHandle register_source(std::string prefix, Source source);
 
   // One JSON document covering every registered instrument and source:
-  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,p50,...}}}
+  //   {"meta":{"seq":N,"wall_ms":...,"uptime_us":...,"node":K},
+  //    "counters":{...},"gauges":{...},"histograms":{name:{count,p50,...}}}
   // Sources with identical keys (two live networks) sum into one entry.
+  // `seq` increments per snapshot, so a consumer holding two documents can
+  // order them and divide counter deltas by the wall_ms delta for rates.
   [[nodiscard]] std::string snapshot_json() const;
 
   // Zeroes every owned instrument (sources read live stats and are not
@@ -198,6 +217,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::uint64_t next_source_ = 1;
   std::map<std::uint64_t, std::pair<std::string, Source>> sources_;
+  mutable std::atomic<std::uint64_t> snapshot_seq_{0};
 };
 
 [[nodiscard]] inline MetricsRegistry& metrics() {

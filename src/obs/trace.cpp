@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -68,15 +69,45 @@ Tracer& Tracer::global() {
   return *instance;
 }
 
+Tracer::Tracer() {
+  // Export the eviction counter alongside the metrics snapshot.  The handle
+  // leaks with the singleton; the closure only reads an atomic, so it never
+  // re-enters the registry (snapshot_json pulls sources under its lock).
+  static auto* handle = new MetricsRegistry::SourceHandle(
+      metrics().register_source("obs", [this] {
+        return std::vector<std::pair<std::string, std::uint64_t>>{
+            {"trace_dropped_total", dropped_.load(std::memory_order_relaxed)}};
+      }));
+  (void)handle;
+}
+
 void Tracer::record(Span span) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (spans_.size() >= capacity_) spans_.pop_front();
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  span.seq = ++record_seq_;
   spans_.push_back(std::move(span));
 }
 
 std::vector<Span> Tracer::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::vector<Span>(spans_.begin(), spans_.end());
+}
+
+std::vector<Span> Tracer::snapshot_since(std::uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seqs are monotonic along the deque, so binary-search the cursor.
+  auto it = std::lower_bound(
+      spans_.begin(), spans_.end(), after_seq + 1,
+      [](const Span& span, std::uint64_t seq) { return span.seq < seq; });
+  return std::vector<Span>(it, spans_.end());
+}
+
+std::uint64_t Tracer::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_seq_;
 }
 
 void Tracer::clear() {
@@ -87,7 +118,15 @@ void Tracer::clear() {
 void Tracer::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
-  while (spans_.size() > capacity_) spans_.pop_front();
+  while (spans_.size() > capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 std::string Tracer::to_chrome_json() const {

@@ -49,6 +49,9 @@ struct Span {
   std::string detail;
   std::int64_t start_us = 0;
   std::int64_t dur_us = 0;
+  // Per-process record order (1-based, assigned by Tracer::record); lets a
+  // collector pull only the spans it has not seen yet (snapshot_since).
+  std::uint64_t seq = 0;
 };
 
 // Process-wide bounded span buffer.
@@ -77,9 +80,25 @@ class Tracer {
   void record(Span span);
 
   [[nodiscard]] std::vector<Span> snapshot() const;
+
+  // Spans recorded after the given sequence number (exclusive), oldest
+  // first.  The caller remembers the max seq it saw and passes it back —
+  // incremental pulls instead of re-shipping the whole ring.  Spans evicted
+  // before the cursor caught up are simply gone (count them via
+  // dropped_total()).
+  [[nodiscard]] std::vector<Span> snapshot_since(std::uint64_t after_seq) const;
+  [[nodiscard]] std::uint64_t last_seq() const;
+
   void clear();
 
   void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  // Spans evicted from the bounded buffer since process start; exported as
+  // "obs.trace_dropped_total" so soaks can see when the window overflowed.
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   // Chrome trace-event JSON: {"traceEvents":[...]} with one "M"
   // process_name metadata record per node and one "X" complete event per
@@ -87,10 +106,14 @@ class Tracer {
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
+  Tracer();
+
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::deque<Span> spans_;
   std::size_t capacity_ = 1 << 16;
+  std::uint64_t record_seq_ = 0;  // under mu_; monotonic with deque order
 };
 
 [[nodiscard]] inline Tracer& tracer() { return Tracer::global(); }

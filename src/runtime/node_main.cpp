@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "obs/flight.hpp"
 #include "runtime/runtime.hpp"
 
 using namespace doct;
@@ -53,6 +54,10 @@ struct Options {
   std::map<NodeId, std::string> peers;
   NodeId kill_victim;  // invalid = no kill phase
   std::string obs_dump;
+  std::string flight_dir;  // also settable via DOCT_FLIGHT_DIR
+  // Coordinator lingers this long after the scenario before terminating the
+  // workers, so an external doct-top can attach and watch live numbers.
+  std::uint64_t hold_ms = 0;
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -78,6 +83,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.kill_victim = NodeId{std::strtoull(v, nullptr, 10)};
     } else if (const char* v = value("--obs-dump=")) {
       opt.obs_dump = v;
+    } else if (const char* v = value("--flight-dir=")) {
+      opt.flight_dir = v;
+    } else if (const char* v = value("--hold-ms=")) {
+      opt.hold_ms = std::strtoull(v, nullptr, 10);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return false;
@@ -185,6 +194,12 @@ int run_coordinator(const Options& opt, runtime::NodeRuntime& node,
     }
   }
 
+  if (opt.hold_ms > 0) {
+    // Linger with workers alive so an external doct-top --watch can attach
+    // and observe live numbers before teardown.
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.hold_ms));
+  }
+
   // Terminate the (surviving) workers so their processes exit cleanly.
   for (const auto& [peer, tid] : workers) {
     if (peer == opt.kill_victim) continue;
@@ -239,13 +254,20 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) {
     std::cerr << "usage: doct-node --node=<id> --nodes=<N> --listen=<addr> "
                  "--peer=<id>=<addr>... [--kill-victim=<id>] "
-                 "[--obs-dump=<dir>]\n";
+                 "[--obs-dump=<dir>] [--flight-dir=<dir>] [--hold-ms=<n>]\n";
     return 2;
   }
-  if (!opt.obs_dump.empty()) {
-    obs::set_metrics_enabled(true);
-    obs::set_tracing_enabled(true);
+  // doct-node always runs with observability on: it exists to be watched
+  // (doct-top pulls its snapshots; crashes should leave flight dumps).
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  obs::set_self_node(opt.self.value());
+  if (!opt.flight_dir.empty()) {
+    obs::flight().configure(opt.self.value(), opt.flight_dir);
+  } else {
+    obs::flight().configure_from_env(opt.self.value());
   }
+  obs::install_crash_handlers();
 
   net::SocketTransportConfig tc;
   tc.self = opt.self;
@@ -260,6 +282,13 @@ int main(int argc, char** argv) {
   }
 
   runtime::ClusterConfig config;
+  // The coordinator shard doubles as the cluster's telemetry collector:
+  // every ~250ms it pulls each worker shard's metrics snapshot and trace
+  // deltas, so doct-top (attaching through the coordinator) sees one merged,
+  // node-labelled view.
+  config.telemetry.collector = (opt.self == kCoordinator);
+  config.telemetry.period = 250ms;
+  config.telemetry.max_node = opt.nodes;
   config.node.health.enabled = true;
   // Sanitized CI runs are slow; a generous window avoids false suspicions
   // while kill detection still lands well inside the driver's deadline.
@@ -279,6 +308,13 @@ int main(int argc, char** argv) {
   std::atomic<bool> victim_down{false};
   node.health()->on_node_down([&](NodeId peer) {
     std::cout << "MP-NODE-DOWN " << peer.to_string() << std::endl;
+    // A peer died under us: freeze this survivor's recent history to disk
+    // before anything else reacts (the black box for the post-mortem).
+    auto& recorder = obs::flight();
+    if (recorder.enabled()) {
+      recorder.note("node-down", peer.to_string(), peer.value(), 0);
+      recorder.dump("peer-down-n" + std::to_string(peer.value()));
+    }
     if (peer == opt.kill_victim) {
       victim_down.store(true, std::memory_order_release);
     }

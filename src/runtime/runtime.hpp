@@ -20,7 +20,11 @@
 #pragma once
 
 #include <cassert>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/id_gen.hpp"
@@ -35,6 +39,7 @@
 #include "net/socket_transport.hpp"
 #include "objects/manager.hpp"
 #include "objects/store.hpp"
+#include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
@@ -87,9 +92,25 @@ class NodeRuntime {
   std::unique_ptr<services::FailureDetector> health_;
 };
 
+// Cluster-wide telemetry plane (obs::Collector wiring).
+struct TelemetryConfig {
+  // Starts the designated-node collector thread: every `period` it samples
+  // each local executor's lane depths, folds the process metrics snapshot
+  // into the cluster view, and — in remote-shard mode — pulls every peer
+  // shard's snapshot and trace-span deltas over RPC.  DOCT_COLLECTOR=on|off
+  // and DOCT_COLLECT_PERIOD_MS=<n> override at construction.
+  bool collector = false;
+  Duration period = std::chrono::seconds(1);
+  // Remote-shard pulls only reach peers with id <= max_node (0 = no cap).
+  // Deployments that know their membership set this so attached observers
+  // (doct-top auto-added as peers via HELLO) are never treated as shards.
+  std::uint64_t max_node = 0;
+};
+
 struct ClusterConfig {
   net::NetworkConfig network;
   NodeConfig node;
+  TelemetryConfig telemetry;
 };
 
 class Cluster {
@@ -149,8 +170,28 @@ class Cluster {
     return obs::tracer().to_chrome_json();
   }
 
+  // The merged, node-labelled cluster snapshot (obs::Collector::cluster_json
+  // shape: per-node counters/gauges/rates/histogram summaries).  Runs one
+  // collection round inline when the background collector thread is off, so
+  // callers always see current data; rates need two rounds to appear.
+  [[nodiscard]] std::string cluster_metrics_json();
+
+  // One synchronous collection round (local sampling + ingest + remote
+  // shard pulls).  The collector thread calls this on its period; tests and
+  // the on-demand path call it directly.
+  void collect_round();
+
+  [[nodiscard]] obs::Collector& collector() { return collector_; }
+
+  ~Cluster();
+
  private:
   friend class NodeRuntime;
+
+  void apply_telemetry_env();
+  void register_obs_methods(NodeRuntime& node);
+  void start_collector();
+  void stop_collector();
 
   // Exactly one backend is populated.  Nodes are declared last so they tear
   // down (unregister, drain executors) while their transport is still alive.
@@ -161,6 +202,16 @@ class Cluster {
   events::EventRegistry registry_;
   events::ProcedureRegistry procedures_;
   IoHub io_;
+
+  TelemetryConfig telemetry_;
+  obs::Collector collector_;
+  std::mutex collect_mu_;  // serializes collection rounds
+  std::map<NodeId, std::uint64_t> trace_cursors_;  // remote span pull cursors
+  std::mutex collector_thread_mu_;
+  std::condition_variable collector_cv_;
+  bool collector_stop_ = false;
+  std::thread collector_thread_;
+
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 

@@ -16,6 +16,10 @@ struct ServerState {
   std::mutex mu;
   std::map<ThreadId, std::vector<ThreadSample>> samples;
   std::uint64_t sequence = 0;
+  // Rendered documents the chunked fetch entries serve from, so every chunk
+  // of one fetch comes from the same snapshot (regenerated at offset 0).
+  std::string metrics_cache;
+  std::string trace_cache;
 };
 
 }  // namespace
@@ -85,6 +89,41 @@ std::shared_ptr<objects::PassiveObject> MonitorServer::make() {
     const std::string json = obs::tracer().to_chrome_json();
     return objects::Payload(json.begin(), json.end());
   });
+
+  // Chunked variants: the single-payload entries above silently assume one
+  // event payload can hold the whole document, which stops being true as
+  // metric cardinality (or the span buffer) grows.  "metrics_at"/"trace_at"
+  // take a u64 offset; offset 0 renders and caches the document so later
+  // chunks come from the SAME snapshot, and each reply carries
+  // {u64 total, string chunk} until the client has total bytes.
+  auto serve_chunk = [](std::string& cache, std::string (*render)(),
+                        objects::CallCtx& ctx) -> Result<objects::Payload> {
+    Reader r(ctx.args);
+    const auto offset = r.get<std::uint64_t>();
+    if (offset == 0) cache = render();
+    Writer w;
+    w.put(static_cast<std::uint64_t>(cache.size()));
+    w.put(offset >= cache.size()
+              ? std::string{}
+              : cache.substr(offset, kSnapshotChunkBytes));
+    return std::move(w).take();
+  };
+  object->define_entry(
+      "metrics_at",
+      [state, serve_chunk](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        std::lock_guard<std::mutex> lock(state->mu);
+        return serve_chunk(
+            state->metrics_cache,
+            +[] { return obs::metrics().snapshot_json(); }, ctx);
+      });
+  object->define_entry(
+      "trace_at",
+      [state, serve_chunk](objects::CallCtx& ctx) -> Result<objects::Payload> {
+        std::lock_guard<std::mutex> lock(state->mu);
+        return serve_chunk(
+            state->trace_cache, +[] { return obs::tracer().to_chrome_json(); },
+            ctx);
+      });
 
   return object;
 }
@@ -173,16 +212,34 @@ Result<std::vector<ThreadSample>> MonitorClient::report() {
   return MonitorServer::decode_report(reply.value());
 }
 
+Result<std::string> MonitorClient::fetch_chunked(const char* entry) {
+  std::string assembled;
+  while (true) {
+    Writer w;
+    w.put(static_cast<std::uint64_t>(assembled.size()));
+    auto reply = objects_.invoke(server_, entry, std::move(w).take());
+    if (!reply.is_ok()) return reply.status();
+    Reader r(reply.value());
+    const auto total = r.get<std::uint64_t>();
+    const std::string chunk = r.get_string();
+    assembled += chunk;
+    if (assembled.size() >= total) return assembled;
+    if (chunk.empty()) {
+      // total says more bytes exist but the server sent none — the cache
+      // shrank between chunks (a concurrent offset-0 fetch).  Bail rather
+      // than loop forever.
+      return Status(StatusCode::kInternal,
+                    std::string(entry) + ": truncated chunked fetch");
+    }
+  }
+}
+
 Result<std::string> MonitorClient::metrics_json() {
-  auto reply = objects_.invoke(server_, "metrics", {});
-  if (!reply.is_ok()) return reply.status();
-  return std::string(reply.value().begin(), reply.value().end());
+  return fetch_chunked("metrics_at");
 }
 
 Result<std::string> MonitorClient::trace_json() {
-  auto reply = objects_.invoke(server_, "trace", {});
-  if (!reply.is_ok()) return reply.status();
-  return std::string(reply.value().begin(), reply.value().end());
+  return fetch_chunked("trace_at");
 }
 
 }  // namespace doct::services

@@ -24,6 +24,11 @@
 
 namespace doct::services {
 
+// Chunk size for the monitor's "metrics_at"/"trace_at" entries.  Well under
+// any event-payload comfort zone; a snapshot larger than this ships in
+// multiple invocations off one server-side cached rendering.
+inline constexpr std::size_t kSnapshotChunkBytes = 48 * 1024;
+
 struct ThreadSample {
   ThreadId thread;
   std::uint64_t node = 0;    // node the thread was on when sampled
@@ -58,11 +63,14 @@ class MonitorClient {
   Result<std::vector<ThreadSample>> report();
 
   // Pulls the observability snapshots the server exposes: the cluster-wide
-  // metrics document and the Chrome/Perfetto trace export.
+  // metrics document and the Chrome/Perfetto trace export.  Fetched through
+  // the chunked entries, so documents of any size arrive intact.
   Result<std::string> metrics_json();
   Result<std::string> trace_json();
 
  private:
+  Result<std::string> fetch_chunked(const char* entry);
+
   events::EventSystem& events_;
   objects::ObjectManager& objects_;
   ObjectId server_;

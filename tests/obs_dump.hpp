@@ -14,6 +14,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -22,6 +23,14 @@ namespace doct::testsupport {
 class ObsDumpEnvironment : public ::testing::Environment {
  public:
   void SetUp() override {
+    // Arm the flight recorder when DOCT_FLIGHT_DIR is set (independent of
+    // the metrics/trace dump), so a crashing chaos/stress process leaves its
+    // ring in the CI artifact.  The pid labels the dump file: ctest runs
+    // each case as its own process against the shared directory.
+    if (obs::flight().configure_from_env(
+            static_cast<std::uint64_t>(::getpid()))) {
+      obs::install_crash_handlers();
+    }
     const char* dir = std::getenv("DOCT_OBS_DUMP");
     if (dir == nullptr || *dir == '\0') return;
     dir_ = dir;

@@ -8,11 +8,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "kernel/event_notice.hpp"
+#include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
@@ -314,6 +316,76 @@ TEST_F(ObsTest, ChromeTraceExportShape) {
   EXPECT_NE(json.find("\"pid\":" + std::to_string(n1.id.value()) + ","),
             std::string::npos);
   EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
+}
+
+// Golden structural check on the export: the document parses as JSON (via
+// the obs mini-reader), span ids are unique, and every child whose parent
+// lives on the same node nests inside the parent's time window (small slack
+// for clock reads on either side of a queue hop).  scripts/check_trace.py
+// applies the same rules to the example/multiprocess exports under ctest;
+// this covers the in-process path without leaving the test binary.
+TEST_F(ObsTest, ChromeTraceExportParsesAndNests) {
+  Cluster cluster(2);
+  auto& n0 = cluster.node(0);
+  auto& n1 = cluster.node(1);
+  cluster.procedures().register_procedure(
+      "ack", [](PerThreadCallCtx&) { return Verdict::kResume; });
+  const EventId ev = cluster.registry().register_event("OBS_NEST");
+  std::atomic<bool> ready{false};
+  std::atomic<bool> release{false};
+  const ThreadId target = n1.kernel.spawn([&] {
+    ASSERT_TRUE(n1.events.attach_handler(ev, "ack", OWN_CONTEXT).is_ok());
+    ready = true;
+    while (!release.load()) {
+      if (!n1.kernel.sleep_for(1ms).is_ok()) return;
+    }
+  });
+  while (!ready.load()) std::this_thread::sleep_for(1ms);
+  const ThreadId raiser = n0.kernel.spawn([&] {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(n0.events.raise_and_wait(ev, target).is_ok());
+    }
+  });
+  ASSERT_TRUE(n0.kernel.join_thread(raiser, 30s).is_ok());
+  release = true;
+  ASSERT_TRUE(n1.kernel.join_thread(target, 10s).is_ok());
+
+  auto parsed = obs::parse_json(cluster.trace_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const obs::JsonValue* events = parsed.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  struct Row {
+    double ts, dur, pid;
+    std::string trace, parent;
+  };
+  std::map<std::string, Row> by_id;
+  for (const obs::JsonValue& event : events->array) {
+    const obs::JsonValue* ph = event.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    const obs::JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    const std::string span_id = args->find("span_id")->string;
+    ASSERT_EQ(by_id.count(span_id), 0u) << "duplicate span id " << span_id;
+    by_id[span_id] = Row{event.num_or("ts", 0), event.num_or("dur", 0),
+                         event.num_or("pid", 0), args->find("trace_id")->string,
+                         args->find("parent")->string};
+  }
+  ASSERT_GE(by_id.size(), 3u);
+
+  constexpr double kSlackUs = 1000;
+  int contained = 0;
+  for (const auto& [span_id, row] : by_id) {
+    if (row.parent == "0") continue;
+    auto it = by_id.find(row.parent);
+    if (it == by_id.end() || it->second.pid != row.pid) continue;
+    EXPECT_EQ(row.trace, it->second.trace) << span_id;
+    EXPECT_GE(row.ts, it->second.ts - kSlackUs) << span_id;
+    EXPECT_LE(row.ts + row.dur, it->second.ts + it->second.dur + kSlackUs)
+        << span_id;
+    ++contained;
+  }
+  EXPECT_GE(contained, 1) << "no same-node parent/child pair to validate";
 }
 
 // §6.2 monitoring as an application: the monitor server serves both

@@ -1,0 +1,275 @@
+// doct-top — live telemetry view of a running doct cluster.
+//
+//   doct-top --connect=<addr> [--coordinator=<id>] [--self=<id>]
+//            [--listen=<addr>] [--once | --watch=<ms>] [--json]
+//
+// Attaches to the cluster's collector node (the coordinator in doct-node
+// deployments) as an OBSERVER: a socket-transport endpoint that is not a
+// member of the cluster mesh.  The HELLO frame carries our listen address,
+// so the coordinator auto-adds us as a peer and RPC replies find their way
+// back — no pre-provisioning on the cluster side.
+//
+// Every refresh pulls the merged cluster snapshot over the chunked
+// "obs.cluster_at" RPC and renders one row per node: live lane depths,
+// claimed reservation keys, shed/coalesce counts, kernel delivery rate, RPC
+// retries, and p99s for reservation waits / RPC calls / event handling.
+// Rates and deltas are computed by the cluster's collector, not here; this
+// tool is a pure view.
+//
+// Exit codes: 0 ok, 1 fetch/parse failure, 2 usage.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/id_gen.hpp"
+#include "common/serialize.hpp"
+#include "net/demux.hpp"
+#include "net/socket_transport.hpp"
+#include "obs/collector.hpp"
+#include "rpc/rpc.hpp"
+
+using namespace doct;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Default observer id: far outside any real cluster's node range (so the
+// collector's member cap and failure detector never confuse us with a
+// shard), and pid-unique — the cluster side's peer table is first-write-wins
+// on addresses, so successive attaches must not reuse an id.
+std::uint64_t default_self() {
+  return 913'000'000 + static_cast<std::uint64_t>(::getpid());
+}
+
+struct Options {
+  std::string connect;
+  NodeId coordinator{1};
+  NodeId self{default_self()};
+  std::string listen;
+  bool json = false;
+  // watch_ms == 0 → --once (single snapshot).
+  std::uint64_t watch_ms = 0;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--connect=")) {
+      opt.connect = v;
+    } else if (const char* v = value("--coordinator=")) {
+      opt.coordinator = NodeId{std::strtoull(v, nullptr, 10)};
+    } else if (const char* v = value("--self=")) {
+      opt.self = NodeId{std::strtoull(v, nullptr, 10)};
+    } else if (const char* v = value("--listen=")) {
+      opt.listen = v;
+    } else if (const char* v = value("--watch=")) {
+      opt.watch_ms = std::strtoull(v, nullptr, 10);
+      if (opt.watch_ms == 0) return false;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (once && opt.watch_ms != 0) return false;
+  return !opt.connect.empty() && opt.self.valid() && opt.coordinator.valid();
+}
+
+// Pulls the whole cluster document through the chunked protocol: request
+// {u64 offset}, reply {u64 total, str chunk}; offset 0 makes the collector
+// re-render so one fetch sees one consistent snapshot.
+Result<std::string> fetch_cluster(rpc::RpcEndpoint& rpc, NodeId coordinator) {
+  std::string assembled;
+  while (true) {
+    Writer w;
+    w.put(static_cast<std::uint64_t>(assembled.size()));
+    auto reply =
+        rpc.call(coordinator, "obs.cluster_at", std::move(w).take(), 5s);
+    if (!reply.is_ok()) return reply.status();
+    Reader r(std::move(reply).value());
+    const auto total = r.get<std::uint64_t>();
+    const std::string chunk = r.get_string();
+    assembled += chunk;
+    if (assembled.size() >= total) return assembled;
+    if (chunk.empty()) {
+      return Status(StatusCode::kInternal, "truncated cluster fetch");
+    }
+  }
+}
+
+double section_num(const obs::JsonValue& row, const char* section,
+                   const char* name) {
+  const obs::JsonValue* s = row.find(section);
+  return s == nullptr ? 0.0 : s->num_or(name, 0.0);
+}
+
+double histo_p99(const obs::JsonValue& row, const char* name) {
+  const obs::JsonValue* histograms = row.find("histograms");
+  if (histograms == nullptr) return 0.0;
+  const obs::JsonValue* h = histograms->find(name);
+  return h == nullptr ? 0.0 : h->num_or("p99", 0.0);
+}
+
+std::string fmt_count(double v) {
+  std::ostringstream out;
+  out << static_cast<long long>(v);
+  return out.str();
+}
+
+std::string fmt_us(double v) {
+  std::ostringstream out;
+  if (v >= 1000.0) {
+    out << std::fixed << std::setprecision(1) << v / 1000.0 << "ms";
+  } else {
+    out << static_cast<long long>(v) << "us";
+  }
+  return out.str();
+}
+
+std::string fmt_rate(double v) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(v >= 100 ? 0 : 1) << v;
+  return out.str();
+}
+
+// One row per node:
+//   NODE UP(s) | CTL EVT BLK CLAIM | SHED COAL | DLV/s RETRY |
+//   RSV-P99 RPC-P99 EVT-P99
+int render_table(const std::string& doc) {
+  auto parsed = obs::parse_json(doc);
+  if (!parsed.is_ok()) {
+    std::cerr << "doct-top: bad cluster document: "
+              << parsed.status().to_string() << "\n";
+    return 1;
+  }
+  const obs::JsonValue& root = parsed.value();
+  const obs::JsonValue* nodes = root.find("nodes");
+  if (nodes == nullptr || nodes->object.empty()) {
+    std::cerr << "doct-top: no nodes in cluster snapshot\n";
+    return 1;
+  }
+
+  // std::map<std::string,...> sorts "10" before "2"; re-key numerically.
+  std::map<std::uint64_t, const obs::JsonValue*> rows;
+  for (const auto& [key, value] : nodes->object) {
+    rows[std::strtoull(key.c_str(), nullptr, 10)] = &value;
+  }
+
+  std::ostringstream out;
+  out << std::left << std::setw(6) << "NODE" << std::right << std::setw(7)
+      << "UP(s)" << std::setw(6) << "CTL" << std::setw(6) << "EVT"
+      << std::setw(6) << "BLK" << std::setw(7) << "CLAIM" << std::setw(7)
+      << "SHED" << std::setw(7) << "COAL" << std::setw(9) << "DLV/s"
+      << std::setw(7) << "RETRY" << std::setw(10) << "RSV-P99" << std::setw(10)
+      << "RPC-P99" << std::setw(10) << "EVT-P99" << "\n";
+  for (const auto& [node, row] : rows) {
+    const double coalesced = section_num(*row, "counters",
+                                         "exec.control_coalesced") +
+                             section_num(*row, "counters",
+                                         "exec.event_coalesced") +
+                             section_num(*row, "counters",
+                                         "exec.bulk_coalesced");
+    out << std::left << std::setw(6) << node << std::right << std::setw(7)
+        << fmt_count(row->num_or("uptime_us", 0.0) / 1e6) << std::setw(6)
+        << fmt_count(section_num(*row, "counters", "exec.control_depth"))
+        << std::setw(6)
+        << fmt_count(section_num(*row, "counters", "exec.event_depth"))
+        << std::setw(6)
+        << fmt_count(section_num(*row, "counters", "exec.bulk_depth"))
+        << std::setw(7)
+        << fmt_count(section_num(*row, "counters", "exec.reservation_claimed"))
+        << std::setw(7)
+        << fmt_count(section_num(*row, "counters", "exec.shed_total"))
+        << std::setw(7) << fmt_count(coalesced) << std::setw(9)
+        << fmt_rate(section_num(*row, "rates", "kernel.notices_delivered"))
+        << std::setw(7)
+        << fmt_count(section_num(*row, "counters", "rpc.retries_sent"))
+        << std::setw(10) << fmt_us(histo_p99(*row,
+                                             "exec.reservation_blocked_us"))
+        << std::setw(10) << fmt_us(histo_p99(*row, "rpc.call_us"))
+        << std::setw(10) << fmt_us(histo_p99(*row, "events.handle_us"))
+        << "\n";
+  }
+  std::cout << out.str() << std::flush;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::cerr << "usage: doct-top --connect=<addr> [--coordinator=<id>] "
+                 "[--self=<id>] [--listen=<addr>] [--once | --watch=<ms>] "
+                 "[--json]\n";
+    return 2;
+  }
+  if (opt.listen.empty()) {
+    opt.listen = "unix:/tmp/doct-top-" + std::to_string(::getpid()) + ".sock";
+  }
+
+  net::SocketTransportConfig tc;
+  tc.self = opt.self;
+  tc.listen = opt.listen;
+  tc.peers[opt.coordinator] = opt.connect;
+  net::SocketTransport transport(tc);
+  const Status started = transport.start();
+  if (!started.is_ok()) {
+    std::cerr << "doct-top: transport: " << started.to_string() << "\n";
+    return 1;
+  }
+
+  net::Demux demux;
+  // Cluster members broadcast heartbeats at every peer — including attached
+  // observers.  Swallow them instead of warn-logging over the display.
+  demux.route(net::kHeartbeat, [](const net::Message&) {});
+  const Status registered =
+      transport.register_node(opt.self, demux.as_handler());
+  if (!registered.is_ok()) {
+    std::cerr << "doct-top: register: " << registered.to_string() << "\n";
+    return 1;
+  }
+  IdGenerator ids(opt.self.value() << 40);
+  rpc::RpcEndpoint rpc(transport, demux, opt.self, ids);
+
+  if (!transport.wait_for_peers(1, 10s)) {
+    std::cerr << "doct-top: no connection to " << opt.connect << "\n";
+    return 1;
+  }
+
+  while (true) {
+    auto doc = fetch_cluster(rpc, opt.coordinator);
+    if (!doc.is_ok()) {
+      std::cerr << "doct-top: fetch: " << doc.status().to_string() << "\n";
+      return 1;
+    }
+    int rc;
+    if (opt.json) {
+      std::cout << doc.value() << std::endl;
+      rc = 0;
+    } else {
+      rc = render_table(doc.value());
+    }
+    if (opt.watch_ms == 0) return rc;
+    std::cout << "\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.watch_ms));
+  }
+}
