@@ -132,7 +132,7 @@ void handle_command(Shell& shell, const std::string& line) {
     object->define_entry(
         "on_event",
         [](objects::CallCtx& ctx) -> Result<objects::Payload> {
-          events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+          events::EventBlock block = events::EventBlock::from_ctx(ctx);
           std::cout << "  [object handler] " << block.event_name() << "\n";
           return objects::Payload{};
         },

@@ -15,6 +15,11 @@ where LOWER is better, plus two families of user counters:
   overload signal): LOWER is better.  A baseline of 0 is never flagged —
   there is no meaningful relative change from zero, and an overload bench
   arm that *expects* sheds reports a non-zero baseline anyway.
+* ``*_allocs_per_op`` steady-state allocation counts (the E14 zero-alloc
+  substrate gate): LOWER is better, with a HARD-ZERO rule — a baseline of 0
+  means the path is certified allocation-free, so ANY current value above
+  zero is a regression (no relative threshold applies; 0 -> 1 is the whole
+  point of the gate).
 
 Regressions beyond the threshold are reported as GitHub Actions ::warning::
 annotations; the exit code stays 0 unless --fail is given, so CI warns
@@ -58,6 +63,7 @@ _RESERVED = {
 _RATE_SUFFIXES = ("_per_sec",)
 _LATENCY_SUFFIXES = ("_p50_us", "_p90_us", "_p99_us", "_max_us")
 _SHED_SUFFIXES = ("_shed_total",)
+_ALLOC_SUFFIXES = ("_allocs_per_op",)
 # Shown but never flagged (single outliers dominate the max).
 _UNFLAGGED_SUFFIXES = ("_max_us",)
 
@@ -85,6 +91,7 @@ def load_benchmarks(path):
         rates = {}
         latencies = {}
         sheds = {}
+        allocs = {}
         for key, value in bench.items():
             if key in _RESERVED or not isinstance(value, (int, float)):
                 continue
@@ -94,12 +101,15 @@ def load_benchmarks(path):
                 latencies[key] = float(value)
             elif key.endswith(_SHED_SUFFIXES):
                 sheds[key] = float(value)
+            elif key.endswith(_ALLOC_SUFFIXES):
+                allocs[key] = float(value)
         out[name] = {
             "time": float(time),
             "unit": bench.get("time_unit", "ns"),
             "rates": rates,
             "latencies": latencies,
             "sheds": sheds,
+            "allocs": allocs,
         }
     return out
 
@@ -236,9 +246,34 @@ def main():
                 (label, f"{base_shed:,.0f}", f"{cur_shed:,.0f}", shed_delta,
                  worse)
             )
+        # Allocation counters: lower is better.  A zero baseline is a
+        # certification, not a missing signal — the hard-zero gate flags ANY
+        # non-zero current value (a fresh allocation on a certified-free path
+        # is exactly the regression this family exists to catch).
+        for counter, cur_alloc in sorted(cur.get("allocs", {}).items()):
+            base_alloc = base.get("allocs", {}).get(counter)
+            label = f"{name} [{counter}]"
+            if base_alloc is None:
+                rows.append((label, "--", f"{cur_alloc:,.2f}", None, False))
+                continue
+            if base_alloc == 0:
+                worse = cur_alloc > 0
+                alloc_delta = None
+            else:
+                alloc_delta = (cur_alloc - base_alloc) / base_alloc
+                worse = alloc_delta > args.threshold
+            if worse:
+                regressions.append(
+                    (label, f"{base_alloc:,.2f}", f"{cur_alloc:,.2f}",
+                     alloc_delta if alloc_delta is not None else float("inf"))
+                )
+            rows.append(
+                (label, f"{base_alloc:,.2f}", f"{cur_alloc:,.2f}", alloc_delta,
+                 worse)
+            )
         # Counters the baseline tracked for this row but the current run no
         # longer emits — each one is lost guard coverage.
-        for family in ("rates", "latencies", "sheds"):
+        for family in ("rates", "latencies", "sheds", "allocs"):
             for counter in sorted(set(base[family]) - set(cur[family])):
                 missing.append(f"{name} [{counter}]")
 

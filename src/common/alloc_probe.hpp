@@ -1,0 +1,72 @@
+// Allocation-counting test hook for the zero-alloc fast-path gate.
+//
+// Including this header REPLACES the global operator new/delete for the
+// whole binary with counting versions, so include it in EXACTLY ONE
+// translation unit per binary (the substrate test and bench_e14_substrate).
+// The counters are process-wide: a measurement window is
+//
+//   warm up the path;                      // pools/tables populate
+//   doct::common::alloc_probe_reset();
+//   ... exercise the steady-state path ...
+//   n = doct::common::alloc_probe_allocs();
+//
+// Keep the window free of gtest/benchmark machinery (asserts, state
+// captures) — those allocate and would be charged to the path under test.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace doct::common {
+
+inline std::atomic<std::uint64_t> g_alloc_probe_count{0};
+
+inline void alloc_probe_reset() {
+  g_alloc_probe_count.store(0, std::memory_order_relaxed);
+}
+
+inline std::uint64_t alloc_probe_allocs() {
+  return g_alloc_probe_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace doct::common
+
+// Global replacements: every heap acquisition funnels through these (the
+// sized/aligned deletes forward).  std::malloc keeps sanitizer interposition
+// working under ASan/TSan.
+inline void* doct_alloc_probe_alloc(std::size_t size, std::size_t align) {
+  doct::common::g_alloc_probe_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size) {
+  return doct_alloc_probe_alloc(size, 0);
+}
+void* operator new[](std::size_t size) {
+  return doct_alloc_probe_alloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return doct_alloc_probe_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return doct_alloc_probe_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,366 @@
+// Small fixed-footprint building blocks for the zero-allocation hot path.
+//
+// The lock-free substrate (mpsc_queue.hpp) removes the *locks* from the
+// delivery spine; the types here remove the *allocations*.  Every one of them
+// exists because a profile of the same-node raise→handler path showed a heap
+// round-trip hiding inside an innocent-looking std type:
+//
+//   SmallTask    std::function<void()> heap-allocates any capture larger than
+//                two pointers — a moved EventNotice never fits.  SmallTask is
+//                a move-only callable with a fixed in-object buffer: captures
+//                up to kSmallTaskSize bytes are stored inline, and an
+//                oversized capture is a compile error, not a silent malloc.
+//   InlineVec    small-vector with N inline slots (reservation-key sets are
+//                1–3 keys; the heap spill only triggers on pathological
+//                nesting depth).
+//   FixedHashSet open-addressing set of non-zero u64 keys (the executor's
+//                claimed-reservation set): no per-node allocation, grows by
+//                table doubling so a warmed executor never allocates again.
+//   PaddedCounter a relaxed atomic u64 on its own cache line, killing false
+//                sharing between unrelated hot counters packed into one
+//                *Stats struct.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace doct::common {
+
+// ---------------------------------------------------------------------------
+// PaddedCounter
+
+// One atomic counter per cache line.  Drop-in for the bare
+// std::atomic<std::uint64_t> members of the hot *Stats structs: exposes the
+// same fetch_add/load/store surface so call sites (including member-pointer
+// bump helpers) compile unchanged.
+struct alignas(64) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+
+  std::uint64_t fetch_add(std::uint64_t delta,
+                          std::memory_order order =
+                              std::memory_order_relaxed) noexcept {
+    return value.fetch_add(delta, order);
+  }
+  [[nodiscard]] std::uint64_t load(std::memory_order order =
+                                       std::memory_order_relaxed)
+      const noexcept {
+    return value.load(order);
+  }
+  void store(std::uint64_t v, std::memory_order order =
+                                  std::memory_order_relaxed) noexcept {
+    value.store(v, order);
+  }
+};
+static_assert(sizeof(PaddedCounter) == 64, "one counter per cache line");
+
+// ---------------------------------------------------------------------------
+// SmallTask
+
+inline constexpr std::size_t kSmallTaskSize = 320;
+
+// Move-only callable wrapper with a fixed inline buffer and NO heap fallback.
+// The executor's task type: a capture that does not fit is a compile error,
+// which is exactly the contract the zero-alloc delivery path needs — nobody
+// can silently regress it back into a malloc.
+template <std::size_t Size>
+class BasicSmallTask {
+ public:
+  BasicSmallTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BasicSmallTask> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  BasicSmallTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  BasicSmallTask(BasicSmallTask&& other) noexcept { move_from(other); }
+  BasicSmallTask& operator=(BasicSmallTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  BasicSmallTask(const BasicSmallTask&) = delete;
+  BasicSmallTask& operator=(const BasicSmallTask&) = delete;
+  ~BasicSmallTask() { reset(); }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Decayed = std::decay_t<F>;
+    static_assert(sizeof(Decayed) <= Size,
+                  "capture too large for SmallTask: shrink the capture or "
+                  "raise kSmallTaskSize");
+    static_assert(alignof(Decayed) <= alignof(std::max_align_t),
+                  "over-aligned captures unsupported");
+    reset();
+    ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+    ops_ = &ops_for<Decayed>;
+  }
+
+  void operator()() {
+    ops_->invoke(static_cast<void*>(storage_));
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(static_cast<void*>(storage_));
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move_to)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr Ops ops_for{
+      [](void* self) { (*static_cast<F*>(self))(); },
+      [](void* src, void* dst) {
+        ::new (dst) F(std::move(*static_cast<F*>(src)));
+        static_cast<F*>(src)->~F();
+      },
+      [](void* self) { static_cast<F*>(self)->~F(); },
+  };
+
+  void move_from(BasicSmallTask& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move_to(static_cast<void*>(other.storage_),
+                          static_cast<void*>(storage_));
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Size];
+  const Ops* ops_ = nullptr;
+};
+
+using SmallTask = BasicSmallTask<kSmallTaskSize>;
+
+// ---------------------------------------------------------------------------
+// InlineVec
+
+// Minimal small-vector: N slots inline, heap spill past N.  Only what the
+// reservation-key sets need (push_back, iteration, indexing, ==); keys stay
+// allocation-free at the 1–3 keys every real task carries.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "InlineVec is for trivially copyable payloads (keys, ptrs)");
+
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+  InlineVec(const InlineVec& other) { copy_from(other); }
+  InlineVec(InlineVec&& other) noexcept { steal_from(other); }
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear_storage();
+      copy_from(other);
+    }
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~InlineVec() { clear_storage(); }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = v;
+  }
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void grow() {
+    const std::size_t next = capacity_ * 2;
+    T* heap = new T[next];
+    for (std::size_t i = 0; i < size_; ++i) heap[i] = data_[i];
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = next;
+  }
+  void copy_from(const InlineVec& other) {
+    if (other.size_ > N) {
+      data_ = new T[other.capacity_];
+      capacity_ = other.capacity_;
+    }
+    size_ = other.size_;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+  }
+  void steal_from(InlineVec& other) noexcept {
+    if (other.data_ != other.inline_) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    size_ = other.size_;
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+    other.size_ = 0;
+  }
+  void clear_storage() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  T inline_[N]{};
+  T* data_ = inline_;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// FixedHashSet
+
+// Open-addressing (linear probe) set of NON-ZERO u64 keys with tombstone
+// deletion and power-of-two doubling.  Replaces std::unordered_set for the
+// executor's claimed-reservation set: membership tests and insert/erase on
+// the scheduling path cost zero allocations once the table has warmed up.
+class FixedHashSet {
+ public:
+  explicit FixedHashSet(std::size_t initial_capacity = 64) {
+    cap_ = 16;
+    while (cap_ < initial_capacity) cap_ <<= 1;
+    slots_ = new std::uint64_t[cap_]();
+  }
+  FixedHashSet(const FixedHashSet&) = delete;
+  FixedHashSet& operator=(const FixedHashSet&) = delete;
+  ~FixedHashSet() { delete[] slots_; }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = mix(key) & mask;
+    for (;;) {
+      const std::uint64_t slot = slots_[i];
+      if (slot == key) return true;
+      if (slot == kEmpty) return false;  // tombstones keep probing alive
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Returns true when the key was newly inserted.
+  bool insert(std::uint64_t key) {
+    if ((size_ + tombstones_ + 1) * 4 >= cap_ * 3) rehash();
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = mix(key) & mask;
+    std::size_t first_tomb = cap_;  // cap_ = none seen
+    for (;;) {
+      const std::uint64_t slot = slots_[i];
+      if (slot == key) return false;
+      if (slot == kEmpty) {
+        if (first_tomb != cap_) {
+          slots_[first_tomb] = key;
+          --tombstones_;
+        } else {
+          slots_[i] = key;
+        }
+        ++size_;
+        return true;
+      }
+      if (slot == kTombstone && first_tomb == cap_) first_tomb = i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool erase(std::uint64_t key) noexcept {
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = mix(key) & mask;
+    for (;;) {
+      const std::uint64_t slot = slots_[i];
+      if (slot == key) {
+        slots_[i] = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      if (slot == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  // Keys are reservation identities (never 0); reserve ~0 as the tombstone.
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+  static std::size_t mix(std::uint64_t key) noexcept {
+    // splitmix64 finalizer: reservation keys are pointers/ids with low
+    // entropy in the low bits.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
+  void rehash() {
+    const std::size_t old_cap = cap_;
+    std::uint64_t* old = slots_;
+    cap_ = cap_ * 2;
+    slots_ = new std::uint64_t[cap_]();
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old[i] != kEmpty && old[i] != kTombstone) insert(old[i]);
+    }
+    delete[] old;
+  }
+
+  std::uint64_t* slots_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace doct::common

@@ -71,10 +71,15 @@ class DeserializeError : public std::runtime_error {
 
 class Reader {
  public:
+  // An empty payload borrows the static empty buffer instead of paying a
+  // make_shared — the zero-alloc delivery path (DESIGN §14.2) constructs a
+  // Reader over an empty argument vector on every same-node handler call.
   explicit Reader(std::vector<std::uint8_t> bytes)
-      : owned_(std::make_shared<const std::vector<std::uint8_t>>(
-            std::move(bytes))),
-        bytes_(owned_.get()) {}
+      : owned_(bytes.empty()
+                   ? nullptr
+                   : std::make_shared<const std::vector<std::uint8_t>>(
+                         std::move(bytes))),
+        bytes_(owned_ ? owned_.get() : empty()) {}
 
   // Zero-copy parse: pins a shared buffer (e.g. net::SharedPayload::share())
   // for the Reader's lifetime instead of copying it.  Null means empty.

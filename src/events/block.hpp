@@ -5,63 +5,111 @@
 // defined data structures for user events."
 //
 // The block is a typed view over the EventNotice that reached the handler,
-// plus helpers for unpacking the user-defined structure.
+// plus helpers for unpacking the user-defined structure.  Two forms:
+//
+//   * owned  — constructed from (or deserialized into) a notice the block
+//     stores itself.  Remote deliveries arrive this way.
+//   * view   — borrows the dispatcher's notice (same-node delivery via
+//     ObjectManager::invoke_handler_notice): no serialize/deserialize round
+//     trip and no copy.  The notice outlives the handler call — it is held
+//     by the dispatch task that invoked the entry.
+//
+// Handlers should obtain their block with EventBlock::from_ctx(ctx), which
+// picks the borrowing form when the dispatcher passed the notice in-memory
+// and falls back to deserializing the argument payload otherwise.
 #pragma once
 
 #include "common/serialize.hpp"
 #include "kernel/event_notice.hpp"
+#include "objects/object.hpp"
 
 namespace doct::events {
 
 class EventBlock {
  public:
   explicit EventBlock(kernel::EventNotice notice)
-      : notice_(std::move(notice)) {}
+      : owned_(std::move(notice)), notice_(&owned_) {}
 
-  [[nodiscard]] EventId event() const { return notice_.event; }
+  // Borrowing form: the caller guarantees `notice` outlives the block.
+  explicit EventBlock(const kernel::EventNotice* notice) : notice_(notice) {}
+
+  // Copies and moves re-point notice_ at the destination's own storage when
+  // the source was owning (a blind member copy would alias the source).
+  EventBlock(const EventBlock& other)
+      : owned_(other.owned_),
+        notice_(other.is_view() ? other.notice_ : &owned_) {}
+  EventBlock(EventBlock&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        notice_(other.is_view() ? other.notice_ : &owned_) {}
+  EventBlock& operator=(const EventBlock& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      notice_ = other.is_view() ? other.notice_ : &owned_;
+    }
+    return *this;
+  }
+  EventBlock& operator=(EventBlock&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      notice_ = other.is_view() ? other.notice_ : &owned_;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] EventId event() const { return notice_->event; }
   [[nodiscard]] const std::string& event_name() const {
-    return notice_.event_name;
+    return notice_->event_name;
   }
-  [[nodiscard]] ThreadId raiser() const { return notice_.raiser; }
-  [[nodiscard]] NodeId raiser_node() const { return notice_.raiser_node; }
+  [[nodiscard]] ThreadId raiser() const { return notice_->raiser; }
+  [[nodiscard]] NodeId raiser_node() const { return notice_->raiser_node; }
   [[nodiscard]] ThreadId target_thread() const {
-    return notice_.target_thread;
+    return notice_->target_thread;
   }
-  [[nodiscard]] GroupId target_group() const { return notice_.target_group; }
+  [[nodiscard]] GroupId target_group() const { return notice_->target_group; }
   [[nodiscard]] ObjectId target_object() const {
-    return notice_.target_object;
+    return notice_->target_object;
   }
-  [[nodiscard]] bool synchronous() const { return notice_.synchronous; }
-  [[nodiscard]] ObjectId raised_in() const { return notice_.raised_in; }
+  [[nodiscard]] bool synchronous() const { return notice_->synchronous; }
+  [[nodiscard]] ObjectId raised_in() const { return notice_->raised_in; }
 
   // Kernel-defined system information (simulated register/fault state).
   [[nodiscard]] const std::string& system_info() const {
-    return notice_.system_info;
+    return notice_->system_info;
   }
 
   // User-defined structure appended to the block (§5.1).
   [[nodiscard]] const std::vector<std::uint8_t>& user_data() const {
-    return notice_.user_data;
+    return notice_->user_data;
   }
   [[nodiscard]] Reader user_reader() const {
-    return Reader{notice_.user_data};
+    return Reader{notice_->user_data};
   }
 
-  [[nodiscard]] const kernel::EventNotice& notice() const { return notice_; }
+  [[nodiscard]] const kernel::EventNotice& notice() const { return *notice_; }
 
-  // Wire helpers: object-entry handlers receive the block as their argument
-  // payload.
+  // Wire helpers: object-entry handlers on the REMOTE path receive the block
+  // as their argument payload.
   [[nodiscard]] std::vector<std::uint8_t> to_payload() const {
     Writer w;
-    notice_.serialize(w);
+    notice_->serialize(w);
     return std::move(w).take();
   }
   static EventBlock from_payload(Reader& r) {
     return EventBlock{kernel::EventNotice::deserialize(r)};
   }
 
+  // The handler-side entry point: borrow the dispatcher's notice when the
+  // delivery stayed on this node, deserialize the payload otherwise.
+  static EventBlock from_ctx(const objects::CallCtx& ctx) {
+    if (ctx.notice != nullptr) return EventBlock{ctx.notice};
+    return from_payload(ctx.args);
+  }
+
  private:
-  kernel::EventNotice notice_;
+  [[nodiscard]] bool is_view() const { return notice_ != &owned_; }
+
+  kernel::EventNotice owned_;  // untouched in the borrowing form
+  const kernel::EventNotice* notice_;
 };
 
 }  // namespace doct::events

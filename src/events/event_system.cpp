@@ -158,7 +158,7 @@ Result<HandlerId> EventSystem::attach_handler(EventId event, ObjectId object,
     return Status{StatusCode::kInvalidArgument,
                   "attach_handler requires a logical thread"};
   }
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
   kernel::HandlerRecord record;
@@ -184,7 +184,7 @@ Result<HandlerId> EventSystem::attach_handler(EventId event,
     return Status{StatusCode::kInvalidArgument,
                   "attach_handler requires a logical thread"};
   }
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
   if (!procedures_.lookup(procedure).is_ok()) {
@@ -240,7 +240,7 @@ kernel::EventNotice EventSystem::make_notice(EventId event,
 
 Status EventSystem::raise(EventId event, ThreadId target,
                           rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
   bump(&AtomicStats::raises_async);
@@ -283,7 +283,7 @@ Status EventSystem::raise(EventId event, ThreadId target,
 
 Status EventSystem::raise(EventId event, GroupId target,
                           rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
   bump(&AtomicStats::raises_async);
@@ -300,7 +300,7 @@ Status EventSystem::raise(EventId event, GroupId target,
 
 Status EventSystem::raise(EventId event, ObjectId target,
                           rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return {StatusCode::kUnknownEvent, event.to_string()};
   }
   bump(&AtomicStats::raises_async);
@@ -318,7 +318,7 @@ Status EventSystem::raise(EventId event, ObjectId target,
 Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
                                                     ThreadId target,
                                                     rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
   kernel::ThreadContext* ctx = kernel::Kernel::current();
@@ -355,7 +355,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
 Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
                                                     GroupId target,
                                                     rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
   bump(&AtomicStats::raises_sync);
@@ -381,7 +381,7 @@ Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
 Result<kernel::Verdict> EventSystem::raise_and_wait(EventId event,
                                                     ObjectId target,
                                                     rpc::Payload user_data) {
-  if (!registry_.info(event).is_ok()) {
+  if (!registry_.known(event)) {
     return Status{StatusCode::kUnknownEvent, event.to_string()};
   }
   bump(&AtomicStats::raises_sync);
@@ -536,14 +536,15 @@ std::pair<bool, kernel::Verdict> EventSystem::run_handler(
       bump(&AtomicStats::thread_handlers_run);
       trace_.record(TraceStage::kHandlerRun, notice.event, notice.event_name,
                     ctx.tid(), record.object, record.entry, notice.trace_id);
-      const EventBlock block{notice};
       const NodeId home = objects::ObjectManager::object_node(record.object);
       Result<rpc::Payload> result{rpc::Payload{}};
       if (home == kernel_.self()) {
-        result = manager_.invoke_handler_entry(record.object, record.entry,
-                                               block.to_payload(), &ctx);
+        // Zero-marshal: the entry borrows the notice via CallCtx.
+        result = manager_.invoke_handler_notice(record.object, record.entry,
+                                                notice);
       } else {
         // The "unscheduled invocation" (§7.2) to wherever the handler lives.
+        const EventBlock block{notice};
         Writer w;
         w.put(record.object);
         w.put(record.entry);
@@ -755,10 +756,11 @@ kernel::Verdict EventSystem::run_object_handler_now(
   }
 
   bump(&AtomicStats::object_handlers_run);
-  const EventBlock block{notice};
   const std::int64_t t0 = obs::metrics_enabled() ? obs::now_us() : 0;
-  auto result = manager_.invoke_handler_entry(notice.target_object, entry,
-                                              block.to_payload(), nullptr);
+  // Zero-marshal: local delivery hands the entry the notice itself (via
+  // CallCtx::notice / EventBlock::from_ctx) — no serialize/deserialize.
+  auto result =
+      manager_.invoke_handler_notice(notice.target_object, entry, notice);
   if (t0 != 0) handle_us_->record_us(obs::now_us() - t0);
   if (!result.is_ok()) {
     DOCT_LOG(kWarn) << "object handler " << entry << " failed: "

@@ -101,6 +101,11 @@ Result<EventInfo> EventRegistry::info(EventId id) const {
   return it->second;
 }
 
+bool EventRegistry::known(EventId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.contains(id);
+}
+
 std::string EventRegistry::name_of(EventId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(id);

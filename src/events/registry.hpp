@@ -109,6 +109,9 @@ class EventRegistry {
 
   [[nodiscard]] Result<EventId> lookup(const std::string& name) const;
   [[nodiscard]] Result<EventInfo> info(EventId id) const;
+  // Existence check for the raise hot path: info() copies the EventInfo
+  // (and its name string); this answers without constructing anything.
+  [[nodiscard]] bool known(EventId id) const;
   [[nodiscard]] std::string name_of(EventId id) const;  // "" if unknown
   [[nodiscard]] bool is_control(EventId id) const;
   [[nodiscard]] bool is_bulk(EventId id) const;

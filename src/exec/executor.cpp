@@ -15,6 +15,11 @@ namespace {
 // submissions (surrogate chains) read it to inherit their parent's keys.
 thread_local const ReservationSet* t_current_reservations = nullptr;
 
+// Shadow-claim bound for one pick scan.  A scan that accumulates more
+// blocked keys than this stops early (conservative: admitting nothing past
+// that point can never reorder), keeping the scan allocation-free.
+constexpr std::size_t kShadowMax = 128;
+
 }  // namespace
 
 const ReservationSet* Executor::current_reservations() {
@@ -31,6 +36,32 @@ const char* lane_name(Lane lane) {
       return "bulk";
   }
   return "unknown";
+}
+
+void Executor::TaskList::push_back(Task* task) {
+  task->qprev = tail;
+  task->qnext = nullptr;
+  if (tail != nullptr) {
+    tail->qnext = task;
+  } else {
+    head = task;
+  }
+  tail = task;
+}
+
+void Executor::TaskList::erase(Task* task) {
+  if (task->qprev != nullptr) {
+    task->qprev->qnext = task->qnext;
+  } else {
+    head = task->qnext;
+  }
+  if (task->qnext != nullptr) {
+    task->qnext->qprev = task->qprev;
+  } else {
+    tail = task->qprev;
+  }
+  task->qprev = nullptr;
+  task->qnext = nullptr;
 }
 
 Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
@@ -60,6 +91,7 @@ Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
       (config_.event.width == 0 || config_.event.width > 1)) {
     config_.event.width = 1;
   }
+  lockfree_ = config_.queue == common::QueueBackend::kLockfree;
 
   for (std::size_t i = 0; i < kLaneCount; ++i) {
     const std::string lane = lane_name(static_cast<Lane>(i));
@@ -98,6 +130,7 @@ Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
     out.emplace_back("reservation_acquired", s.reservation_acquired);
     out.emplace_back("reservation_conflicts", s.reservation_conflicts);
     out.emplace_back("reservation_claimed", claimed_keys());
+    out.emplace_back("wakeups", s.wakeups);
     return out;
   });
 
@@ -107,7 +140,22 @@ Executor::Executor(ExecutorConfig config, std::string name, std::uint64_t node)
   }
 }
 
-Executor::~Executor() { shutdown(); }
+Executor::~Executor() {
+  shutdown();
+  // A producer racing shutdown() can land one last intake node after the
+  // final drain; reclaim it here (its fn was accepted but the executor is
+  // gone — same fate as work queued at process teardown).
+  for (auto& state : lanes_) {
+    common::MpscNode* node = state.intake.take_all();
+    while (node != nullptr) {
+      common::MpscNode* next = node->next;
+      delete static_cast<Task*>(node);
+      node = next;
+    }
+  }
+  Task* pooled = nullptr;
+  while (task_pool_.pop(pooled)) delete pooled;
+}
 
 const LaneConfig& Executor::lane_config(std::size_t lane) const {
   switch (static_cast<Lane>(lane)) {
@@ -127,33 +175,73 @@ std::size_t Executor::physical_lane(Lane lane) const {
 }
 
 void Executor::note_shed(Lane lane) {
-  stats_[static_cast<std::size_t>(lane)].shed.fetch_add(
-      1, std::memory_order_relaxed);
+  stats_[static_cast<std::size_t>(lane)].shed.fetch_add(1);
   if (obs::metrics_enabled()) shed_counter_->add();
 }
 
-Status Executor::submit(Lane lane, std::function<void()> fn) {
+Executor::Task* Executor::alloc_task() {
+  Task* task = nullptr;
+  if (!task_pool_.pop(task)) task = new Task;
+  return task;
+}
+
+void Executor::recycle_task(Task* task) {
+  task->fn.reset();
+  task->key = 0;
+  task->enqueued_us = 0;
+  task->origin = Lane::kEvent;
+  task->keys.clear();
+  task->conflicted = false;
+  task->blocked_since_us = 0;
+  task->trace = obs::TraceContext{};
+  task->next = nullptr;
+  task->qprev = nullptr;
+  task->qnext = nullptr;
+  if (!task_pool_.push(task)) delete task;
+}
+
+void Executor::wake_workers() {
+  // Dekker pairing with worker_loop: the producer's chain push must be
+  // globally ordered before its read of wake_pending_, and the worker's
+  // clear of wake_pending_ before its chain drain — otherwise a producer
+  // can read a stale pending==true for a node the worker's drain missed
+  // (lost wakeup).  Two seq_cst fences close the store-buffer window.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  wakeups_.fetch_add(1);
+  // Empty critical section: serializes with a worker between its rescan and
+  // its wait, so the notify below cannot be lost.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  work_cv_.notify_all();
+}
+
+void Executor::wake_workers_locked() {
+  wake_pending_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+}
+
+Status Executor::submit(Lane lane, common::SmallTask fn) {
   return admit(lane, std::move(fn), 0, /*may_block=*/true);
 }
 
-Status Executor::try_submit(Lane lane, std::function<void()> fn) {
+Status Executor::try_submit(Lane lane, common::SmallTask fn) {
   return admit(lane, std::move(fn), 0, /*may_block=*/false);
 }
 
 Status Executor::submit(Lane lane, ReservationSet reservations,
-                        std::function<void()> fn) {
+                        common::SmallTask fn) {
   return admit(lane, std::move(fn), 0, /*may_block=*/true,
                std::move(reservations));
 }
 
 Status Executor::try_submit(Lane lane, ReservationSet reservations,
-                            std::function<void()> fn) {
+                            common::SmallTask fn) {
   return admit(lane, std::move(fn), 0, /*may_block=*/false,
                std::move(reservations));
 }
 
 Status Executor::submit_coalesced(Lane lane, std::uint64_t key,
-                                  std::function<void()> fn) {
+                                  common::SmallTask fn) {
   if (key == 0) {
     return {StatusCode::kInvalidArgument, "coalesce key must be non-zero"};
   }
@@ -161,35 +249,96 @@ Status Executor::submit_coalesced(Lane lane, std::uint64_t key,
   return admit(lane, std::move(fn), key, /*may_block=*/false);
 }
 
-Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
+Status Executor::admit(Lane lane, common::SmallTask fn, std::uint64_t key,
                        bool may_block, ReservationSet reservations) {
-  stats_[static_cast<std::size_t>(lane)].submitted.fetch_add(
-      1, std::memory_order_relaxed);
+  stats_[static_cast<std::size_t>(lane)].submitted.fetch_add(1);
+  // Keyed (coalescible) admission needs the supersede-in-place index, which
+  // only exists under mu_; it is never the hot path.
+  if (!lockfree_ || key != 0) {
+    return admit_locked(lane, std::move(fn), key, may_block,
+                        std::move(reservations));
+  }
+
+  const std::size_t idx = physical_lane(lane);
+  const LaneConfig& cfg = lane_config(idx);
+  LaneState& state = lanes_[idx];
+  if (closed_.load(std::memory_order_acquire)) {
+    return {StatusCode::kAborted, "executor shutting down"};
+  }
+  for (;;) {
+    const std::uint64_t prev =
+        state.depth.fetch_add(1, std::memory_order_acq_rel);
+    if (cfg.capacity == 0 || prev < cfg.capacity) break;  // admitted
+    state.depth.fetch_sub(1, std::memory_order_relaxed);
+    if (!may_block || cfg.policy != OverloadPolicy::kBlock) {
+      note_shed(lane);
+      return {StatusCode::kResourceExhausted,
+              std::string("lane overloaded: ") + lane_name(lane)};
+    }
+    // kBlock overflow parks on the (cold) scheduler mutex, then retries the
+    // admission loop — re-entering THROUGH the intake so a blocked producer
+    // can never overtake tasks admitted while it waited.
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool space = space_cv_.wait_for(lock, cfg.block_deadline, [&] {
+      return closed_.load(std::memory_order_relaxed) ||
+             state.depth.load(std::memory_order_relaxed) < cfg.capacity;
+    });
+    if (closed_.load(std::memory_order_relaxed)) {
+      return {StatusCode::kAborted, "executor shutting down"};
+    }
+    if (!space) {
+      note_shed(lane);
+      return {StatusCode::kResourceExhausted,
+              std::string("lane full past block deadline: ") +
+                  lane_name(lane)};
+    }
+  }
+  Task* task = alloc_task();
+  task->fn = std::move(fn);
+  task->origin = lane;
+  task->keys = std::move(reservations);
+  if (obs::metrics_enabled()) {
+    task->enqueued_us = obs::now_us();
+    depth_gauge_[idx]->add(1);
+  }
+  if (obs::tracing_enabled()) task->trace = obs::current_context();
+  state.intake.push(task);
+  wake_workers();
+  return Status::ok();
+}
+
+Status Executor::admit_locked(Lane lane, common::SmallTask fn,
+                              std::uint64_t key, bool may_block,
+                              ReservationSet reservations) {
   const std::size_t idx = physical_lane(lane);
   const LaneConfig& cfg = lane_config(idx);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) {
+    if (closed_.load(std::memory_order_relaxed)) {
       return {StatusCode::kAborted, "executor shutting down"};
     }
     LaneState& state = lanes_[idx];
     if (key != 0) {
+      // The supersede check must see queued-but-undrained lockfree intake
+      // nodes too; splice them in before consulting the index.
+      if (lockfree_) drain_intakes_locked();
       auto it = state.coalesce_index.find(key);
       if (it != state.coalesce_index.end()) {
         // Idempotent work already queued: the fresh fn supersedes it in
         // place — same queue position, no extra capacity.
         it->second->fn = std::move(fn);
-        stats_[static_cast<std::size_t>(lane)].coalesced.fetch_add(
-            1, std::memory_order_relaxed);
+        stats_[static_cast<std::size_t>(lane)].coalesced.fetch_add(1);
         return Status::ok();
       }
     }
-    if (cfg.capacity > 0 && state.queue.size() >= cfg.capacity) {
+    if (cfg.capacity > 0 &&
+        state.depth.load(std::memory_order_relaxed) >= cfg.capacity) {
       if (may_block && cfg.policy == OverloadPolicy::kBlock) {
         const bool space = space_cv_.wait_for(lock, cfg.block_deadline, [&] {
-          return closed_ || state.queue.size() < cfg.capacity;
+          return closed_.load(std::memory_order_relaxed) ||
+                 state.depth.load(std::memory_order_relaxed) < cfg.capacity;
         });
-        if (closed_) {
+        if (closed_.load(std::memory_order_relaxed)) {
           return {StatusCode::kAborted, "executor shutting down"};
         }
         if (!space) {
@@ -204,7 +353,7 @@ Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
                 std::string("lane overloaded: ") + lane_name(lane)};
       }
     }
-    auto task = std::make_unique<Task>();
+    Task* task = alloc_task();
     task->fn = std::move(fn);
     task->key = key;
     task->origin = lane;
@@ -214,17 +363,33 @@ Status Executor::admit(Lane lane, std::function<void()> fn, std::uint64_t key,
       depth_gauge_[idx]->add(1);
     }
     if (obs::tracing_enabled()) task->trace = obs::current_context();
-    if (key != 0) state.coalesce_index[key] = task.get();
-    state.queue.push_back(std::move(task));
+    if (key != 0) state.coalesce_index[key] = task;
+    state.depth.fetch_add(1, std::memory_order_relaxed);
+    state.staging.push_back(task);
   }
   // Heterogeneous waiters (control-reserve vs general workers) share one cv;
   // notify_all so a reserved worker cannot swallow a general worker's wakeup.
-  work_cv_.notify_all();
+  wake_workers();
   return Status::ok();
 }
 
-std::size_t Executor::take_batch_locked(
-    std::size_t worker_index, std::vector<std::unique_ptr<Task>>& out) {
+void Executor::drain_intakes_locked() {
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    LaneState& state = lanes_[i];
+    if (state.intake.empty()) continue;
+    common::MpscNode* node = state.intake.take_all();
+    while (node != nullptr) {
+      common::MpscNode* next = node->next;
+      Task* task = static_cast<Task*>(node);
+      task->next = nullptr;
+      state.staging.push_back(task);
+      node = next;
+    }
+  }
+}
+
+std::size_t Executor::take_batch_locked(std::size_t worker_index,
+                                        std::vector<Task*>& out) {
   const bool control_only =
       !config_.single_lane && worker_index < config_.control_reserve;
   const std::size_t last =
@@ -232,41 +397,55 @@ std::size_t Executor::take_batch_locked(
   const bool obs_on = obs::metrics_enabled() || obs::tracing_enabled();
   for (std::size_t lane = 0; lane <= last; ++lane) {
     LaneState& state = lanes_[lane];
-    if (state.queue.empty()) continue;
+    if (state.staging.empty()) continue;
     const LaneConfig& cfg = lane_config(lane);
     if (!config_.single_lane && cfg.width > 0 && state.active >= cfg.width) {
       continue;
     }
     const std::size_t take_max =
-        cfg.batch > 0 ? cfg.batch : state.queue.size();
+        cfg.batch > 0 ? cfg.batch : ~std::size_t{0};
     // Shadow-claims: keys of tasks we skipped.  A later task sharing any of
     // them may not overtake — that is the per-key FIFO guarantee that keeps
-    // same-target delivery order identical to the width-1 run.
-    std::unordered_set<ReservationKey> shadow;
-    for (auto it = state.queue.begin();
-         it != state.queue.end() && out.size() < take_max;) {
-      Task& task = **it;
+    // same-target delivery order identical to the width-1 run.  Fixed
+    // array + linear scan: key sets are tiny and this path must not
+    // allocate.
+    ReservationKey shadow[kShadowMax];
+    std::size_t nshadow = 0;
+    for (Task* task = state.staging.head;
+         task != nullptr && out.size() < take_max;) {
+      Task* next = task->qnext;
       bool blocked = false;
-      for (const ReservationKey key : task.keys) {
-        if (claimed_.count(key) != 0 || shadow.count(key) != 0) {
+      for (const ReservationKey key : task->keys) {
+        bool shadowed = false;
+        for (std::size_t s = 0; s < nshadow && !shadowed; ++s) {
+          shadowed = shadow[s] == key;
+        }
+        if (shadowed || claimed_.contains(key)) {
           blocked = true;
           break;
         }
       }
       if (blocked) {
-        shadow.insert(task.keys.begin(), task.keys.end());
-        if (!task.conflicted) {
-          task.conflicted = true;
-          reservation_conflicts_.fetch_add(1, std::memory_order_relaxed);
-          if (obs_on) task.blocked_since_us = obs::now_us();
+        if (nshadow + task->keys.size() > kShadowMax) {
+          // Shadow set exhausted: stop the scan here.  Conservative —
+          // admitting nothing past a blocked task can never reorder.
+          break;
         }
-        ++it;
+        for (const ReservationKey key : task->keys) shadow[nshadow++] = key;
+        if (!task->conflicted) {
+          task->conflicted = true;
+          reservation_conflicts_.fetch_add(1);
+          if (obs_on) task->blocked_since_us = obs::now_us();
+        }
+        task = next;
         continue;
       }
-      claimed_.insert(task.keys.begin(), task.keys.end());
-      if (task.key != 0) state.coalesce_index.erase(task.key);
-      out.push_back(std::move(*it));
-      it = state.queue.erase(it);
+      for (const ReservationKey key : task->keys) claimed_.insert(key);
+      if (task->key != 0) state.coalesce_index.erase(task->key);
+      state.staging.erase(task);
+      state.depth.fetch_sub(1, std::memory_order_relaxed);
+      out.push_back(task);
+      task = next;
     }
     if (!out.empty()) return lane;
     // Every queued task here is blocked on a reservation; a lower lane may
@@ -278,21 +457,28 @@ std::size_t Executor::take_batch_locked(
 void Executor::worker_loop(std::size_t worker_index) {
   const bool control_only =
       !config_.single_lane && worker_index < config_.control_reserve;
-  std::vector<std::unique_ptr<Task>> batch;
+  std::vector<Task*> batch;
+  batch.reserve(64);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    // Clear the wakeup gate BEFORE rescanning: an admission landing after
+    // the rescan re-arms it and pays the (single) notify.
+    wake_pending_.store(false, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);  // pairs wake_workers
+    drain_intakes_locked();
     batch.clear();
     const std::size_t lane = take_batch_locked(worker_index, batch);
     if (lane == kLaneCount) {
-      if (closed_) {
+      if (closed_.load(std::memory_order_relaxed)) {
         // Exit only when every queue in this worker's scope is drained; a
         // width-saturated lane (or a reservation-blocked task) still has a
         // running owner that will release and finish it.
-        bool drained = lanes_[static_cast<std::size_t>(Lane::kControl)]
-                           .queue.empty();
+        bool drained =
+            lanes_[static_cast<std::size_t>(Lane::kControl)].staging.empty();
         if (!control_only) {
           for (std::size_t i = 0; i < kLaneCount; ++i) {
-            drained = drained && lanes_[i].queue.empty();
+            drained = drained && lanes_[i].staging.empty() &&
+                      lanes_[i].intake.empty();
           }
         }
         if (drained) return;
@@ -310,38 +496,39 @@ void Executor::worker_loop(std::size_t worker_index) {
     if (obs::metrics_enabled()) {
       depth_gauge_[lane]->add(-static_cast<std::int64_t>(batch.size()));
       const std::int64_t now = obs::now_us();
-      for (const auto& task : batch) {
+      for (const Task* task : batch) {
         if (task->enqueued_us > 0) {
           wait_us_[lane]->record_us(now - task->enqueued_us);
         }
       }
     }
-    for (auto& task : batch) {
+    for (Task* task : batch) {
       note_reservation_wait(*task, static_cast<Lane>(lane));
       if (!task->keys.empty()) {
-        reservation_acquired_.fetch_add(1, std::memory_order_relaxed);
+        reservation_acquired_.fetch_add(1);
         t_current_reservations = &task->keys;
       }
       task->fn();
       t_current_reservations = nullptr;
-      stats_[static_cast<std::size_t>(task->origin)].executed.fetch_add(
-          1, std::memory_order_relaxed);
+      stats_[static_cast<std::size_t>(task->origin)].executed.fetch_add(1);
+      // Destroy the callable outside mu_ (captured state may have
+      // non-trivial destructors).
+      task->fn.reset();
     }
 
     lock.lock();
     state.active--;
     bool released = false;
-    for (const auto& task : batch) {
+    for (Task* task : batch) {
       for (const ReservationKey key : task->keys) claimed_.erase(key);
       released = released || !task->keys.empty();
+      recycle_task(task);
     }
-    if (released || !state.queue.empty()) {
+    if (released || !state.staging.empty()) {
       // A width slot (and possibly reservation keys) opened with work still
       // queued: wake sleepers to claim it (we loop around ourselves too,
       // but may pick a higher lane).
-      lock.unlock();
-      work_cv_.notify_all();
-      lock.lock();
+      wake_workers_locked();
     }
   }
 }
@@ -373,51 +560,69 @@ void Executor::note_reservation_wait(const Task& task, Lane lane) {
 void Executor::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
+    closed_.store(true, std::memory_order_release);
+    wake_pending_.store(true, std::memory_order_release);
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
+  // Late lockfree admissions can land on an intake chain after the workers'
+  // final drain (producers never hold mu_).  Run them inline — shutdown
+  // keeps the "queued work runs to completion" drain contract.
+  for (std::size_t i = 0; i < kLaneCount; ++i) {
+    LaneState& state = lanes_[i];
+    common::MpscNode* node = state.intake.take_all();
+    while (node != nullptr) {
+      common::MpscNode* next = node->next;
+      Task* task = static_cast<Task*>(node);
+      task->next = nullptr;
+      state.depth.fetch_sub(1, std::memory_order_relaxed);
+      if (!task->keys.empty()) t_current_reservations = &task->keys;
+      task->fn();
+      t_current_reservations = nullptr;
+      stats_[static_cast<std::size_t>(task->origin)].executed.fetch_add(1);
+      task->fn.reset();
+      recycle_task(task);
+      node = next;
+    }
+  }
 }
 
 bool Executor::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return closed_;
+  return closed_.load(std::memory_order_acquire);
 }
 
 std::size_t Executor::lane_depth(Lane lane) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lanes_[physical_lane(lane)].queue.size();
+  return static_cast<std::size_t>(
+      lanes_[physical_lane(lane)].depth.load(std::memory_order_acquire));
 }
 
 ExecutorStats Executor::stats() const {
   ExecutorStats out;
   for (std::size_t i = 0; i < kLaneCount; ++i) {
-    out.lanes[i].submitted =
-        stats_[i].submitted.load(std::memory_order_relaxed);
-    out.lanes[i].executed = stats_[i].executed.load(std::memory_order_relaxed);
-    out.lanes[i].shed = stats_[i].shed.load(std::memory_order_relaxed);
-    out.lanes[i].coalesced =
-        stats_[i].coalesced.load(std::memory_order_relaxed);
+    out.lanes[i].submitted = stats_[i].submitted.load();
+    out.lanes[i].executed = stats_[i].executed.load();
+    out.lanes[i].shed = stats_[i].shed.load();
+    out.lanes[i].coalesced = stats_[i].coalesced.load();
   }
-  out.reservation_acquired =
-      reservation_acquired_.load(std::memory_order_relaxed);
-  out.reservation_conflicts =
-      reservation_conflicts_.load(std::memory_order_relaxed);
+  out.reservation_acquired = reservation_acquired_.load();
+  out.reservation_conflicts = reservation_conflicts_.load();
+  out.wakeups = wakeups_.load();
   return out;
 }
 
 void Executor::reset_stats() {
   for (std::size_t i = 0; i < kLaneCount; ++i) {
-    stats_[i].submitted.store(0, std::memory_order_relaxed);
-    stats_[i].executed.store(0, std::memory_order_relaxed);
-    stats_[i].shed.store(0, std::memory_order_relaxed);
-    stats_[i].coalesced.store(0, std::memory_order_relaxed);
+    stats_[i].submitted.store(0);
+    stats_[i].executed.store(0);
+    stats_[i].shed.store(0);
+    stats_[i].coalesced.store(0);
   }
-  reservation_acquired_.store(0, std::memory_order_relaxed);
-  reservation_conflicts_.store(0, std::memory_order_relaxed);
+  reservation_acquired_.store(0);
+  reservation_conflicts_.store(0);
+  wakeups_.store(0);
 }
 
 std::size_t Executor::claimed_keys() const {
@@ -431,7 +636,8 @@ void Executor::sample_telemetry() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < kLaneCount; ++i) {
-      depths[i] = lanes_[i].queue.size();
+      depths[i] = static_cast<std::size_t>(
+          lanes_[i].depth.load(std::memory_order_relaxed));
     }
     claimed = claimed_.size();
   }

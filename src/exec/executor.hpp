@@ -34,6 +34,20 @@
 //               replaces a queued task with the same key in place; unkeyed
 //               overflow sheds like kShedNewest.
 //
+// QUEUEING SUBSTRATE (DOCT_QUEUE=lockfree, the default): producers do not
+// take the scheduler mutex at all.  Admission is one fetch_add on the lane's
+// depth word (exact bounded admission: fetch_add serializes, so exactly
+// `capacity` producers win), the task rides a pooled intrusive node onto the
+// lane's lock-free MPSC intake chain (one CAS), and at most ONE wakeup is
+// paid per burst (wake_pending_ gate).  Workers — under the scheduler mutex
+// they already needed for reservations — splice the intake chains into the
+// staging lists in O(batch) and run the same pick scan as before.  Task
+// bodies are SmallTask (fixed inline buffer, no heap), task nodes are pooled
+// and recycled, so a warmed submit→execute round trip performs zero heap
+// allocations.  DOCT_QUEUE=locked keeps the previous mutex+condvar admission
+// as the ablation/fallback; scheduling semantics (priorities, widths,
+// reservations, per-key FIFO) are identical in both modes.
+//
 // Workers batch-drain lanes whose tasks are non-blocking (the control lane
 // by default): one lock round-trip takes up to `batch` tasks, and every
 // grab re-checks lanes in priority order, so a backlog on a lower lane can
@@ -61,17 +75,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/inline.hpp"
+#include "common/mpsc_queue.hpp"
 #include "common/result.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -82,7 +94,9 @@ namespace doct::exec {
 // context, serial event-group).  Opaque to the executor; derived by the
 // events layer (events::reservation_key).  0 is not a valid key.
 using ReservationKey = std::uint64_t;
-using ReservationSet = std::vector<ReservationKey>;
+// Inline small-vector: real tasks carry 1–3 keys, so key sets never touch
+// the heap on the delivery fast path.
+using ReservationSet = common::InlineVec<ReservationKey, 4>;
 
 enum class Lane : std::uint8_t { kControl = 0, kEvent = 1, kBulk = 2 };
 inline constexpr std::size_t kLaneCount = 3;
@@ -131,6 +145,9 @@ struct ExecutorConfig {
   // likewise overrides event.width — the CI width-ablation lane re-runs the
   // suites across the {width} x {reservations} matrix without recompiling.
   bool reservations = true;
+  // Lane queueing backend; defaults to DOCT_QUEUE (lockfree unless
+  // DOCT_QUEUE=locked).  Tests pin it explicitly to exercise both.
+  common::QueueBackend queue = common::queue_backend();
   LaneConfig control{.capacity = 4096,
                      .policy = OverloadPolicy::kBlock,
                      .batch = 32};
@@ -154,6 +171,9 @@ struct ExecutorStats {
   // Reservation scheduling (executor-wide, keys span lanes).
   std::uint64_t reservation_acquired = 0;   // tasks run holding >= 1 key
   std::uint64_t reservation_conflicts = 0;  // tasks that waited on a key
+  // Producer->worker wakeups actually paid vs. admissions (lockfree mode):
+  // the coalescing invariant says wakeups <= bursts, not pushes.
+  std::uint64_t wakeups = 0;
   [[nodiscard]] std::uint64_t shed_total() const {
     std::uint64_t total = 0;
     for (const auto& lane : lanes) total += lane.shed;
@@ -174,12 +194,14 @@ class Executor {
 
   // Admits a task under the lane's overload policy.  kBlock lanes may park
   // the caller up to block_deadline; on a full lane the task is shed and
-  // kResourceExhausted returned.  kAborted after shutdown().
-  Status submit(Lane lane, std::function<void()> fn);
+  // kResourceExhausted returned.  kAborted after shutdown().  The callable
+  // is stored INLINE (SmallTask): captures up to common::kSmallTaskSize
+  // bytes never touch the heap, larger ones fail to compile.
+  Status submit(Lane lane, common::SmallTask fn);
 
   // Never blocks: a full lane sheds immediately regardless of policy.  For
   // producers on delivery/interrupt paths that must not park.
-  Status try_submit(Lane lane, std::function<void()> fn);
+  Status try_submit(Lane lane, common::SmallTask fn);
 
   // Reservation-scheduled admission: the task runs only when every key in
   // `reservations` is unclaimed executor-wide, and holds all of them while
@@ -187,10 +209,9 @@ class Executor {
   // with disjoint keys run in parallel up to the lane width.  Keys must be
   // non-zero (events::reservation_key guarantees it); an empty set behaves
   // exactly like the unreserved overloads.
-  Status submit(Lane lane, ReservationSet reservations,
-                std::function<void()> fn);
+  Status submit(Lane lane, ReservationSet reservations, common::SmallTask fn);
   Status try_submit(Lane lane, ReservationSet reservations,
-                    std::function<void()> fn);
+                    common::SmallTask fn);
 
   // Keys held by the task currently executing on THIS worker thread, or
   // nullptr outside one.  Lets nested submissions (surrogate exception
@@ -200,8 +221,10 @@ class Executor {
   // Idempotent keyed admission: if a task with `key` is already queued in
   // the lane, the new fn replaces it in place (same queue position, no
   // capacity consumed) and the call reports Ok.  key must be non-zero.
-  Status submit_coalesced(Lane lane, std::uint64_t key,
-                          std::function<void()> fn);
+  // Keyed admission always takes the scheduler mutex (supersede-in-place
+  // needs a consistent index view); coalescing producers are beat threads,
+  // never the hot path.
+  Status submit_coalesced(Lane lane, std::uint64_t key, common::SmallTask fn);
 
   // Closes admission, drains every queued task (higher lanes first), joins
   // all workers.  Idempotent.  Queued work runs to completion so callers
@@ -229,8 +252,11 @@ class Executor {
   void sample_telemetry();
 
  private:
-  struct Task {
-    std::function<void()> fn;
+  // Pooled intrusive task node: rides the MPSC intake chain (MpscNode) and
+  // the doubly-linked staging list (qprev/qnext).  Recycled through an
+  // MPMC freelist ring, so a warmed executor admits without allocating.
+  struct Task : common::MpscNode {
+    common::SmallTask fn;
     std::uint64_t key = 0;         // 0 = not coalescible
     std::int64_t enqueued_us = 0;  // admission time (metrics on)
     Lane origin = Lane::kEvent;    // stats attribution under single_lane
@@ -241,34 +267,58 @@ class Executor {
     bool conflicted = false;
     std::int64_t blocked_since_us = 0;   // obs on only
     obs::TraceContext trace;             // admission-site trace (tracing on)
+    Task* qprev = nullptr;
+    Task* qnext = nullptr;
+  };
+
+  // Intrusive FIFO staging list: stable Task pointers (coalesce_index), O(1)
+  // push/erase, zero allocation — replaces deque<unique_ptr<Task>>.
+  struct TaskList {
+    Task* head = nullptr;
+    Task* tail = nullptr;
+    void push_back(Task* task);
+    void erase(Task* task);
+    [[nodiscard]] bool empty() const { return head == nullptr; }
   };
 
   struct LaneState {
-    // Tasks are heap-owned so coalesce_index pointers and queued Task state
-    // survive both push_back AND the mid-queue erases the reservation pick
-    // scan performs when it admits a task past blocked predecessors.
-    std::deque<std::unique_ptr<Task>> queue;
+    common::MpscChain intake;  // lockfree producers land here
+    TaskList staging;          // scheduler's view (pick scan), under mu_
     std::unordered_map<std::uint64_t, Task*> coalesce_index;
     std::size_t active = 0;  // workers currently executing this lane
+    // Admitted-but-not-picked count (intake + staging).  The admission
+    // bound: fetch_add serializes producers, so the capacity check is
+    // exact without a lock.
+    std::atomic<std::uint64_t> depth{0};
   };
 
   struct AtomicLaneStats {
-    std::atomic<std::uint64_t> submitted{0};
-    std::atomic<std::uint64_t> executed{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> coalesced{0};
+    common::PaddedCounter submitted;
+    common::PaddedCounter executed;
+    common::PaddedCounter shed;
+    common::PaddedCounter coalesced;
   };
 
-  Status admit(Lane lane, std::function<void()> fn, std::uint64_t key,
+  Status admit(Lane lane, common::SmallTask fn, std::uint64_t key,
                bool may_block, ReservationSet reservations = {});
+  Status admit_locked(Lane lane, common::SmallTask fn, std::uint64_t key,
+                      bool may_block, ReservationSet reservations);
+  [[nodiscard]] Task* alloc_task();
+  void recycle_task(Task* task);
+  // Producer-side wakeup: at most one notify per burst (wake_pending_).
+  void wake_workers();
+  void wake_workers_locked();
+  // Splices every lane's intake chain into its staging list.  Caller holds
+  // mu_; runs at the top of each worker scheduling round.
+  void drain_intakes_locked();
   void worker_loop(std::size_t worker_index);
   // Scans the highest-priority eligible lane and moves up to `batch`
   // runnable tasks into `out`, claiming their reservation keys.  Tasks
   // whose keys are claimed (or shadow-claimed by an earlier skipped task —
   // the per-key FIFO guarantee) are left in place.  Returns the lane index
   // or kLaneCount when nothing is runnable.  Caller holds mu_.
-  [[nodiscard]] std::size_t take_batch_locked(
-      std::size_t worker_index, std::vector<std::unique_ptr<Task>>& out);
+  [[nodiscard]] std::size_t take_batch_locked(std::size_t worker_index,
+                                              std::vector<Task*>& out);
   // Records blocked-on-reservation time (histogram + "resv_wait" span) for
   // a task the pick scan had skipped at least once.
   void note_reservation_wait(const Task& task, Lane lane);
@@ -280,6 +330,7 @@ class Executor {
   ExecutorConfig config_;
   SteadyClock clock_;
   std::uint64_t node_ = 0;
+  bool lockfree_ = true;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for eligible work
@@ -287,12 +338,20 @@ class Executor {
   LaneState lanes_[kLaneCount];
   // Reservation keys held by running tasks.  Executor-wide (not per lane):
   // a control-class and an ordinary event on the same object serialize.
-  std::unordered_set<ReservationKey> claimed_;
-  bool closed_ = false;
+  // Open-addressing table: no per-key node allocations on the pick scan.
+  common::FixedHashSet claimed_;
+  std::atomic<bool> closed_{false};
+
+  // Producer->worker wakeup coalescing: producers notify only on the
+  // false->true transition; workers clear it before every rescan.
+  std::atomic<bool> wake_pending_{false};
+  common::PaddedCounter wakeups_;
+
+  common::MpmcRing<Task*> task_pool_{1024};
 
   AtomicLaneStats stats_[kLaneCount];
-  std::atomic<std::uint64_t> reservation_acquired_{0};
-  std::atomic<std::uint64_t> reservation_conflicts_{0};
+  common::PaddedCounter reservation_acquired_;
+  common::PaddedCounter reservation_conflicts_;
 
   std::vector<std::thread> threads_;
 

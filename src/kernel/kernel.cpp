@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "common/mpsc_queue.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
@@ -87,7 +88,13 @@ Kernel::Kernel(net::Transport& network, net::Demux& demux, rpc::RpcEndpoint& rpc
     }
   });
 
-  timer_thread_ = std::thread([this] { timer_loop(); });
+  if (common::queue_backend() == common::QueueBackend::kLockfree) {
+    // Per-record wheel timers: arming/cancelling is O(1), and an idle node
+    // (no TIMER registrations) runs no timer thread at all.
+    timer_wheel_ = std::make_unique<common::TimerWheel>();
+  } else {
+    timer_thread_ = std::thread([this] { timer_loop(); });
+  }
 
   deliver_us_ = &obs::metrics().histogram("kernel.deliver_us");
   const std::string prefix = "node" + std::to_string(self_.value());
@@ -121,12 +128,14 @@ Kernel::Kernel(net::Transport& network, net::Demux& demux, rpc::RpcEndpoint& rpc
 }
 
 Kernel::~Kernel() {
+  // Stop timers first: wheel callbacks / the timer thread touch contexts_.
+  if (timer_wheel_) timer_wheel_->stop();  // joins the tick thread
   {
     std::lock_guard<std::mutex> lock(timers_mu_);
     timers_shutdown_ = true;
   }
   timers_cv_.notify_all();
-  timer_thread_.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
 
   // Ask all live local threads to terminate, then join the root carriers.
   {
@@ -1164,11 +1173,18 @@ Status Kernel::add_timer(ThreadContext& ctx, TimerRecord record) {
   {
     std::lock_guard<std::mutex> lock(timers_mu_);
     std::erase_if(timers_, [&](const TimerEntry& e) {
-      return e.tid == ctx.tid() && e.record.event == record.event;
+      if (e.tid == ctx.tid() && e.record.event == record.event) {
+        if (timer_wheel_ && e.wheel_timer != 0) {
+          timer_wheel_->cancel(e.wheel_timer);
+        }
+        return true;
+      }
+      return false;
     });
     timers_.push_back(TimerEntry{
         ctx.tid(), record,
         clock_.now() + std::chrono::microseconds(record.period_us)});
+    if (timer_wheel_) arm_wheel_locked(timers_.back());
   }
   timers_cv_.notify_all();
   return Status::ok();
@@ -1181,7 +1197,13 @@ Status Kernel::remove_timer(ThreadContext& ctx, EventId event) {
   });
   std::lock_guard<std::mutex> lock(timers_mu_);
   std::erase_if(timers_, [&](const TimerEntry& e) {
-    return e.tid == ctx.tid() && e.record.event == event;
+    if (e.tid == ctx.tid() && e.record.event == event) {
+      if (timer_wheel_ && e.wheel_timer != 0) {
+        timer_wheel_->cancel(e.wheel_timer);
+      }
+      return true;
+    }
+    return false;
   });
   return Status::ok();
 }
@@ -1198,6 +1220,7 @@ void Kernel::start_timers_for(ThreadContext& ctx) {
       timers_.push_back(TimerEntry{
           ctx.tid(), record,
           clock_.now() + std::chrono::microseconds(record.period_us)});
+      if (timer_wheel_) arm_wheel_locked(timers_.back());
     }
   }
   timers_cv_.notify_all();
@@ -1205,7 +1228,60 @@ void Kernel::start_timers_for(ThreadContext& ctx) {
 
 void Kernel::stop_timers_for(ThreadId tid) {
   std::lock_guard<std::mutex> lock(timers_mu_);
-  std::erase_if(timers_, [&](const TimerEntry& e) { return e.tid == tid; });
+  std::erase_if(timers_, [&](const TimerEntry& e) {
+    if (e.tid != tid) return false;
+    if (timer_wheel_ && e.wheel_timer != 0) timer_wheel_->cancel(e.wheel_timer);
+    return true;
+  });
+}
+
+void Kernel::arm_wheel_locked(TimerEntry& entry) {
+  const ThreadId tid = entry.tid;
+  const EventId event = entry.record.event;
+  entry.wheel_timer = timer_wheel_->schedule(
+      std::chrono::microseconds(entry.record.period_us),
+      [this, tid, event] { on_wheel_timer(tid, event); });
+}
+
+void Kernel::on_wheel_timer(ThreadId tid, EventId event) {
+  // The one-shot wheel timer has fired; look the registry entry back up (it
+  // may have been removed or migrated away since arming — then do nothing).
+  TimerRecord fired;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(timers_mu_);
+    if (timers_shutdown_) return;
+    auto it = std::find_if(timers_.begin(), timers_.end(),
+                           [&](const TimerEntry& e) {
+                             return e.tid == tid && e.record.event == event;
+                           });
+    if (it == timers_.end()) return;
+    fired = it->record;
+    found = true;
+    if (fired.one_shot) {
+      timers_.erase(it);
+    } else {
+      arm_wheel_locked(*it);  // next period
+    }
+  }
+  if (!found) return;
+  auto ctx = find_context(tid);
+  if (ctx != nullptr && ctx->here() && !ctx->terminated()) {
+    EventNotice notice;
+    notice.event = fired.event;
+    notice.event_name = "TIMER";
+    notice.target_thread = tid;
+    notice.raiser_node = self_;
+    notice.system_info = "timer";
+    ctx->enqueue(notice, /*urgent=*/false);
+    if (fired.one_shot) {
+      ctx->with_attributes([&](ThreadAttributes& a) {
+        std::erase_if(a.timers,
+                      [&](const TimerRecord& t) { return t.event == event; });
+      });
+    }
+    bump(&AtomicStats::timer_events);
+  }
 }
 
 void Kernel::timer_loop() {

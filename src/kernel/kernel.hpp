@@ -37,6 +37,7 @@
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
+#include "common/timer_wheel.hpp"
 #include "exec/executor.hpp"
 #include "kernel/location_cache.hpp"
 #include "kernel/thread_context.hpp"
@@ -291,6 +292,9 @@ class Kernel {
     ThreadId tid;
     TimerRecord record;
     Duration next_fire{0};
+    // Wheel-mode only: the armed one-shot wheel timer for the next fire
+    // (re-armed by on_wheel_timer); 0 in the locked ablation.
+    common::TimerId wheel_timer = 0;
   };
 
   // RPC methods.
@@ -320,6 +324,12 @@ class Kernel {
   Result<NodeId> locate_multicast(ThreadId tid);
 
   void timer_loop();
+  // Wheel-mode fire path: looks up the (tid, event) entry, delivers the
+  // TIMER notice, and re-arms unless one-shot.  Runs on the wheel's tick
+  // thread, so it must not block.
+  void on_wheel_timer(ThreadId tid, EventId event);
+  // Arms (or re-arms) a registry entry's wheel timer; holds timers_mu_.
+  void arm_wheel_locked(TimerEntry& entry);
   void start_timers_for(ThreadContext& ctx);
   void stop_timers_for(ThreadId tid);
 
@@ -365,9 +375,12 @@ class Kernel {
 
   mutable std::mutex timers_mu_;
   std::condition_variable timers_cv_;
-  std::vector<TimerEntry> timers_;
+  std::vector<TimerEntry> timers_;  // registry; §6.2 recreation reads this
   bool timers_shutdown_ = false;
-  std::thread timer_thread_;
+  std::thread timer_thread_;  // locked ablation: min-scan loop
+  // Lockfree mode: per-record one-shot wheel timers replace the scan loop —
+  // O(1) per arm/cancel.  Stopped (joined) first in the destructor.
+  std::unique_ptr<common::TimerWheel> timer_wheel_;
 
   LocationCache location_cache_;
 

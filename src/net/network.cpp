@@ -12,7 +12,7 @@ std::pair<NodeId, NodeId> normalize(NodeId a, NodeId b) {
   return a < b ? std::pair{a, b} : std::pair{b, a};
 }
 
-void inc(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+void inc(common::PaddedCounter& counter, std::uint64_t n = 1) {
   counter.fetch_add(n, std::memory_order_relaxed);
 }
 }  // namespace
@@ -118,7 +118,7 @@ Duration Network::latency_for(const Message& message) const {
          config_.per_byte_latency * static_cast<long>(message.payload.size());
 }
 
-void Network::drop(std::atomic<std::uint64_t> AtomicStats::* cause) {
+void Network::drop(common::PaddedCounter AtomicStats::* cause) {
   inc(stats_.dropped);
   inc(stats_.*cause);
 }
@@ -146,7 +146,7 @@ void Network::deliver_direct(NodeState& target, Message message) {
 }
 
 void Network::push_mailbox(NodeState& target, Message message) {
-  using PushResult = BlockingQueue<Message>::PushResult;
+  using PushResult = common::Mailbox<Message>::PushResult;
   switch (target.mailbox.push_bounded(std::move(message),
                                       config_.mailbox_capacity)) {
     case PushResult::kOk:

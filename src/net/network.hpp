@@ -36,6 +36,8 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/inline.hpp"
+#include "common/mpsc_queue.hpp"
 #include "common/queue.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -188,7 +190,9 @@ class Network final : public Transport {
  private:
   struct NodeState {
     MessageHandler handler;
-    BlockingQueue<Message> mailbox;
+    // Backend picked by DOCT_QUEUE at registration: lock-free MPSC chain
+    // (default) or the mutex+condvar BlockingQueue ablation.
+    common::Mailbox<Message> mailbox;
     std::thread delivery_thread;
   };
 
@@ -202,30 +206,32 @@ class Network final : public Transport {
     }
   };
 
-  // NetworkStats with every counter a relaxed atomic: hot paths bump without
-  // a lock, stats() takes a snapshot.  Counts are monotonic event tallies,
-  // so relaxed ordering is enough — readers only need eventual totals, not
-  // cross-counter consistency at an instant.
+  // NetworkStats with every counter a relaxed atomic on its own cache line:
+  // hot paths bump without a lock OR false sharing (concurrent senders used
+  // to ping-pong the line holding sent/bytes/fanout), stats() takes a
+  // snapshot.  Counts are monotonic event tallies, so relaxed ordering is
+  // enough — readers only need eventual totals, not cross-counter
+  // consistency at an instant.
   struct AtomicStats {
-    std::atomic<std::uint64_t> sent{0};
-    std::atomic<std::uint64_t> delivered{0};
-    std::atomic<std::uint64_t> dropped{0};
-    std::atomic<std::uint64_t> broadcast_sends{0};
-    std::atomic<std::uint64_t> multicast_sends{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<std::uint64_t> fanout_messages{0};
-    std::atomic<std::uint64_t> wire_queued{0};
-    std::atomic<std::uint64_t> dropped_by_fault{0};
-    std::atomic<std::uint64_t> dropped_by_partition{0};
-    std::atomic<std::uint64_t> dropped_legacy{0};
-    std::atomic<std::uint64_t> dropped_crashed{0};
-    std::atomic<std::uint64_t> dropped_no_route{0};
-    std::atomic<std::uint64_t> dropped_backpressure{0};
-    std::atomic<std::uint64_t> duplicated{0};
-    std::atomic<std::uint64_t> reordered{0};
-    std::atomic<std::uint64_t> delay_spikes{0};
-    std::atomic<std::uint64_t> crashes{0};
-    std::atomic<std::uint64_t> restarts{0};
+    common::PaddedCounter sent;
+    common::PaddedCounter delivered;
+    common::PaddedCounter dropped;
+    common::PaddedCounter broadcast_sends;
+    common::PaddedCounter multicast_sends;
+    common::PaddedCounter bytes;
+    common::PaddedCounter fanout_messages;
+    common::PaddedCounter wire_queued;
+    common::PaddedCounter dropped_by_fault;
+    common::PaddedCounter dropped_by_partition;
+    common::PaddedCounter dropped_legacy;
+    common::PaddedCounter dropped_crashed;
+    common::PaddedCounter dropped_no_route;
+    common::PaddedCounter dropped_backpressure;
+    common::PaddedCounter duplicated;
+    common::PaddedCounter reordered;
+    common::PaddedCounter delay_spikes;
+    common::PaddedCounter crashes;
+    common::PaddedCounter restarts;
   };
 
   void wire_loop();
@@ -253,7 +259,7 @@ class Network final : public Transport {
   // Records the wire-transit span + histogram for one received message
   // (no-op unless observability is on and the sender stamped the message).
   void note_transit(const Message& message);
-  void drop(std::atomic<std::uint64_t> AtomicStats::* cause);
+  void drop(common::PaddedCounter AtomicStats::* cause);
   // Caller holds topo_mu_ (shared suffices).
   [[nodiscard]] bool pair_partitioned_locked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration latency_for(const Message& message) const;

@@ -22,7 +22,7 @@ namespace doct::net {
 
 namespace {
 
-void inc(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+void inc(common::PaddedCounter& counter, std::uint64_t n = 1) {
   counter.fetch_add(n, std::memory_order_relaxed);
 }
 
@@ -312,6 +312,7 @@ void SocketTransport::stop() {
       std::lock_guard<std::mutex> lock(peer->mu);
       peer->stopping = true;
     }
+    peer->outbox.close();  // unblocks a writer parked in pop_all()
     peer->cv.notify_all();
     if (peer->writer.joinable()) peer->writer.join();
   }
@@ -365,8 +366,10 @@ bool SocketTransport::flush(Duration timeout) {
     {
       std::lock_guard<std::mutex> lock(peers_mu_);
       for (const auto& [id, peer] : peers_) {
-        std::lock_guard<std::mutex> peer_lock(peer->mu);
-        if (!peer->pending.empty()) drained = false;
+        // `queued` covers the outbox AND the writer's local staging deque.
+        if (peer->queued.load(std::memory_order_acquire) != 0) {
+          drained = false;
+        }
       }
     }
     if (drained) return true;
@@ -428,7 +431,7 @@ Status SocketTransport::send(Message message) {
     // Loopback goes through the same delivery queue as remote traffic so the
     // serialized-handler contract holds regardless of source.
     if (inbound_.push_bounded(std::move(message), config_.inbound_capacity) !=
-        BlockingQueue<Message>::PushResult::kOk) {
+        common::Mailbox<Message>::PushResult::kOk) {
       inc(stats_.dropped_inbound);
     }
     return Status::ok();
@@ -511,7 +514,7 @@ Status SocketTransport::multicast(GroupId group, Message message) {
         copy.to = member;
         inc(stats_.sent);
         if (inbound_.push_bounded(std::move(copy), config_.inbound_capacity) !=
-            BlockingQueue<Message>::PushResult::kOk) {
+            common::Mailbox<Message>::PushResult::kOk) {
           inc(stats_.dropped_inbound);
         }
       }
@@ -536,17 +539,23 @@ std::vector<NodeId> SocketTransport::nodes() const {
 }
 
 void SocketTransport::enqueue(Peer& peer, Message message) {
-  {
-    std::lock_guard<std::mutex> lock(peer.mu);
-    if (peer.stopping) return;
-    if (peer.pending.size() >= config_.pending_capacity) {
+  const std::size_t bytes = message.payload.size();
+  // Count before pushing so `queued` never under-reads the real backlog
+  // (the writer may drain and decrement the instant the push lands).
+  peer.queued.fetch_add(1, std::memory_order_acq_rel);
+  switch (peer.outbox.push_bounded(std::move(message),
+                                   config_.pending_capacity)) {
+    case common::Mailbox<Message>::PushResult::kOk:
+      inc(stats_.bytes_sent, bytes);
+      break;
+    case common::Mailbox<Message>::PushResult::kFull:
+      peer.queued.fetch_sub(1, std::memory_order_relaxed);
       inc(stats_.dropped_backpressure);
-      return;  // datagram semantics: loss is silent
-    }
-    inc(stats_.bytes_sent, message.payload.size());
-    peer.pending.push_back(std::move(message));
+      break;  // datagram semantics: loss is silent
+    case common::Mailbox<Message>::PushResult::kClosed:
+      peer.queued.fetch_sub(1, std::memory_order_relaxed);
+      break;  // stopping
   }
-  peer.cv.notify_one();
 }
 
 std::vector<std::uint8_t> SocketTransport::hello_payload() const {
@@ -696,6 +705,11 @@ void SocketTransport::writer_loop(Peer& peer) {
   Duration backoff = config_.reconnect_backoff_initial;
   int fd = -1;
   bool ever_connected = false;
+  // Frames harvested from the outbox but not yet on the wire.  A write
+  // failure leaves the unsent frame (and everything behind it) here, so the
+  // next connection retries them in order — no front-requeue into the
+  // producers' queue.
+  std::deque<Message> staging;
 
   auto disconnect = [&] {
     if (fd >= 0) ::close(fd);
@@ -737,23 +751,22 @@ void SocketTransport::writer_loop(Peer& peer) {
       peer.connected = true;
     }
 
-    Message message;
-    {
-      std::unique_lock<std::mutex> lock(peer.mu);
-      peer.cv.wait(lock,
-                   [&] { return peer.stopping || !peer.pending.empty(); });
-      if (peer.stopping) break;
-      message = std::move(peer.pending.front());
-      peer.pending.pop_front();
+    if (staging.empty()) {
+      // Blocks until producers push (one coalesced wakeup per burst) or
+      // stop() closes the outbox; empty batch == closed-and-drained.
+      std::deque<Message> batch = peer.outbox.pop_all();
+      if (batch.empty()) break;
+      staging = std::move(batch);
     }
-    if (!write_frame(fd, message)) {
-      // The frame was not delivered — requeue it at the front so the next
-      // connection retries it in order, then redial.
-      {
-        std::lock_guard<std::mutex> lock(peer.mu);
-        if (!peer.stopping) peer.pending.push_front(std::move(message));
+    while (!staging.empty()) {
+      if (!write_frame(fd, staging.front())) {
+        // Not delivered: keep it (and the rest of the batch) staged for the
+        // next connection, in order.
+        disconnect();
+        break;
       }
-      disconnect();
+      staging.pop_front();
+      peer.queued.fetch_sub(1, std::memory_order_release);
     }
   }
   if (fd >= 0) ::close(fd);
@@ -802,7 +815,7 @@ void SocketTransport::reader_loop(std::shared_ptr<Connection> conn) {
         }
       } else if (inbound_.push_bounded(std::move(*message),
                                        config_.inbound_capacity) !=
-                 BlockingQueue<Message>::PushResult::kOk) {
+                 common::Mailbox<Message>::PushResult::kOk) {
         inc(stats_.dropped_inbound);
       }
     }

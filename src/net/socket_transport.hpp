@@ -12,11 +12,13 @@
 // Threads owned by one instance:
 //   * per-peer writer   dials with exponential backoff, sends HELLO (version
 //                       window + node id + multicast-group snapshot), then
-//                       drains a bounded pending deque with gathered
+//                       drains a bounded outbox mailbox (lock-free MPSC by
+//                       default, DOCT_QUEUE=locked ablation) with gathered
 //                       {header, payload} writes — a broadcast's legs all
-//                       reference the one SharedPayload buffer.  A write
-//                       error requeues the unsent frame at the front (it was
-//                       never delivered) and redials.
+//                       reference the one SharedPayload buffer.  Frames a
+//                       write error left undelivered stay in the writer's
+//                       local staging deque, so the next connection retries
+//                       them in order before touching the outbox again.
 //   * accept + readers  one reader per accepted connection, each owning a
 //                       wire::FrameDecoder.  Control frames (kind >= 0xFF00)
 //                       are consumed by the transport; data frames go to the
@@ -50,6 +52,8 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/inline.hpp"
+#include "common/mpsc_queue.hpp"
 #include "common/queue.hpp"
 #include "common/result.hpp"
 #include "net/message.hpp"
@@ -153,9 +157,16 @@ class SocketTransport final : public Transport {
     NodeId id;
     std::string address;
 
+    // Outbound frames: senders push lock-free, the writer thread drains in
+    // batches.  Closed by stop().  Frames the writer has harvested but not
+    // yet written live in its local staging deque; `queued` counts both
+    // (outbox + staging) so flush() sees the whole backlog.
+    common::Mailbox<Message> outbox;
+    std::atomic<std::uint64_t> queued{0};
+
+    // Dial/backoff/lifecycle state only — the data path never takes mu.
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Message> pending;
     bool connected = false;
     bool stopping = false;
     std::thread writer;
@@ -198,7 +209,7 @@ class SocketTransport final : public Transport {
   MessageHandler handler_;
   bool node_registered_ = false;
 
-  BlockingQueue<Message> inbound_;
+  common::Mailbox<Message> inbound_;
   std::thread delivery_;
 
   int listen_fd_ = -1;
@@ -211,16 +222,18 @@ class SocketTransport final : public Transport {
 
   std::atomic<bool> running_{false};
 
+  // One counter per cache line: concurrent senders and per-connection
+  // readers bump these on every frame.
   struct AtomicStats {
-    std::atomic<std::uint64_t> sent{0};
-    std::atomic<std::uint64_t> delivered{0};
-    std::atomic<std::uint64_t> bytes_sent{0};
-    std::atomic<std::uint64_t> reconnects{0};
-    std::atomic<std::uint64_t> dropped_backpressure{0};
-    std::atomic<std::uint64_t> dropped_inbound{0};
-    std::atomic<std::uint64_t> dropped_no_peer{0};
-    std::atomic<std::uint64_t> decode_errors{0};
-    std::atomic<std::uint64_t> rejected_version{0};
+    common::PaddedCounter sent;
+    common::PaddedCounter delivered;
+    common::PaddedCounter bytes_sent;
+    common::PaddedCounter reconnects;
+    common::PaddedCounter dropped_backpressure;
+    common::PaddedCounter dropped_inbound;
+    common::PaddedCounter dropped_no_peer;
+    common::PaddedCounter decode_errors;
+    common::PaddedCounter rejected_version;
   };
   mutable AtomicStats stats_;
 

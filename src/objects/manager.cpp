@@ -144,7 +144,8 @@ std::shared_ptr<PassiveObject> ObjectManager::find(ObjectId id) const {
 Result<Payload> ObjectManager::run_local(ObjectId object,
                                          const std::string& entry,
                                          Payload args,
-                                         bool enforce_visibility) {
+                                         bool enforce_visibility,
+                                         const kernel::EventNotice* notice) {
   auto obj = find(object);
   if (obj == nullptr) {
     return Status{StatusCode::kNoSuchObject, object.to_string()};
@@ -171,10 +172,10 @@ Result<Payload> ObjectManager::run_local(ObjectId object,
   }
 
   Reader reader(std::move(args));
-  CallCtx ctx{*this, thread, object, reader};
+  CallCtx ctx{*this, thread, object, reader, notice};
   Result<Payload> result = [&]() -> Result<Payload> {
     try {
-      return fn.value()(ctx);
+      return (*fn.value())(ctx);
     } catch (const std::exception& e) {
       return Status{StatusCode::kInternal,
                     std::string("entry threw: ") + e.what()};
@@ -196,12 +197,19 @@ Result<Payload> ObjectManager::run_local(ObjectId object,
 Result<Payload> ObjectManager::invoke_handler_entry(
     ObjectId object, const std::string& entry, Payload args,
     kernel::ThreadContext*) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.handler_invocations++;
-  }
+  bump(&AtomicStats::handler_invocations);
   return run_local(object, entry, std::move(args),
                    /*enforce_visibility=*/false);
+}
+
+Result<Payload> ObjectManager::invoke_handler_notice(
+    ObjectId object, const std::string& entry,
+    const kernel::EventNotice& notice) {
+  bump(&AtomicStats::handler_invocations);
+  // Empty argument payload: the entry reads the notice through
+  // EventBlock::from_ctx instead of deserializing its args.
+  return run_local(object, entry, Payload{},
+                   /*enforce_visibility=*/false, &notice);
 }
 
 // --- synchronous invocation -----------------------------------------------------
@@ -221,19 +229,13 @@ Result<Payload> ObjectManager::invoke(ObjectId object, const std::string& entry,
                     "no local replica for DSM-mode invocation of " +
                         object.to_string()};
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.invocations_dsm++;
-    }
+    bump(&AtomicStats::invocations_dsm);
     return run_local(object, entry, std::move(args),
                      /*enforce_visibility=*/true);
   }
 
   if (home == kernel_.self() && mode != InvokeMode::kRpc) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.invocations_local++;
-    }
+    bump(&AtomicStats::invocations_local);
     return run_local(object, entry, std::move(args),
                      /*enforce_visibility=*/true);
   }
@@ -244,10 +246,7 @@ Result<Payload> ObjectManager::invoke(ObjectId object, const std::string& entry,
     return Status{StatusCode::kInvalidArgument,
                   "remote invocation requires a logical thread"};
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.invocations_remote++;
-  }
+  bump(&AtomicStats::invocations_remote);
   auto travel_result = kernel_.travel(
       home, [&](const rpc::Payload& core) -> Result<rpc::Payload> {
         Writer w;
@@ -319,10 +318,7 @@ Result<PendingInvocation> ObjectManager::invoke_async(ObjectId object,
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.emplace(token, PendingEntry{pending.state_, child});
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.async_spawns++;
-  }
+  bump(&AtomicStats::async_spawns);
 
   Writer w;
   w.put(child);
@@ -368,10 +364,7 @@ Status ObjectManager::invoke_oneway(ObjectId object, const std::string& entry,
         [](kernel::ThreadAttributes& a) { return a; });
     child_attrs.creator = thread->tid();
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.oneway_spawns++;
-  }
+  bump(&AtomicStats::oneway_spawns);
 
   Writer w;
   w.put(child);
@@ -461,14 +454,28 @@ Result<rpc::Payload> ObjectManager::rpc_invoke_complete(NodeId, Reader& args) {
   return rpc::Payload{};
 }
 
+void ObjectManager::bump(common::PaddedCounter AtomicStats::* counter) {
+  (stats_.*counter).fetch_add(1);
+}
+
 ObjectManagerStats ObjectManager::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ObjectManagerStats out;
+  out.invocations_local = stats_.invocations_local.load();
+  out.invocations_remote = stats_.invocations_remote.load();
+  out.invocations_dsm = stats_.invocations_dsm.load();
+  out.async_spawns = stats_.async_spawns.load();
+  out.oneway_spawns = stats_.oneway_spawns.load();
+  out.handler_invocations = stats_.handler_invocations.load();
+  return out;
 }
 
 void ObjectManager::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = ObjectManagerStats{};
+  stats_.invocations_local.store(0);
+  stats_.invocations_remote.store(0);
+  stats_.invocations_dsm.store(0);
+  stats_.async_spawns.store(0);
+  stats_.oneway_spawns.store(0);
+  stats_.handler_invocations.store(0);
 }
 
 }  // namespace doct::objects

@@ -37,6 +37,7 @@
 
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
+#include "common/inline.hpp"
 #include "common/result.hpp"
 #include "kernel/kernel.hpp"
 #include "objects/object.hpp"
@@ -123,6 +124,13 @@ class ObjectManager {
       ObjectId object, const std::string& entry, Payload args,
       kernel::ThreadContext* thread);
 
+  // Same-node event delivery, zero-marshal: the notice is handed to the
+  // entry through CallCtx::notice (EventBlock::from_ctx borrows it) instead
+  // of being serialized into an argument payload and deserialized back.
+  [[nodiscard]] Result<Payload> invoke_handler_notice(
+      ObjectId object, const std::string& entry,
+      const kernel::EventNotice& notice);
+
   [[nodiscard]] ObjectManagerStats stats() const;
   void reset_stats();
 
@@ -134,8 +142,10 @@ class ObjectManager {
 
   // Runs entry on the current OS thread against a local object, maintaining
   // current_object and the call chain, with delivery points at entry/exit.
+  // `notice`, when set, is exposed to the entry via CallCtx::notice.
   Result<Payload> run_local(ObjectId object, const std::string& entry,
-                            Payload args, bool enforce_visibility);
+                            Payload args, bool enforce_visibility,
+                            const kernel::EventNotice* notice = nullptr);
 
   kernel::Kernel& kernel_;
   rpc::RpcEndpoint& rpc_;
@@ -150,8 +160,19 @@ class ObjectManager {
   mutable std::mutex pending_mu_;
   std::unordered_map<std::uint64_t, PendingEntry> pending_;
 
-  mutable std::mutex stats_mu_;
-  ObjectManagerStats stats_;
+  // One counter per cache line: the invocation and event-delivery hot paths
+  // bump these concurrently (the old stats_mu_ serialized every invoker and
+  // put a lock acquisition on the zero-alloc delivery path).
+  struct AtomicStats {
+    common::PaddedCounter invocations_local;
+    common::PaddedCounter invocations_remote;
+    common::PaddedCounter invocations_dsm;
+    common::PaddedCounter async_spawns;
+    common::PaddedCounter oneway_spawns;
+    common::PaddedCounter handler_invocations;
+  };
+  void bump(common::PaddedCounter AtomicStats::* counter);
+  mutable AtomicStats stats_;
 
   // Last member: unregisters before the stats it reads are destroyed.
   obs::MetricsRegistry::SourceHandle metrics_source_;

@@ -40,7 +40,8 @@
 
 namespace doct::kernel {
 class ThreadContext;
-}
+struct EventNotice;
+}  // namespace doct::kernel
 
 namespace doct::objects {
 
@@ -55,6 +56,10 @@ struct CallCtx {
   kernel::ThreadContext* thread = nullptr;  // null for master-handler calls
   ObjectId self;
   Reader& args;
+  // Same-node event delivery (invoke_handler_notice): the notice itself,
+  // unmarshalled — EventBlock::from_ctx reads it directly instead of
+  // deserializing `args`.  Null on every other path.
+  const kernel::EventNotice* notice = nullptr;
 };
 
 using EntryFn = std::function<Result<Payload>(CallCtx&)>;
@@ -74,7 +79,8 @@ class PassiveObject {
   void define_entry(std::string name, EntryFn fn,
                     Visibility visibility = Visibility::kPublic) {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_[std::move(name)] = Entry{std::move(fn), visibility};
+    entries_[std::move(name)] = Entry{
+        std::make_shared<const EntryFn>(std::move(fn)), visibility};
   }
 
   // §5.1: 'handler void my_delete_handler(event_block&) on { DELETE }' —
@@ -129,7 +135,10 @@ class PassiveObject {
   friend class ObjectManager;
 
   struct Entry {
-    EntryFn fn;
+    // shared_ptr so lookup() hands the invoker a refcount bump instead of a
+    // std::function copy (which heap-allocates for any capturing callable —
+    // the old cost on EVERY invocation and event delivery).
+    std::shared_ptr<const EntryFn> fn;
     Visibility visibility = Visibility::kPublic;
   };
 
@@ -137,8 +146,8 @@ class PassiveObject {
 
   // Looks up an entry; enforce_visibility rejects private entries (the
   // event-delivery machinery passes false).
-  [[nodiscard]] Result<EntryFn> lookup(const std::string& name,
-                                       bool enforce_visibility) const {
+  [[nodiscard]] Result<std::shared_ptr<const EntryFn>> lookup(
+      const std::string& name, bool enforce_visibility) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {

@@ -61,7 +61,13 @@ RpcEndpoint::RpcEndpoint(net::Transport& network, net::Demux& demux, NodeId self
               [this](const net::Message& m) { on_request(m); });
   demux.route(net::kRpcResponse,
               [this](const net::Message& m) { on_response(m); });
-  retry_thread_ = std::thread([this] { retry_loop(); });
+  if (common::queue_backend() == common::QueueBackend::kLockfree) {
+    // Per-call wheel timers: schedule/cancel are O(1) and a response never
+    // wakes (or rescans) anything.
+    wheel_ = std::make_unique<common::TimerWheel>();
+  } else {
+    retry_thread_ = std::thread([this] { retry_loop(); });
+  }
   call_us_ = &obs::metrics().histogram("rpc.call_us");
   metrics_source_ = obs::metrics().register_source(
       "node" + std::to_string(self.value()) + ".rpc", [this] {
@@ -80,12 +86,15 @@ RpcEndpoint::RpcEndpoint(net::Transport& network, net::Demux& demux, NodeId self
 void RpcEndpoint::drain_workers() { executor_->shutdown(); }
 
 RpcEndpoint::~RpcEndpoint() {
+  // Join the wheel's tick thread first: after stop() no retry callback can
+  // be touching pending_ / network_ while they are torn down below.
+  if (wheel_) wheel_->stop();
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     retry_shutdown_ = true;
   }
   retry_cv_.notify_all();
-  retry_thread_.join();
+  if (retry_thread_.joinable()) retry_thread_.join();
   // An owned executor is drained here, while the endpoint is still intact;
   // a shared one must already have been shut down by its owner (NodeRuntime
   // does so in its destructor body).
@@ -123,7 +132,7 @@ void RpcEndpoint::reset_stats() {
   stats_.requests_shed.store(0, std::memory_order_relaxed);
 }
 
-void RpcEndpoint::bump(std::atomic<std::uint64_t> AtomicStats::* counter) {
+void RpcEndpoint::bump(common::PaddedCounter AtomicStats::* counter) {
   (stats_.*counter).fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -176,17 +185,29 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
     record.deadline = now + timeout;
     record.backoff = config_.retry_base_delay;
     record.trace = trace;
-    if (config_.max_retries > 0) {
-      record.request = encoded;  // kept for retransmission
+    bool wake_retry = false;
+    {
       std::lock_guard<std::mutex> lock(pending_mu_);
-      record.next_resend = now + jittered(record.backoff);
-      pending_.emplace(call, std::move(record));
-    } else {
-      record.next_resend = Duration::max();
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (config_.max_retries > 0) {
+        record.request = encoded;  // kept for retransmission
+        record.next_resend = now + jittered(record.backoff);
+      } else {
+        record.next_resend = Duration::max();
+      }
+      const Duration wake = std::min(record.deadline, record.next_resend);
+      if (wheel_) {
+        record.timer = wheel_->schedule(
+            wake - now, [this, call] { on_retry_timer(call); });
+      } else if (wake < retry_next_wake_) {
+        // Only a registration due EARLIER than the retry thread's current
+        // wakeup needs a notify; everything else is covered by the rescan
+        // that wakeup performs anyway.
+        retry_next_wake_ = wake;
+        wake_retry = true;
+      }
       pending_.emplace(call, std::move(record));
     }
-    retry_cv_.notify_all();  // the retry thread re-reads its next deadline
+    if (wake_retry) retry_cv_.notify_one();  // one retry thread, one waiter
   }
   const Status sent = network_.send(net::Message{
       .from = self_,
@@ -206,6 +227,7 @@ CallId RpcEndpoint::send_request(NodeId target, const std::string& method,
       auto it = pending_.find(call);
       if (it != pending_.end()) {
         failed = it->second.state;
+        if (wheel_ && it->second.timer != 0) wheel_->cancel(it->second.timer);
         pending_.erase(it);
       }
     }
@@ -265,11 +287,64 @@ void RpcEndpoint::retry_loop() {
       continue;  // re-derive `next` after the unlocked window
     }
     if (retry_shutdown_) break;
+    // Publish the wake target so registrations due later skip the notify.
+    retry_next_wake_ = next;
     if (next == Duration::max()) {
       retry_cv_.wait(lock);
     } else {
       retry_cv_.wait_until(lock, TimePoint{} + next);
     }
+  }
+}
+
+void RpcEndpoint::on_retry_timer(CallId call) {
+  // Wheel tick thread.  One call per callback: no scan over pending_, and a
+  // burst of other calls' responses never wakes this path at all.
+  std::shared_ptr<PendingCall::State> expired;
+  std::optional<net::Message> resend;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(call);
+    if (it == pending_.end()) return;  // answered or erased: nothing to do
+    PendingRecord& record = it->second;
+    const Duration now = clock_.now();
+    if (now >= record.deadline) {
+      expired = record.state;
+      pending_.erase(it);
+    } else {
+      if (record.next_resend != Duration::max() && now >= record.next_resend) {
+        if (record.attempts < 1 + config_.max_retries) {
+          resend = net::Message{
+              .from = self_,
+              .to = record.target,
+              .kind = net::kRpcRequest,
+              .call = call,
+              .payload = record.request,
+              .trace_id = record.trace.trace_id,
+              .span_id = record.trace.span_id,
+          };
+          record.attempts++;
+          record.backoff =
+              std::min(record.backoff * 2, config_.retry_max_delay);
+          record.next_resend = now + jittered(record.backoff);
+        } else {
+          record.next_resend = Duration::max();  // out of retries: wait it out
+        }
+      }
+      const Duration wake = std::min(record.deadline, record.next_resend);
+      record.timer =
+          wheel_->schedule(wake - now, [this, call] { on_retry_timer(call); });
+    }
+  }
+  if (expired) {
+    fulfill(*expired, Status{StatusCode::kTimeout, "rpc deadline exceeded"});
+    bump(&AtomicStats::deadline_timeouts);
+  }
+  if (resend) {
+    // Failures here (node unregistered mid-flight) are deliberately ignored:
+    // the deadline converts them into a definite timeout.
+    network_.send(std::move(*resend));
+    bump(&AtomicStats::retries_sent);
   }
 }
 
@@ -297,7 +372,12 @@ Result<Payload> RpcEndpoint::call(NodeId target, const std::string& method,
     bool was_pending = false;
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
-      was_pending = pending_.erase(id) > 0;
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        was_pending = true;
+        if (wheel_ && it->second.timer != 0) wheel_->cancel(it->second.timer);
+        pending_.erase(it);
+      }
     }
     if (was_pending) bump(&AtomicStats::deadline_timeouts);
   }
@@ -525,6 +605,7 @@ void RpcEndpoint::handle_response(const net::Message& message) {
     // raced the original response) find no record and are dropped.
     if (it == pending_.end()) return;
     state = it->second.state;
+    if (wheel_ && it->second.timer != 0) wheel_->cancel(it->second.timer);
     pending_.erase(it);
   }
   try {

@@ -49,9 +49,12 @@
 #include "common/clock.hpp"
 #include "common/id_gen.hpp"
 #include "common/ids.hpp"
+#include "common/inline.hpp"
+#include "common/mpsc_queue.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "common/timer_wheel.hpp"
 #include "exec/executor.hpp"
 #include "net/demux.hpp"
 #include "net/transport.hpp"
@@ -187,6 +190,9 @@ class RpcEndpoint {
     // from the retry thread, which has no ambient context) carry the same
     // causal identity as the first transmission.
     obs::TraceContext trace;
+    // Timer-wheel id for this call's next deadline/resend (lockfree mode
+    // only; 0 in the locked ablation, which scans from the retry thread).
+    common::TimerId timer = 0;
   };
 
   // Server-side dedup entry for one (caller, call) pair.
@@ -212,21 +218,25 @@ class RpcEndpoint {
                       Duration timeout);
   static void fulfill(PendingCall::State& state, Result<Payload> result);
   void retry_loop();
+  // Timer-wheel callback for one pending call: fires at min(next_resend,
+  // deadline), retransmits or times the call out, and re-arms itself.
+  void on_retry_timer(CallId call);
   [[nodiscard]] Duration jittered(Duration backoff);  // holds pending_mu_
   void record_dedup(const net::Message& message, bool oneway,
                     const Payload& response);
 
-  // RpcStats with relaxed atomic counters: the request/response hot paths
-  // bump without a lock; stats() snapshots.
+  // RpcStats with relaxed atomic counters, one per cache line: the
+  // request/response hot paths bump without a lock OR false sharing;
+  // stats() snapshots.
   struct AtomicStats {
-    std::atomic<std::uint64_t> requests_executed{0};
-    std::atomic<std::uint64_t> retries_sent{0};
-    std::atomic<std::uint64_t> deadline_timeouts{0};
-    std::atomic<std::uint64_t> dedup_replays{0};
-    std::atomic<std::uint64_t> duplicate_drops{0};
-    std::atomic<std::uint64_t> requests_shed{0};
+    common::PaddedCounter requests_executed;
+    common::PaddedCounter retries_sent;
+    common::PaddedCounter deadline_timeouts;
+    common::PaddedCounter dedup_replays;
+    common::PaddedCounter duplicate_drops;
+    common::PaddedCounter requests_shed;
   };
-  void bump(std::atomic<std::uint64_t> AtomicStats::* counter);
+  void bump(common::PaddedCounter AtomicStats::* counter);
 
   net::Transport& network_;
   NodeId self_;
@@ -252,7 +262,18 @@ class RpcEndpoint {
   std::unordered_map<CallId, PendingRecord> pending_;
   std::condition_variable retry_cv_;
   bool retry_shutdown_ = false;
+  // The absolute time the retry thread is currently sleeping toward (locked
+  // mode; guarded by pending_mu_).  A registration notifies only when its
+  // deadline is EARLIER — registrations due later than the current wakeup
+  // would be picked up by that wakeup's rescan anyway, so notifying them all
+  // was pure thundering-herd overhead.
+  Duration retry_next_wake_ = Duration::max();
   SplitMix64 retry_rng_;  // guarded by pending_mu_
+
+  // Lockfree mode: per-call one-shot wheel timers replace the retry thread's
+  // scan-all-deadlines loop — O(1) per schedule/cancel, no scan, no notify.
+  // Stopped (joined) first in the destructor, before pending_ is torn down.
+  std::unique_ptr<common::TimerWheel> wheel_;
 
   std::mutex dedup_mu_;
   std::map<DedupKey, DedupEntry> dedup_;

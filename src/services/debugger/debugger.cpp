@@ -35,7 +35,7 @@ std::shared_ptr<objects::PassiveObject> DebuggerServer::make() {
   object->define_entry(
       "on_breakpoint",
       [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         auto r = block.user_reader();
         StopInfo info;
         info.label = r.get_string();

@@ -27,10 +27,22 @@ FailureDetector::FailureDetector(net::Transport& network, net::Demux& demux,
 FailureDetector::~FailureDetector() { stop(); }
 
 void FailureDetector::start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_ || shutdown_) return;
-  running_ = true;
-  beat_thread_ = std::thread([this] { beat_loop(); });
+  bool beat_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ || shutdown_) return;
+    running_ = true;
+    if (common::queue_backend() == common::QueueBackend::kLockfree) {
+      wheel_ = std::make_unique<common::TimerWheel>();
+      wheel_->schedule_periodic(config_.heartbeat_interval,
+                                [this] { beat_once(); });
+      beat_now = true;  // the periodic's first fire is one interval out
+    } else {
+      beat_thread_ = std::thread([this] { beat_loop(); });
+    }
+  }
+  // Match the beat thread's beat-on-start (outside mu_: beat_once locks it).
+  if (beat_now) beat_once();
 }
 
 void FailureDetector::stop() {
@@ -42,8 +54,9 @@ void FailureDetector::stop() {
     }
     shutdown_ = true;
   }
+  if (wheel_) wheel_->stop();  // joins the tick thread; no fires after this
   beat_cv_.notify_all();
-  beat_thread_.join();
+  if (beat_thread_.joinable()) beat_thread_.join();
   std::lock_guard<std::mutex> lock(mu_);
   running_ = false;
 }
@@ -125,24 +138,22 @@ void FailureDetector::raise_transition(EventId event, NodeId peer) {
   }
 }
 
-void FailureDetector::beat_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!shutdown_) {
-    lock.unlock();
-    network_.broadcast(net::Message{
-        .from = self_,
-        .to = NodeId{},
-        .kind = net::kHeartbeat,
-        .call = CallId{},
-        .payload = {},
-    });
-    lock.lock();
-    stats_.heartbeats_sent++;
+void FailureDetector::beat_once() {
+  network_.broadcast(net::Message{
+      .from = self_,
+      .to = NodeId{},
+      .kind = net::kHeartbeat,
+      .call = CallId{},
+      .payload = {},
+  });
 
-    // Edge-detect both transitions under the lock, raise outside it.
+  // Edge-detect both transitions under the lock, raise outside it.
+  std::vector<NodeId> went_down;
+  std::vector<NodeId> came_back;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.heartbeats_sent++;
     const Duration now = clock_.now();
-    std::vector<NodeId> went_down;
-    std::vector<NodeId> came_back;
     for (const auto& [peer, heard] : last_heard_) {
       const bool silent = now - heard > config_.suspect_after;
       if (silent && !suspected_.contains(peer)) {
@@ -153,13 +164,20 @@ void FailureDetector::beat_loop() {
         came_back.push_back(peer);
       }
     }
+  }
+  for (NodeId peer : went_down) {
+    raise_transition(events::sys::kNodeDown, peer);
+  }
+  for (NodeId peer : came_back) {
+    raise_transition(events::sys::kNodeUp, peer);
+  }
+}
+
+void FailureDetector::beat_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
     lock.unlock();
-    for (NodeId peer : went_down) {
-      raise_transition(events::sys::kNodeDown, peer);
-    }
-    for (NodeId peer : came_back) {
-      raise_transition(events::sys::kNodeUp, peer);
-    }
+    beat_once();
     lock.lock();
     if (shutdown_) break;
     beat_cv_.wait_for(lock, config_.heartbeat_interval,

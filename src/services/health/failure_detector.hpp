@@ -33,6 +33,8 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/mpsc_queue.hpp"
+#include "common/timer_wheel.hpp"
 #include "events/event_system.hpp"
 #include "net/demux.hpp"
 #include "net/transport.hpp"
@@ -85,6 +87,10 @@ class FailureDetector {
 
  private:
   void beat_loop();
+  // One heartbeat broadcast + edge detection pass.  The locked ablation's
+  // beat thread runs this on an interval; lockfree mode runs it as a
+  // periodic timer-wheel callback (no dedicated thread wakeup loop).
+  void beat_once();
   void on_heartbeat(const net::Message& message);
   void raise_transition(EventId event, NodeId peer);
 
@@ -104,7 +110,10 @@ class FailureDetector {
   bool running_ = false;
   bool shutdown_ = false;
   std::condition_variable beat_cv_;
-  std::thread beat_thread_;
+  std::thread beat_thread_;  // locked ablation only
+  // Lockfree mode: the heartbeat rides a periodic wheel timer.  Stopped
+  // (joined) in stop() before the callback's state can go away.
+  std::unique_ptr<common::TimerWheel> wheel_;
 
   // Last member: unregisters before the stats it reads are destroyed.
   obs::MetricsRegistry::SourceHandle metrics_source_;

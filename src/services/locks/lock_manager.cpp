@@ -83,7 +83,7 @@ std::shared_ptr<objects::PassiveObject> LockServer::make() {
   object->define_entry(
       "unlock_on_terminate",
       [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         const ThreadId victim = block.target_thread();
         std::vector<std::string> held;
         {
@@ -107,7 +107,7 @@ std::shared_ptr<objects::PassiveObject> LockServer::make() {
   object->define_entry(
       "on_node_down",
       [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         Reader user = block.user_reader();
         const NodeId down = user.get_id<NodeTag>();
         std::lock_guard<std::mutex> lock(state->mu);

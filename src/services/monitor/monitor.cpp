@@ -39,7 +39,7 @@ std::shared_ptr<objects::PassiveObject> MonitorServer::make() {
   object->define_entry(
       "on_sample",
       [state](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         auto r = block.user_reader();
         ThreadSample sample;
         sample.thread = r.get_id<ThreadTag>();

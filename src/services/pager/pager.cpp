@@ -36,7 +36,7 @@ std::shared_ptr<objects::PassiveObject> PagerServer::make(
   object->define_entry(
       "on_fault",
       [store, &rpc](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         auto r = block.user_reader();
         const auto segment = r.get_id<SegmentTag>();
         const auto page = static_cast<std::size_t>(r.get<std::uint64_t>());

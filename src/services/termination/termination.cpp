@@ -70,7 +70,7 @@ void TerminationService::arm_object(
       kAbortEntry,
       [cleanup = std::move(cleanup)](
           objects::CallCtx& ctx) -> Result<objects::Payload> {
-        events::EventBlock block = events::EventBlock::from_payload(ctx.args);
+        events::EventBlock block = events::EventBlock::from_ctx(ctx);
         ThreadId aborting;
         // The aborting thread's id travels in the block's user data (set by
         // abort_invocation_chain); fall back to the block's raiser.

@@ -252,7 +252,7 @@ TEST(Events, ObjectEntryHandlerReceivesEventBlock) {
   obj->define_entry(
       "on_interrupt",
       [&](objects::CallCtx& ctx) -> Result<objects::Payload> {
-        EventBlock block = EventBlock::from_payload(ctx.args);
+        EventBlock block = EventBlock::from_ctx(ctx);
         auto r = block.user_reader();
         saw_payload = r.get_string() == "ctrl-c";
         raiser_seen = block.raiser();

@@ -376,7 +376,7 @@ std::vector<std::vector<std::uint32_t>> run_storm(std::size_t width,
           while (now > worst &&
                  !log->worst_overlap.compare_exchange_weak(worst, now)) {
           }
-          EventBlock block = EventBlock::from_payload(ctx.args);
+          EventBlock block = EventBlock::from_ctx(ctx);
           auto r = block.user_reader();
           const auto seq = r.get<std::uint32_t>();
           {
